@@ -1,0 +1,5 @@
+"""Benchmark harness: one module per table of the paper's evaluation.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module prints its
+paper-vs-measured table and archives it under ``benchmarks/results/``.
+"""

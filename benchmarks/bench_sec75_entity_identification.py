@@ -1,0 +1,83 @@
+"""Sec 7.5 — precision of entity & value identification.
+
+Paper: on 50 QA pairs whose answers are covered by the KB, joint
+entity-value extraction identifies the entity correctly for 72% versus 30%
+for independent Stanford-NER-style extraction — 'joint extraction of
+entities is better than the independent extraction'.
+
+Our version judges the full (entity, value) pair on generator-labelled QA
+pairs: *independent* extraction takes the first NER mention's first
+candidate and the first literal in the answer; *joint* extraction keeps
+only KB-connected, type-compatible pairs (Eq 8 + refinement) and picks the
+best-supported one.
+"""
+
+from repro.core.extraction import ExtractionConfig, ValueIndex, extract_observations
+from repro.core.kbview import KBView
+from repro.kb.expansion import expand_predicates
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.tokenizer import tokenize
+from repro.utils.tables import Table
+
+from benchmarks.conftest import emit
+
+SAMPLE = 200
+
+
+def test_sec75_entity_value_identification(benchmark, bench_suite):
+    kb = bench_suite.freebase
+    world = bench_suite.world
+    ner = EntityRecognizer(kb.gazetteer)
+    value_index = ValueIndex(kb.store)
+    pairs = [p for p in bench_suite.corpus if p.meta.get("kind") == "factoid"][:SAMPLE]
+    seeds = {
+        e for p in pairs for e in ner.lookup(world.name_of(p.meta["entity"]))
+    }
+    kbview = KBView(kb.store, expand_predicates(kb.store, seeds, 3))
+
+    joint_right = independent_right = 0
+    for pair in pairs:
+        gold_entity = pair.meta["entity"]
+        gold_values = {v.lower() for v in pair.meta["values"]}
+
+        # Independent extraction: first mention candidate + first value span.
+        q_tokens = tokenize(pair.question)
+        a_tokens = tokenize(pair.answer)
+        mentions = ner.find_mentions(q_tokens)
+        values = value_index.find_values(a_tokens)
+        if mentions and values:
+            entity = mentions[0].candidates[0]
+            value = values[0][1:].lower()
+            if entity == gold_entity and value in gold_values:
+                independent_right += 1
+
+        # Joint extraction (Eq 8 + refinement): best-weighted surviving pair.
+        observations, _stats = extract_observations(
+            [(pair.question, pair.answer)], kbview, ner, value_index,
+            kb.answer_type_for_path, ExtractionConfig(),
+        )
+        if observations:
+            best = max(observations, key=lambda o: (o.entity_weight, o.value))
+            if best.entity == gold_entity and best.value[1:].lower() in gold_values:
+                joint_right += 1
+
+    joint_acc = joint_right / len(pairs)
+    independent_acc = independent_right / len(pairs)
+
+    table = Table(
+        ["approach", "paper accuracy", "measured accuracy"],
+        title=f"Sec 7.5: entity & value identification over {SAMPLE} QA pairs",
+    )
+    table.add_row(["independent (Stanford-NER-style)", "30%", f"{independent_acc:.0%}"])
+    table.add_row(["joint extraction (KBQA)", "72%", f"{joint_acc:.0%}"])
+    emit(table, "sec75_entity_identification.txt")
+
+    assert joint_acc > independent_acc, "joint extraction must beat independent"
+    assert joint_acc > 0.6
+
+    pair = pairs[0]
+    benchmark(
+        extract_observations,
+        [(pair.question, pair.answer)], kbview, ner, value_index,
+        kb.answer_type_for_path, ExtractionConfig(),
+    )

@@ -1,0 +1,48 @@
+"""Table 4 — valid(k): meaningful expanded predicates per length.
+
+Paper (Sec 6.3): valid(k) rises from k=1 to k=2 and collapses at k=3; k=3 is
+still chosen because the survivors are the meaningful CVT relations.
+
+    paper KBA:     k=1 14005   k=2 16028   k=3 2438
+    paper DBpedia: k=1 352811  k=2 496964  k=3 2364
+
+Expected reproduction shape: valid(2) > valid(1) on the Freebase-like KB, a
+collapse at k=3 on both KBs (severe on the DBpedia-like one, which has no
+CVT mediators at all), and choose_k = 3.
+"""
+
+from repro.core.kselect import choose_k, valid_k
+from repro.utils.tables import Table
+
+from benchmarks.conftest import emit
+
+PAPER = {"KBA": {1: 14005, 2: 16028, 3: 2438}, "DBpedia": {1: 352811, 2: 496964, 3: 2364}}
+SAMPLE_ENTITIES = 800
+
+
+def test_table04_valid_k(benchmark, bench_suite):
+    fb_counts = valid_k(
+        bench_suite.freebase.store, bench_suite.infobox, 3, sample_entities=SAMPLE_ENTITIES
+    )
+    dbp_counts = valid_k(
+        bench_suite.dbpedia.store, bench_suite.infobox, 3, sample_entities=SAMPLE_ENTITIES
+    )
+
+    table = Table(
+        ["KB", "k=1", "k=2", "k=3", "chosen k"],
+        title=f"Table 4: valid(k), sampled over top {SAMPLE_ENTITIES} entities",
+    )
+    table.add_row(["paper KBA", PAPER["KBA"][1], PAPER["KBA"][2], PAPER["KBA"][3], 3])
+    table.add_row(["paper DBpedia", PAPER["DBpedia"][1], PAPER["DBpedia"][2], PAPER["DBpedia"][3], 3])
+    table.add_row(["freebase-like", fb_counts[1], fb_counts[2], fb_counts[3], choose_k(fb_counts)])
+    table.add_row(["dbpedia-like", dbp_counts[1], dbp_counts[2], dbp_counts[3], choose_k(dbp_counts)])
+    emit(table, "table04_valid_k.txt")
+
+    # Paper shape assertions.
+    assert fb_counts[2] > fb_counts[1], "KBA shape: valid(2) > valid(1)"
+    assert fb_counts[3] < fb_counts[2], "collapse at k=3"
+    assert dbp_counts[3] < 0.1 * dbp_counts[2], "DBpedia k=3 collapse is severe"
+    assert choose_k(fb_counts) == 3
+
+    # Benchmark the valid(k) computation itself on a smaller sample.
+    benchmark(valid_k, bench_suite.freebase.store, bench_suite.infobox, 3, 100)

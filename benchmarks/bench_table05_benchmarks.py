@@ -1,0 +1,43 @@
+"""Table 5 — benchmark inventories (#total, #BFQ, ratio).
+
+Paper: WebQuestions 2032 (BFQ count unreported), QALD-5 50/12 (0.24),
+QALD-3 99/41 (0.41), QALD-1 50/27 (0.54).  Our synthetic sets reproduce the
+QALD totals and BFQ ratios exactly; the WebQuestions-like set is scaled down
+but keeps a minority-BFQ mix.
+"""
+
+from repro.corpus.benchmark import build_qald_like
+from repro.utils.tables import Table
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "qald1": (50, 27),
+    "qald3": (99, 41),
+    "qald5": (50, 12),
+    "webquestions": (2032, None),
+}
+
+
+def test_table05_benchmark_inventory(benchmark, bench_suite):
+    table = Table(
+        ["benchmark", "paper #total", "paper #BFQ", "ours #total", "ours #BFQ", "ours ratio"],
+        title="Table 5: evaluation benchmarks",
+    )
+    for name in ("webquestions", "qald5", "qald3", "qald1"):
+        bench = bench_suite.benchmark(name)
+        paper_total, paper_bfq = PAPER[name]
+        table.add_row([
+            name, paper_total, paper_bfq if paper_bfq is not None else "-",
+            bench.n_total, bench.n_bfq, round(bench.bfq_ratio, 2),
+        ])
+    emit(table, "table05_benchmarks.txt")
+
+    for name in ("qald1", "qald3", "qald5"):
+        bench = bench_suite.benchmark(name)
+        assert (bench.n_total, bench.n_bfq) == PAPER[name]
+
+    benchmark(
+        build_qald_like, "bench", bench_suite.world,
+        7, 9, 2, 1, 38,
+    )

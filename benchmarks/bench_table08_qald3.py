@@ -1,0 +1,42 @@
+"""Table 8 — results on QALD-3.
+
+Paper: KBQA+DBpedia reaches P = 0.96 with R_BFQ = 0.61; all KBQA variants
+beat every competitor on precision except squall2sparql (which uses human
+annotation).  The recall analysis (Sec 7.3.1) attributes most BFQ misses to
+rare predicates lacking training support — reproduced here by the
+``bfq_rare`` and ``bfq_unseen`` benchmark strata.
+"""
+
+from benchmarks.conftest import emit
+from benchmarks.qald_common import make_table, paper_row, run_and_row
+
+
+def test_table08_qald3(benchmark, bench_suite, fb_system, dbp_system):
+    bench = bench_suite.benchmark("qald3")
+    table = make_table("Table 8: results on QALD-3-like benchmark")
+
+    table.add_row(paper_row("squall2sparql (paper, human-assisted)", 96, 80, 13, 0.78, 0.81, 0.91, 0.94, 0.84, 0.97))
+    table.add_row(paper_row("SWIP (paper)", 21, 14, 2, 0.14, 0.24, 0.16, 0.24, 0.67, 0.76))
+    table.add_row(paper_row("CASIA (paper)", 52, 29, 8, 0.29, 0.56, 0.37, 0.61, 0.56, 0.71))
+    table.add_row(paper_row("RTV (paper)", 55, 30, 4, 0.30, 0.56, 0.34, 0.56, 0.55, 0.62))
+    table.add_row(paper_row("gAnswer (paper)", 76, 32, 11, 0.32, 0.54, 0.43, "-", 0.42, 0.57))
+    table.add_row(paper_row("Intui2 (paper)", 99, 28, 4, 0.28, 0.54, 0.32, 0.56, 0.28, 0.32))
+    table.add_row(paper_row("Scalewelis (paper)", 70, 32, 1, 0.32, 0.41, 0.33, 0.41, 0.46, 0.47))
+    table.add_row(paper_row("KBQA+KBA (paper)", 25, 17, 2, 0.17, 0.42, 0.19, 0.46, 0.68, 0.76))
+    table.add_row(paper_row("KBQA+Freebase (paper)", 21, 15, 3, 0.15, 0.37, 0.18, 0.44, 0.71, 0.86))
+    table.add_row(paper_row("KBQA+DBpedia (paper)", 26, 25, 0, 0.25, 0.61, 0.25, 0.61, 0.96, 0.96))
+
+    fb_row, fb_metrics = run_and_row("KBQA+freebase-like", fb_system, bench, bench_suite.freebase)
+    dbp_row, dbp_metrics = run_and_row("KBQA+dbpedia-like", dbp_system, bench, bench_suite.dbpedia)
+    table.add_row(fb_row)
+    table.add_row(dbp_row)
+    emit(table, "table08_qald3.txt")
+
+    for metrics in (fb_metrics, dbp_metrics):
+        # KBQA beats all non-human-assisted competitors on precision (>0.67)
+        assert metrics.precision > 0.67
+        assert metrics.recall_bfq > 0.4
+        # bounded recall: KBQA only attempts BFQs
+        assert metrics.processed <= bench.n_bfq + 3
+
+    benchmark(dbp_system.answer, bench.questions[0].question)

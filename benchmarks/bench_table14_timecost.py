@@ -1,0 +1,64 @@
+"""Table 14 — online time cost and complexity.
+
+Paper: KBQA answers in 79 ms — 13x faster than gAnswer (990 ms) and 98x
+faster than DEANNA (7738 ms) — because question parsing is O(|q|^4) and
+probabilistic inference O(|P|), versus NP-hard stages in both competitors.
+
+Measured here: wall-clock per question for KBQA's online procedure vs the
+synonym (DEANNA-like) baseline's phrase x predicate similarity search.  The
+absolute numbers are machine- and scale-specific; the claim is the gap.
+"""
+
+import time
+
+from repro.utils.tables import Table
+
+from benchmarks.conftest import emit
+
+PAPER_ROWS = [
+    ["DEANNA (paper)", "7738ms", "NP-hard", "NP-hard"],
+    ["gAnswer (paper)", "990ms", "O(|V|^3)", "NP-hard"],
+    ["KBQA (paper)", "79ms", "O(|q|^4) parsing", "O(|P|) inference"],
+]
+
+
+def _mean_latency_ms(system, questions, repeats: int = 3) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for question in questions:
+            system.answer(question)
+    elapsed = time.perf_counter() - start
+    return elapsed * 1000.0 / (repeats * len(questions))
+
+
+def _bfq_questions(bench_suite, count=30):
+    return [q.question for q in bench_suite.benchmark("qald3").bfqs()][:count]
+
+
+def test_table14_time_cost(benchmark, bench_suite, fb_system, synonym_fb):
+    questions = _bfq_questions(bench_suite)
+    kbqa_ms = _mean_latency_ms(fb_system, questions)
+    deanna_ms = _mean_latency_ms(synonym_fb, questions)
+
+    table = Table(
+        ["system", "time/question", "understanding", "evaluation"],
+        title="Table 14: online time cost",
+    )
+    for row in PAPER_ROWS:
+        table.add_row(row)
+    table.add_row(["DEANNA-like (measured)", f"{deanna_ms:.2f}ms", "phrase x predicate search", "KB lookup"])
+    table.add_row(["KBQA (measured)", f"{kbqa_ms:.2f}ms", "template lookup", "O(|P|) inference"])
+    emit(table, "table14_timecost.txt")
+
+    # The gap is the claim: KBQA must be decisively faster.
+    assert kbqa_ms < deanna_ms, "KBQA online must beat the synonym baseline"
+    assert deanna_ms / max(kbqa_ms, 1e-6) > 2.0, "expect a multi-x gap"
+
+    benchmark(fb_system.answer, questions[0])
+
+
+def test_table14_deanna_latency(benchmark, bench_suite, synonym_fb):
+    """Companion benchmark: the synonym baseline's per-question latency, so
+    pytest-benchmark's own table shows the KBQA vs DEANNA-like gap."""
+    questions = _bfq_questions(bench_suite)
+    benchmark(synonym_fb.answer, questions[0])

@@ -1,0 +1,47 @@
+"""Table 15 — complex question answering.
+
+Paper: 8 typical complex questions; KBQA answers all 8, Wolfram Alpha 2,
+gAnswer 0.  Our benchmark poses the 8 analogous compositions against the
+synthetic world (capital->population, spouse->dob, author->works,
+capital->area, members->instrument, ceo->dob, headquarters->country) and
+checks the decompose-then-chain pipeline end to end.
+"""
+
+from repro.utils.tables import Table
+
+from benchmarks.conftest import emit
+
+# Wolfram Alpha / gAnswer columns quoted from the paper for the analogous
+# composition patterns.
+PAPER_WA_GA = {
+    "capital -> population": ("Y", "N"),
+    "spouse -> dob": ("Y", "N"),
+    "author -> works_written": ("N", "N"),
+    "capital -> area": ("N", "N"),
+    "capital -> area (ambiguous surface)": ("N", "N"),
+    "members -> instrument": ("N", "N"),
+    "ceo -> dob": ("N", "N"),
+    "headquarters -> country": ("N", "N"),
+}
+
+
+def test_table15_complex_questions(benchmark, bench_suite, fb_system):
+    bench = bench_suite.benchmark("complex")
+    table = Table(
+        ["question", "KBQA", "WA (paper)", "gA (paper)"],
+        title="Table 15: complex question answering",
+    )
+
+    answered = 0
+    for bq in bench.questions:
+        result = fb_system.answer_complex(bq.question)
+        correct = result.answered and bool(set(result.values) & set(bq.gold_values))
+        answered += int(correct)
+        wa, ga = PAPER_WA_GA.get(bq.meta["pattern"], ("-", "-"))
+        table.add_row([bq.question, "Y" if correct else "N", wa, ga])
+    emit(table, "table15_complex.txt")
+
+    # Paper: KBQA answers all 8 (we allow one miss at reduced scale).
+    assert answered >= bench.n_total - 1, f"only {answered}/{bench.n_total} complex questions"
+
+    benchmark(fb_system.answer_complex, bench.questions[0].question)

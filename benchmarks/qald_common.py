@@ -1,0 +1,33 @@
+"""Shared helpers for the QALD result tables (Tables 7, 8, 9, 11)."""
+
+from __future__ import annotations
+
+from repro.eval.metrics import QALDMetrics
+from repro.eval.runner import evaluate_qald
+from repro.utils.tables import Table
+
+
+def qald_row(label: str, metrics: QALDMetrics) -> list:
+    return [
+        label, metrics.processed, metrics.right, metrics.partial,
+        round(metrics.recall, 2), round(metrics.recall_bfq, 2),
+        round(metrics.recall_star, 2), round(metrics.recall_star_bfq, 2),
+        round(metrics.precision, 2), round(metrics.precision_star, 2),
+    ]
+
+
+QALD_COLUMNS = ["system", "#pro", "#ri", "#par", "R", "R_BFQ", "R*", "R*_BFQ", "P", "P*"]
+
+
+def paper_row(label: str, pro, ri, par, r, r_bfq, r_star, r_star_bfq, p, p_star) -> list:
+    """A row quoted verbatim from the paper (systems we do not re-run)."""
+    return [label, pro, ri, par, r, r_bfq, r_star, r_star_bfq, p, p_star]
+
+
+def run_and_row(label: str, system, benchmark, kb) -> tuple[list, QALDMetrics]:
+    metrics, _records = evaluate_qald(system, benchmark, kb)
+    return qald_row(label, metrics), metrics
+
+
+def make_table(title: str) -> Table:
+    return Table(QALD_COLUMNS, title=title)

@@ -1,0 +1,47 @@
+"""Hybrid systems: KBQA in front of each baseline (Sec 7.3.1, Table 11).
+
+Evaluates the keyword, rule and synonym (DEANNA-like) baselines alone and
+composed behind KBQA on the QALD-3-like benchmark, printing the uplift.
+
+Run:  python examples/hybrid_system.py
+"""
+
+from repro.baselines import HybridSystem, KeywordQA, RuleQA, SynonymQA
+from repro.core.system import KBQA
+from repro.eval.runner import evaluate_qald
+from repro.suite import build_suite
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    suite = build_suite("small", seed=7)
+    kb = suite.freebase
+    print("training KBQA...")
+    kbqa = KBQA.train(kb, suite.corpus, suite.conceptualizer)
+
+    baselines = {
+        "keyword": KeywordQA(kb),
+        "rule": RuleQA(kb),
+        "synonym (DEANNA-like)": SynonymQA(kb),
+    }
+    benchmark = suite.benchmark("qald3")
+
+    table = Table(["system", "#pro", "#ri", "R", "P"], title="QALD-3-like: alone vs hybrid")
+    kbqa_metrics, _ = evaluate_qald(kbqa, benchmark, kb)
+    table.add_row(["KBQA alone", kbqa_metrics.processed, kbqa_metrics.right,
+                   round(kbqa_metrics.recall, 2), round(kbqa_metrics.precision, 2)])
+    for name, baseline in baselines.items():
+        alone, _ = evaluate_qald(baseline, benchmark, kb)
+        hybrid, _ = evaluate_qald(HybridSystem(kbqa, baseline), benchmark, kb)
+        table.add_row([name, alone.processed, alone.right,
+                       round(alone.recall, 2), round(alone.precision, 2)])
+        table.add_row([f"KBQA + {name}", hybrid.processed, hybrid.right,
+                       round(hybrid.recall, 2), round(hybrid.precision, 2)])
+    table.print()
+
+    print("the hybrid never loses recall and usually gains precision —")
+    print("KBQA answers the BFQs it is sure about, the baseline mops up the rest.")
+
+
+if __name__ == "__main__":
+    main()

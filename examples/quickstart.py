@@ -1,0 +1,50 @@
+"""Quickstart: build a synthetic suite, train KBQA, ask questions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.system import KBQA
+from repro.suite import build_suite
+
+
+def main() -> None:
+    print("building the synthetic world, KBs and QA corpus (scale=small)...")
+    suite = build_suite("small", seed=7)
+    print(f"  world: {suite.world.stats()['total_entities']} entities, "
+          f"{suite.world.stats()['facts']} facts")
+    print(f"  corpus: {len(suite.corpus)} QA pairs")
+
+    print("\ntraining KBQA on the Freebase-like KB (offline procedure)...")
+    system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+    info = system.describe()
+    print(f"  learned {info['templates']} templates over {info['predicates']} "
+          f"predicate paths from {info['observations']} observations")
+
+    # Pick demo entities straight from the world's ground truth.
+    city = next(e for e in suite.world.of_type("city") if e.get_fact("population"))
+    person = next(e for e in suite.world.of_type("person") if e.get_fact("spouse"))
+
+    questions = [
+        f"what is the population of {city.name}?",
+        f"how many people are there in {city.name}?",   # the anti-keyword paraphrase
+        f"how big is {city.name}?",                      # ambiguous surface
+        f"who is {person.name} married to?",             # CVT-mediated predicate
+        f"what is the head count of {city.name}?",       # unseen paraphrase -> refusal
+    ]
+    print("\nanswering:")
+    for question in questions:
+        result = system.answer(question)
+        if result.answered:
+            print(f"  Q: {question}")
+            print(f"     A: {result.value}   [template: {result.template} | "
+                  f"predicate: {result.predicate}]")
+        else:
+            print(f"  Q: {question}")
+            print("     A: (refused — no learned template matches)")
+
+    gold = suite.world.gold_values(city.node, "population")
+    print(f"\nground truth population of {city.name}: {', '.join(sorted(gold))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Variant questions: ranking, comparison, counting, listing, boolean.
+
+The paper's introduction claims BFQ capability unlocks these forms; this
+example runs the extension that implements the claim (``ExtendedKBQA``) on
+each form and shows the learned-template probes behind every answer.
+
+Run:  python examples/variant_questions.py
+"""
+
+from repro.core.system import KBQA
+from repro.core.variants import VariantAnswerer
+from repro.suite import build_suite
+
+
+def main() -> None:
+    suite = build_suite("small", seed=7)
+    system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+    variants = VariantAnswerer(system, suite.taxonomy)
+    world = suite.world
+
+    country = next(
+        c for c in world.of_type("country")
+        if sum(
+            1 for city in world.of_type("city")
+            if city.get_fact("located_country") == (c.node,)
+        ) >= 2
+    )
+    cities = [c for c in world.of_type("city") if c.get_fact("population")][:2]
+    person = next(p for p in world.of_type("person") if p.get_fact("spouse"))
+    spouse_name = world.name_of(person.get_fact("spouse")[0])
+
+    questions = [
+        "which city has the largest population?",
+        "which country has the most people?",
+        f"which city has more people , {cities[0].name} or {cities[1].name}?",
+        f"how many cities are there in {country.name}?",
+        f"list all cities in {country.name} ordered by population",
+        f"is {person.name} married to {spouse_name}?",
+    ]
+
+    for question in questions:
+        result = variants.answer(question)
+        print(f"Q: {question}")
+        if result is None or not result.answered:
+            print("   (not answerable as a variant)\n")
+            continue
+        print(f"   kind:      {result.kind}")
+        if result.probed_with:
+            print(f"   probe:     {result.probed_with}")
+        if result.predicate is not None:
+            print(f"   predicate: {result.predicate}")
+        shown = ", ".join(result.values[:5])
+        suffix = f" (+{len(result.values) - 5} more)" if len(result.values) > 5 else ""
+        print(f"   answer:    {shown}{suffix}\n")
+
+    print("every predicate above was recovered through learned templates —")
+    print("no keyword matching is involved in variant answering.")
+
+
+if __name__ == "__main__":
+    main()

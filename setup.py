@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must go through ``setup.py develop`` rather than PEP 660.  All
+metadata lives in ``pyproject.toml``; setuptools >= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baseline QA systems the paper compares against (Sec 1.2, Sec 7).
+
+* :class:`KeywordQA` — keyword matching against predicate names [29];
+* :class:`RuleQA` — hand-written question patterns [23];
+* :class:`SynonymQA` — DEANNA-like phrase-to-predicate mapping through a
+  synonym lexicon with similarity scoring [33];
+* :class:`BootstrapLearner` — BOA-pattern learning from declarative text
+  (the coverage comparison of Table 12) [28, 14];
+* :class:`HybridSystem` — KBQA first, baseline fallback (Table 11).
+
+All QA baselines return the same :class:`repro.core.online.AnswerResult`
+shape KBQA does, so one evaluation runner serves every system.
+"""
+
+from repro.baselines.keyword import KeywordQA
+from repro.baselines.rule import RuleQA
+from repro.baselines.synonym import SynonymQA, build_default_lexicon
+from repro.baselines.bootstrapping import BootstrapLearner, BoaPattern
+from repro.baselines.hybrid import HybridSystem
+
+__all__ = [
+    "KeywordQA",
+    "RuleQA",
+    "SynonymQA",
+    "build_default_lexicon",
+    "BootstrapLearner",
+    "BoaPattern",
+    "HybridSystem",
+]

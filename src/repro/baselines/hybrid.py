@@ -1,0 +1,37 @@
+"""Hybrid QA composition (Sec 7.3.1, Table 11).
+
+The paper shows KBQA lifts every baseline when composed as: feed the
+question to KBQA first; if KBQA gives no reply (a likely non-BFQ or an
+unlearned template), fall back to the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.online import AnswerResult
+
+
+class AnswersQuestions(Protocol):
+    """Anything that answers questions with an :class:`AnswerResult`."""
+
+    def answer(self, question: str) -> AnswerResult: ...
+
+
+class HybridSystem:
+    """Primary system with a fallback — the paper's hybrid construction."""
+
+    def __init__(self, primary: AnswersQuestions, fallback: AnswersQuestions) -> None:
+        self.primary = primary
+        self.fallback = fallback
+
+    def answer(self, question: str) -> AnswerResult:
+        """Primary's answer when it has one, the fallback's otherwise."""
+        result = self.primary.answer(question)
+        if result.answered:
+            return result
+        fallback_result = self.fallback.answer(question)
+        if fallback_result.answered:
+            return fallback_result
+        # Prefer whichever side at least found a predicate for #pro counting.
+        return result if result.found_predicate else fallback_result

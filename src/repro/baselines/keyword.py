@@ -1,0 +1,85 @@
+"""Keyword-based QA baseline (Sec 1.2 category 2, e.g. Pythia [29]).
+
+Maps question keywords directly onto knowledge-base predicate names: the
+question answers if (a) an entity is found and (b) the tokens of some
+predicate on the path to a value all appear in the question.  This answers
+``what is the population of X?`` (token ``population`` names the predicate)
+but — as the paper stresses — cannot answer ``how many people are there in
+X?``, since no keyword matches.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.kbview import KBView
+from repro.core.online import AnswerResult, render_term
+from repro.data.compile import CompiledKB
+from repro.kb.paths import PredicatePath
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.tokenizer import tokenize
+
+_CAMEL_RE = re.compile(r"[A-Z]?[a-z0-9]+")
+
+
+def predicate_keywords(path: PredicatePath) -> frozenset[str]:
+    """Tokens of a predicate path's first edge (camelCase / underscores split).
+
+    The first edge names the relation; trailing ``name`` hops are plumbing.
+    """
+    head = path.predicates[0]
+    words: set[str] = set()
+    for part in head.replace("_", " ").split():
+        words |= {w.lower() for w in _CAMEL_RE.findall(part)}
+    return frozenset(w for w in words if len(w) > 2)
+
+
+class KeywordQA:
+    """Answers by entity detection + predicate-name keyword matching."""
+
+    def __init__(self, kb: CompiledKB) -> None:
+        self.kb = kb
+        self.ner = EntityRecognizer(kb.gazetteer)
+        self.kbview = KBView(kb.store)
+        # Candidate paths are the schema paths (what a keyword system can
+        # enumerate from the KB's predicate vocabulary).
+        self._paths = [
+            (path, predicate_keywords(path))
+            for path in kb.path_for_intent.values()
+            if predicate_keywords(path)
+        ]
+
+    def answer(self, question: str) -> AnswerResult:
+        """Match question keywords against predicate names, then look up."""
+        tokens = tuple(tokenize(question))
+        token_set = set(tokens)
+        mentions = self.ner.find_mentions(tokens)
+
+        # Prefer the most specific (largest keyword set) matching predicate.
+        matching = [
+            (path, words) for path, words in self._paths if words <= token_set
+        ]
+        matching.sort(key=lambda pw: (-len(pw[1]), str(pw[0])))
+
+        for mention in mentions:
+            for entity in mention.candidates:
+                for path, _words in matching:
+                    values = self._values(entity, path)
+                    if values:
+                        rendered = tuple(sorted(render_term(v) for v in values))
+                        return AnswerResult(
+                            question=question, value=rendered[0], values=rendered,
+                            score=1.0, entity=entity, template=None,
+                            predicate=path, found_predicate=True,
+                        )
+        return AnswerResult(
+            question=question, value=None, values=(), score=0.0, entity=None,
+            template=None, predicate=None, found_predicate=bool(matching and mentions),
+        )
+
+    def _values(self, entity: str, path: PredicatePath) -> set[str]:
+        from repro.kb.paths import follow
+
+        if path.is_direct:
+            return self.kb.store.objects(entity, path.predicates[0])
+        return follow(self.kb.store, entity, path)

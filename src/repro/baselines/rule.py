@@ -1,0 +1,73 @@
+"""Rule-based QA baseline (Sec 1.2 category 1, Ou et al. [23]).
+
+A handful of manually constructed question patterns, each mapping a property
+phrase to a predicate by exact label match — e.g. ``what is the <xxx> of
+<entity>?`` maps to the predicate labelled ``<xxx>``.  High precision, low
+recall: anything outside the canned patterns is refused.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.online import AnswerResult, render_term
+from repro.data.compile import CompiledKB
+from repro.data.world import SCHEMA_BY_INTENT
+from repro.kb.paths import PredicatePath, follow
+from repro.nlp.ner import EntityRecognizer
+
+# Canned patterns; group 1 = property phrase, group 2 = entity phrase.
+_PATTERNS = (
+    re.compile(r"^what is the (.+?) of (.+?)\??$"),
+    re.compile(r"^who is the (.+?) of (.+?)\??$"),
+    re.compile(r"^what are the (.+?) of (.+?)\??$"),
+    re.compile(r"^who are the (.+?) of (.+?)\??$"),
+)
+
+
+class RuleQA:
+    """Answers only questions of the form ``wh- is the <label> of <entity>``."""
+
+    def __init__(self, kb: CompiledKB) -> None:
+        self.kb = kb
+        self.ner = EntityRecognizer(kb.gazetteer)
+        # property label -> path; labels come from the schema (the 'manually
+        # constructed rules' the paper describes).
+        self._label_to_path: dict[str, PredicatePath] = {}
+        for intent, path in kb.path_for_intent.items():
+            label = SCHEMA_BY_INTENT[intent].label
+            self._label_to_path.setdefault(label, path)
+            self._label_to_path.setdefault(intent.replace("_", " "), path)
+
+    def answer(self, question: str) -> AnswerResult:
+        """Apply the canned patterns; refuse anything off-pattern."""
+        normalized = question.lower().strip()
+        for pattern in _PATTERNS:
+            match = pattern.match(normalized)
+            if match is None:
+                continue
+            label, entity_text = match.group(1), match.group(2)
+            path = self._label_to_path.get(label)
+            if path is None:
+                continue
+            for entity in self.ner.lookup(entity_text):
+                values = (
+                    self.kb.store.objects(entity, path.predicates[0])
+                    if path.is_direct
+                    else follow(self.kb.store, entity, path)
+                )
+                if values:
+                    rendered = tuple(sorted(render_term(v) for v in values))
+                    return AnswerResult(
+                        question=question, value=rendered[0], values=rendered,
+                        score=1.0, entity=entity, template=None,
+                        predicate=path, found_predicate=True,
+                    )
+            return AnswerResult(
+                question=question, value=None, values=(), score=0.0,
+                entity=None, template=None, predicate=path, found_predicate=True,
+            )
+        return AnswerResult(
+            question=question, value=None, values=(), score=0.0, entity=None,
+            template=None, predicate=None, found_predicate=False,
+        )

@@ -1,0 +1,173 @@
+"""Command-line interface: ``kbqa`` — build, train, answer, evaluate.
+
+A thin front over the library so the whole pipeline is drivable from a
+shell::
+
+    kbqa demo --scale small "what is the population of mapleton?"
+    kbqa train --scale small --kb freebase --model /tmp/model.json
+    kbqa eval --scale small --benchmark qald3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.system import KBQA
+from repro.eval.runner import evaluate_qald
+from repro.suite import build_suite
+from repro.utils.tables import Table
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kbqa",
+        description="KBQA reproduction (Cui et al., PVLDB 2017)",
+    )
+    parser.set_defaults(command=None)
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="train on a synthetic suite and answer questions")
+    _common_args(demo)
+    demo.add_argument("questions", nargs="+", help="questions to answer")
+    demo.set_defaults(handler=_cmd_demo)
+
+    train = sub.add_parser("train", help="train and save a template model")
+    _common_args(train)
+    train.add_argument("--model", required=True, help="output path for the model JSON")
+    train.set_defaults(handler=_cmd_train)
+
+    evaluate = sub.add_parser("eval", help="evaluate KBQA on a benchmark")
+    _common_args(evaluate)
+    evaluate.add_argument(
+        "--benchmark", default="qald3",
+        choices=["qald1", "qald3", "qald5", "webquestions"],
+    )
+    evaluate.set_defaults(handler=_cmd_eval)
+
+    stats = sub.add_parser("stats", help="print suite inventory statistics")
+    _common_args(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    decompose = sub.add_parser(
+        "decompose", help="show a question's optimal decomposition (Sec 5)"
+    )
+    _common_args(decompose)
+    decompose.add_argument("questions", nargs="+", help="questions to decompose")
+    decompose.set_defaults(handler=_cmd_decompose)
+
+    variants = sub.add_parser(
+        "variants", help="answer ranking/comparison/listing/counting questions"
+    )
+    _common_args(variants)
+    variants.add_argument("questions", nargs="+", help="variant questions to answer")
+    variants.set_defaults(handler=_cmd_variants)
+    return parser
+
+
+def _common_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scale", default="small", choices=["small", "default"])
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument("--kb", default="freebase", choices=["freebase", "dbpedia"])
+
+
+def _train_system(args) -> tuple[KBQA, object]:
+    suite = build_suite(scale=args.scale, seed=args.seed)
+    kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
+    system = KBQA.train(kb, suite.corpus, suite.conceptualizer)
+    return system, suite
+
+
+def _cmd_demo(args) -> int:
+    system, _suite = _train_system(args)
+    for question in args.questions:
+        result = system.answer_complex(question)
+        if result.answered:
+            print(f"Q: {question}")
+            print(f"A: {result.value}  (all: {', '.join(result.values)})")
+        else:
+            print(f"Q: {question}")
+            print("A: (no answer)")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    system, _suite = _train_system(args)
+    system.model.save(args.model)
+    info = system.describe()
+    print(f"saved model to {args.model}")
+    print(f"templates={info['templates']} predicates={info['predicates']}")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    system, suite = _train_system(args)
+    kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
+    benchmark = suite.benchmark(args.benchmark)
+    metrics, _records = evaluate_qald(system, benchmark, kb)
+    table = Table(["metric", "value"], title=f"KBQA on {args.benchmark} ({args.kb})")
+    for key, value in metrics.as_row().items():
+        table.add_row([key, value])
+    table.print()
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    system, _suite = _train_system(args)
+    for question in args.questions:
+        decomposition = system.decompose(question)
+        print(f"Q: {question}")
+        if decomposition.is_simple:
+            verdict = "primitive BFQ" if decomposition.score > 0 else "not answerable"
+            print(f"   {verdict} (score {decomposition.score:.3f})")
+        else:
+            print(f"   score {decomposition.score:.3f}")
+            for i, part in enumerate(decomposition.sequence):
+                print(f"   q{i}: {part}")
+    return 0
+
+
+def _cmd_variants(args) -> int:
+    from repro.core.variants import ExtendedKBQA
+
+    system, suite = _train_system(args)
+    extended = ExtendedKBQA(system, suite.taxonomy)
+    for question in args.questions:
+        result = extended.answer(question)
+        print(f"Q: {question}")
+        if result.answered:
+            shown = ", ".join(result.values[:8])
+            print(f"A: {shown}  [{result.template or 'bfq'}]")
+        else:
+            print("A: (no answer)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    suite = build_suite(scale=args.scale, seed=args.seed)
+    table = Table(["component", "stat", "value"], title=f"suite ({args.scale}, seed {args.seed})")
+    for key, value in suite.world.stats().items():
+        table.add_row(["world", key, value])
+    for key, value in suite.freebase.store.stats().items():
+        table.add_row(["freebase-like KB", key, value])
+    for key, value in suite.dbpedia.store.stats().items():
+        table.add_row(["dbpedia-like KB", key, value])
+    table.add_row(["corpus", "qa_pairs", len(suite.corpus)])
+    for name, bench in suite.benchmarks.items():
+        table.add_row(["benchmark", name, f"{bench.n_total} ({bench.n_bfq} BFQ)"])
+    table.print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""KBQA core: templates, EM predicate inference, online answering,
+complex-question decomposition, and expansion-length selection.
+
+This package is the paper's primary contribution (Secs 3-6); everything it
+depends on lives in the substrate packages (``kb``, ``nlp``, ``taxonomy``,
+``data``, ``corpus``).
+"""
+
+from repro.core.template import Template
+from repro.core.kbview import KBView
+from repro.core.extraction import Observation, ValueIndex, extract_observations, ExtractionConfig
+from repro.core.em import EMConfig, EMResult, run_em
+from repro.core.model import TemplateModel
+from repro.core.learner import LearnerConfig, OfflineLearner, LearnResult
+from repro.core.online import AnswerResult, OnlineAnswerer
+from repro.core.decompose import Decomposer, Decomposition, PatternStatistics
+from repro.core.kselect import valid_k
+from repro.core.system import KBQA, KBQAConfig, ComplexAnswer
+
+__all__ = [
+    "Template",
+    "KBView",
+    "Observation",
+    "ValueIndex",
+    "extract_observations",
+    "ExtractionConfig",
+    "EMConfig",
+    "EMResult",
+    "run_em",
+    "TemplateModel",
+    "LearnerConfig",
+    "OfflineLearner",
+    "LearnResult",
+    "AnswerResult",
+    "OnlineAnswerer",
+    "Decomposer",
+    "Decomposition",
+    "PatternStatistics",
+    "valid_k",
+    "KBQA",
+    "KBQAConfig",
+    "ComplexAnswer",
+]

@@ -1,0 +1,189 @@
+"""Complex question decomposition (Sec 5, Algorithm 2).
+
+A complex question decomposes into a sequence ``A = (q̌_0, ..., q̌_k)`` where
+``q̌_0`` is a concrete BFQ and each later ``q̌_i`` contains the entity
+variable ``$e`` bound to the previous answer.  Validity of a pattern is
+estimated from the QA corpus (Eq 26):
+
+    ``P(q̌) = fv(q̌) / fo(q̌)``
+
+``fo`` counts corpus questions matching the pattern under *any* substring
+replacement, ``fv`` only those where the replaced substring is an entity
+mention — penalizing over-general patterns like ``when $e?`` (Example 4).
+
+The optimal decomposition maximizes ``P(A) = Π P(q̌_i)`` (Eq 27) via the
+``O(|q|^4)`` dynamic program of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.model import TemplateModel
+from repro.core.template import Template
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.tokenizer import tokenize
+from repro.taxonomy.conceptualizer import Conceptualizer
+
+ENTITY_VARIABLE = "$e"
+
+
+def _pattern_key(tokens: Sequence[str]) -> str:
+    return " ".join(tokens)
+
+
+class PatternStatistics:
+    """``fo`` / ``fv`` pattern counts over the QA corpus (Sec 5.2)."""
+
+    def __init__(self) -> None:
+        self.fo: Counter[str] = Counter()
+        self.fv: Counter[str] = Counter()
+        self.questions_indexed = 0
+
+    @classmethod
+    def from_corpus(
+        cls,
+        questions: Iterable[str],
+        ner: EntityRecognizer,
+        max_questions: int | None = None,
+        max_tokens: int = 23,
+    ) -> "PatternStatistics":
+        """Index corpus questions.
+
+        ``max_tokens`` reflects the paper's observation that over 99% of
+        corpus questions are under 23 words; longer ones are skipped.
+        """
+        stats = cls()
+        for count, question in enumerate(questions):
+            if max_questions is not None and count >= max_questions:
+                break
+            tokens = tokenize(question)
+            n = len(tokens)
+            if n == 0 or n > max_tokens:
+                continue
+            stats.questions_indexed += 1
+            valid_spans = {
+                (m.start, m.end) for m in ner.find_all_spans(tokens)
+            }
+            seen_fo: set[str] = set()
+            seen_fv: set[str] = set()
+            for start in range(n):
+                for end in range(start + 1, n + 1):
+                    if (start, end) == (0, n):
+                        continue  # replacing everything leaves no pattern
+                    pattern = _pattern_key(
+                        tokens[:start] + [ENTITY_VARIABLE] + tokens[end:]
+                    )
+                    seen_fo.add(pattern)
+                    if (start, end) in valid_spans:
+                        seen_fv.add(pattern)
+            stats.fo.update(seen_fo)
+            stats.fv.update(seen_fv)
+        return stats
+
+    def validity(self, pattern_tokens: Sequence[str]) -> float:
+        """``P(q̌) = fv / fo`` (0 when the pattern was never observed)."""
+        key = _pattern_key(pattern_tokens)
+        observed = self.fo.get(key, 0)
+        if observed == 0:
+            return 0.0
+        return self.fv.get(key, 0) / observed
+
+
+@dataclass(frozen=True, slots=True)
+class Decomposition:
+    """An ordered question sequence plus its score ``P(A)``.
+
+    ``sequence[0]`` is a concrete question string; later elements contain
+    ``$e`` to be bound to the previous answer.
+    """
+
+    sequence: tuple[str, ...]
+    score: float
+
+    @property
+    def is_simple(self) -> bool:
+        return len(self.sequence) == 1
+
+
+class Decomposer:
+    """Algorithm 2: dynamic programming over question substrings."""
+
+    def __init__(
+        self,
+        statistics: PatternStatistics,
+        ner: EntityRecognizer,
+        model: TemplateModel,
+        conceptualizer: Conceptualizer,
+        max_concepts: int = 4,
+    ) -> None:
+        self.statistics = statistics
+        self.ner = ner
+        self.model = model
+        self.conceptualizer = conceptualizer
+        self.max_concepts = max_concepts
+
+    def is_primitive(self, tokens: Sequence[str]) -> bool:
+        """δ(q) — does ``tokens`` read as a directly answerable BFQ?
+
+        True when some entity mention, conceptualized in context, yields a
+        template the offline model has learned.
+        """
+        tokens = tuple(tokens)
+        for mention in self.ner.find_mentions(tokens):
+            span = (mention.start, mention.end)
+            context = tokens[: mention.start] + tokens[mention.end :]
+            for entity in mention.candidates:
+                concepts = self.conceptualizer.conceptualize(entity, context)
+                top = sorted(concepts.items(), key=lambda kv: (-kv[1], kv[0]))
+                for concept, _prob in top[: self.max_concepts]:
+                    template = Template.from_question(tokens, span, concept)
+                    if template.text in self.model:
+                        return True
+        return False
+
+    def decompose(self, question: str) -> Decomposition:
+        """Find ``argmax_A P(A)`` (Eq 25) by the DP of Eq 28."""
+        tokens = tuple(tokenize(question))
+        n = len(tokens)
+        if n == 0:
+            return Decomposition((question,), 0.0)
+
+        # best[(i, j)] = (P(A*), sequence) for the substring tokens[i:j].
+        best: dict[tuple[int, int], tuple[float, tuple[str, ...]]] = {}
+
+        for length in range(1, n + 1):
+            for start in range(n - length + 1):
+                end = start + length
+                sub = tokens[start:end]
+                delta = 1.0 if self.is_primitive(sub) else 0.0
+                score = delta
+                sequence: tuple[str, ...] = (" ".join(sub),)
+
+                # Try every proper substring as the nested question q_j.
+                for inner_start in range(start, end):
+                    for inner_end in range(inner_start + 1, end + 1):
+                        if (inner_start, inner_end) == (start, end):
+                            continue
+                        inner = best.get((inner_start, inner_end))
+                        if inner is None or inner[0] <= 0.0:
+                            continue
+                        remainder = (
+                            list(sub[: inner_start - start])
+                            + [ENTITY_VARIABLE]
+                            + list(sub[inner_end - start :])
+                        )
+                        validity = self.statistics.validity(remainder)
+                        candidate = validity * inner[0]
+                        if candidate > score:
+                            score = candidate
+                            sequence = inner[1] + (" ".join(remainder),)
+                if score > 0.0:
+                    best[(start, end)] = (score, sequence)
+
+        top = best.get((0, n))
+        if top is None:
+            return Decomposition((" ".join(tokens),), 0.0)
+        return Decomposition(top[1], top[0])

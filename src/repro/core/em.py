@@ -1,0 +1,117 @@
+"""EM estimation of ``P(p|t)`` (Sec 4.2-4.3, Algorithm 1).
+
+Observations are pre-encoded candidate lists: for observation ``x_i`` each
+candidate is ``(template_id, path_id, f)`` where ``f = f(x_i, z_i)`` of
+Eq 19 — the product of every probability term except ``θ_pt``, computable
+before estimation.  The pruning of Sec 4.3 is inherent to the encoding: only
+templates derivable by conceptualizing ``e_i`` in ``q_i`` and only predicates
+connecting ``(e_i, v_i)`` appear, so each iteration is ``O(m)``.
+
+* **Initialization** (Eq 23): ``θ^(0)`` uniform over the predicates observed
+  with each template.
+* **E-step** (Eq 21): posterior responsibility of each hidden ``z_i=(p,t)``,
+  ``P(z_i|X,θ) ∝ f(x_i,z_i)·θ_pt``, normalized per observation.
+* **M-step** (Eq 22): ``θ_pt ∝ Σ_i P(z_i=(p,t)|X,θ)``, normalized per
+  template over predicates.
+
+The per-iteration incomplete-data log-likelihood is recorded; it is
+non-decreasing (standard EM guarantee), which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+Candidate = tuple[int, int, float]  # (template_id, path_id, f)
+
+
+@dataclass(frozen=True, slots=True)
+class EMConfig:
+    max_iterations: int = 25
+    tolerance: float = 1e-7  # relative log-likelihood improvement to continue
+
+
+@dataclass
+class EMResult:
+    """Estimated parameters plus the optimization trace."""
+
+    # theta[template_id][path_id] = P(p|t)
+    theta: dict[int, dict[int, float]]
+    log_likelihood: list[float] = field(default_factory=list)
+    iterations: int = 0
+    # responsibility mass per template, Σ_i Σ_p P(z_i=(p,t)|X,θ) at the end;
+    # serves as the template's observed frequency (Table 13's ordering).
+    template_support: dict[int, float] = field(default_factory=dict)
+
+
+def initialize_theta(observations: Sequence[Sequence[Candidate]]) -> dict[int, dict[int, float]]:
+    """Eq 23: uniform over predicates co-occurring with each template."""
+    paths_per_template: dict[int, set[int]] = {}
+    for candidates in observations:
+        for template_id, path_id, f in candidates:
+            if f > 0.0:
+                paths_per_template.setdefault(template_id, set()).add(path_id)
+    return {
+        template_id: {path_id: 1.0 / len(path_ids) for path_id in path_ids}
+        for template_id, path_ids in paths_per_template.items()
+    }
+
+
+def run_em(
+    observations: Sequence[Sequence[Candidate]],
+    config: EMConfig | None = None,
+) -> EMResult:
+    """Maximum-likelihood estimation of ``P(p|t)`` via EM."""
+    config = config or EMConfig()
+    theta = initialize_theta(observations)
+    result = EMResult(theta=theta)
+    if not theta:
+        return result
+
+    previous_ll: float | None = None
+    for iteration in range(config.max_iterations):
+        accumulator: dict[int, dict[int, float]] = {}
+        support: dict[int, float] = {}
+        log_likelihood = 0.0
+        for candidates in observations:
+            # E-step for observation i: responsibilities ∝ f · θ (Eq 21).
+            weights: list[float] = []
+            total = 0.0
+            for template_id, path_id, f in candidates:
+                weight = f * theta.get(template_id, {}).get(path_id, 0.0)
+                weights.append(weight)
+                total += weight
+            if total <= 0.0:
+                continue
+            log_likelihood += math.log(total)
+            inv_total = 1.0 / total
+            for (template_id, path_id, _f), weight in zip(candidates, weights):
+                if weight <= 0.0:
+                    continue
+                responsibility = weight * inv_total
+                row = accumulator.setdefault(template_id, {})
+                row[path_id] = row.get(path_id, 0.0) + responsibility
+                support[template_id] = support.get(template_id, 0.0) + responsibility
+
+        # M-step: per-template normalization (Eq 22).
+        theta = {
+            template_id: {
+                path_id: mass / support[template_id]
+                for path_id, mass in row.items()
+            }
+            for template_id, row in accumulator.items()
+        }
+        result.theta = theta
+        result.template_support = support
+        result.log_likelihood.append(log_likelihood)
+        result.iterations = iteration + 1
+
+        if previous_ll is not None:
+            improvement = log_likelihood - previous_ll
+            scale = max(abs(previous_ll), 1.0)
+            if improvement / scale < config.tolerance:
+                break
+        previous_ll = log_likelihood
+    return result

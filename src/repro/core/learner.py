@@ -1,0 +1,180 @@
+"""The offline procedure (Figure 3, right column).
+
+Pipeline: corpus questions -> seed entity collection -> predicate expansion
+(Sec 6.2) -> entity-value extraction (Sec 4.1) -> candidate encoding with
+``f(x, z)`` (Eq 19) -> EM (Sec 4.2) -> :class:`TemplateModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.em import EMConfig, EMResult, run_em
+from repro.core.extraction import (
+    ExtractionConfig,
+    ExtractionStats,
+    Observation,
+    ValueIndex,
+    extract_observations,
+)
+from repro.core.kbview import KBView
+from repro.core.model import TemplateModel
+from repro.core.template import Template
+from repro.corpus.qa import QACorpus
+from repro.data.compile import CompiledKB
+from repro.kb.expansion import ExpandedStore, expand_predicates
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.tokenizer import tokenize
+from repro.taxonomy.conceptualizer import Conceptualizer
+
+
+@dataclass(frozen=True, slots=True)
+class LearnerConfig:
+    """Offline-procedure knobs; defaults follow the paper (k = 3, Sec 6.3)."""
+
+    max_path_length: int = 3
+    use_expansion: bool = True
+    use_refinement: bool = True
+    max_concepts_per_mention: int = 4
+    em: EMConfig = field(default_factory=EMConfig)
+
+
+@dataclass
+class LearnResult:
+    """Everything the offline phase produces."""
+
+    model: TemplateModel
+    kbview: KBView
+    ner: EntityRecognizer
+    expanded: ExpandedStore | None
+    em: EMResult
+    extraction: ExtractionStats
+    n_observations: int
+    n_seed_entities: int
+
+
+class OfflineLearner:
+    """Learns ``P(p|t)`` for one compiled knowledge base."""
+
+    def __init__(
+        self,
+        kb: CompiledKB,
+        conceptualizer: Conceptualizer,
+        config: LearnerConfig | None = None,
+    ) -> None:
+        self.kb = kb
+        self.conceptualizer = conceptualizer
+        self.config = config or LearnerConfig()
+
+    def learn(self, corpus: QACorpus) -> LearnResult:
+        """Run the full offline pipeline over ``corpus``."""
+        ner = EntityRecognizer(self.kb.gazetteer)
+        seeds = self._collect_seed_entities(corpus, ner)
+
+        expanded: ExpandedStore | None = None
+        if self.config.use_expansion and self.config.max_path_length > 1:
+            expanded = expand_predicates(
+                self.kb.store, seeds, max_length=self.config.max_path_length
+            )
+        kbview = KBView(self.kb.store, expanded)
+
+        value_index = ValueIndex(self.kb.store)
+        observations, extraction_stats = extract_observations(
+            ((pair.question, pair.answer) for pair in corpus),
+            kbview,
+            ner,
+            value_index,
+            answer_type_of=self.kb.answer_type_for_path,
+            config=ExtractionConfig(use_refinement=self.config.use_refinement),
+        )
+
+        encoded, template_names, path_names = self._encode_candidates(observations, kbview)
+        em_result = run_em(encoded, self.config.em)
+        model = self._build_model(em_result, template_names, path_names, len(observations))
+
+        return LearnResult(
+            model=model,
+            kbview=kbview,
+            ner=ner,
+            expanded=expanded,
+            em=em_result,
+            extraction=extraction_stats,
+            n_observations=len(observations),
+            n_seed_entities=len(seeds),
+        )
+
+    # -- Stages -----------------------------------------------------------
+
+    def _collect_seed_entities(self, corpus: QACorpus, ner: EntityRecognizer) -> set[str]:
+        """Entities mentioned in corpus questions — the BFS seed reduction of
+        Sec 6.2 ('we only use subjects occurring in the questions')."""
+        seeds: set[str] = set()
+        for question in corpus.questions():
+            for mention in ner.find_mentions(tokenize(question)):
+                seeds.update(mention.candidates)
+        return seeds
+
+    def _encode_candidates(
+        self, observations: list[Observation], kbview: KBView
+    ) -> tuple[list[list[tuple[int, int, float]]], list[str], list[str]]:
+        """Expand each observation into (template, path, f) candidates.
+
+        Candidates realize the pruned enumeration of Algorithm 1 line 7-8:
+        templates from conceptualizing ``e_i`` in ``q_i`` (``P(t|e,q) > 0``),
+        paths connecting ``(e_i, v_i)`` (``P(v|e,p) > 0``).
+        """
+        template_ids: dict[str, int] = {}
+        path_ids: dict[str, int] = {}
+        template_names: list[str] = []
+        path_names: list[str] = []
+        encoded: list[list[tuple[int, int, float]]] = []
+
+        for obs in observations:
+            start, end = obs.mention_span
+            context = obs.question_tokens[:start] + obs.question_tokens[end:]
+            concept_distribution = self.conceptualizer.conceptualize(obs.entity, context)
+            if not concept_distribution:
+                continue
+            top_concepts = sorted(
+                concept_distribution.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: self.config.max_concepts_per_mention]
+
+            candidates: list[tuple[int, int, float]] = []
+            for concept, concept_prob in top_concepts:
+                template = Template.from_question(obs.question_tokens, obs.mention_span, concept)
+                t_id = template_ids.setdefault(template.text, len(template_ids))
+                if t_id == len(template_names):
+                    template_names.append(template.text)
+                for path in obs.paths:
+                    value_prob = kbview.value_probability(obs.entity, path, obs.value)
+                    f = obs.entity_weight * concept_prob * value_prob
+                    if f <= 0.0:
+                        continue
+                    p_id = path_ids.setdefault(str(path), len(path_ids))
+                    if p_id == len(path_names):
+                        path_names.append(str(path))
+                    candidates.append((t_id, p_id, f))
+            if candidates:
+                encoded.append(candidates)
+        return encoded, template_names, path_names
+
+    @staticmethod
+    def _build_model(
+        em_result: EMResult,
+        template_names: list[str],
+        path_names: list[str],
+        n_observations: int,
+    ) -> TemplateModel:
+        model = TemplateModel()
+        model.n_observations = n_observations
+        for template_id, row in em_result.theta.items():
+            distribution = {
+                path_names[path_id]: prob for path_id, prob in row.items() if prob > 0
+            }
+            if distribution:
+                model.set_distribution(
+                    template_names[template_id],
+                    distribution,
+                    support=em_result.template_support.get(template_id, 0.0),
+                )
+        return model

@@ -1,0 +1,155 @@
+"""The learned template model: ``P(p|t)`` plus template frequencies.
+
+This is the offline procedure's artifact (Figure 3): a distribution over
+predicate paths for every learned template, with JSON persistence so a
+trained model can be shipped and loaded without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.kb.paths import PredicatePath
+
+MODEL_FORMAT_VERSION = 1
+
+
+class TemplateModel:
+    """``template text -> {path string -> probability}`` with support counts."""
+
+    def __init__(self) -> None:
+        self._theta: dict[str, dict[str, float]] = {}
+        self._support: dict[str, float] = {}
+        self.n_observations: int = 0
+
+    # -- Construction ---------------------------------------------------------
+
+    def set_distribution(
+        self, template_text: str, distribution: dict[str, float], support: float = 0.0
+    ) -> None:
+        """Store (re-normalized) ``P(p|t)`` for one template."""
+        if not distribution:
+            raise ValueError(f"empty distribution for template {template_text!r}")
+        total = sum(distribution.values())
+        if total <= 0:
+            raise ValueError(f"non-positive mass for template {template_text!r}")
+        self._theta[template_text] = {
+            path: prob / total for path, prob in distribution.items() if prob > 0
+        }
+        self._support[template_text] = support
+
+    # -- Lookup ----------------------------------------------------------------
+
+    def __contains__(self, template_text: str) -> bool:
+        return template_text in self._theta
+
+    def __len__(self) -> int:
+        return len(self._theta)
+
+    def predicates_for(self, template_text: str) -> dict[PredicatePath, float]:
+        """``P(p|t)`` for a template (empty dict when the template is unknown)."""
+        row = self._theta.get(template_text)
+        if not row:
+            return {}
+        return {PredicatePath.parse(path): prob for path, prob in row.items()}
+
+    def best_path(self, template_text: str) -> tuple[PredicatePath, float] | None:
+        """The argmax predicate path and its probability (None if unknown)."""
+        row = self._theta.get(template_text)
+        if not row:
+            return None
+        path, prob = max(row.items(), key=lambda kv: (kv[1], kv[0]))
+        return PredicatePath.parse(path), prob
+
+    def support(self, template_text: str) -> float:
+        return self._support.get(template_text, 0.0)
+
+    def templates(self) -> Iterable[str]:
+        return self._theta.keys()
+
+    def top_templates(self, count: int) -> list[str]:
+        """Templates ordered by observed frequency (Table 13's selection)."""
+        ordered = sorted(self._theta, key=lambda t: (-self._support.get(t, 0.0), t))
+        return ordered[:count]
+
+    # -- Inventory statistics (Tables 12 and 16) ----------------------------------
+
+    @property
+    def n_templates(self) -> int:
+        return len(self._theta)
+
+    def distinct_paths(self) -> set[str]:
+        """All predicate paths any template assigns mass to."""
+        paths: set[str] = set()
+        for row in self._theta.values():
+            paths.update(row)
+        return paths
+
+    @property
+    def n_predicates(self) -> int:
+        return len(self.distinct_paths())
+
+    def templates_per_predicate(self) -> float:
+        """The n:1 coverage ratio reported in Table 12."""
+        n_paths = self.n_predicates
+        if n_paths == 0:
+            return 0.0
+        return self.n_templates / n_paths
+
+    def stats_by_path_length(self) -> dict[int, dict[str, int]]:
+        """Template/predicate counts grouped by the argmax path's length
+        (the Table 16 breakdown: direct vs expanded predicates)."""
+        by_length: dict[int, dict[str, set | int]] = {}
+        for template in self._theta:
+            best = self.best_path(template)
+            if best is None:
+                continue
+            length = len(best[0])
+            bucket = by_length.setdefault(length, {"templates": 0, "paths": set()})
+            bucket["templates"] += 1
+            bucket["paths"].add(str(best[0]))
+        return {
+            length: {"templates": bucket["templates"], "predicates": len(bucket["paths"])}
+            for length, bucket in by_length.items()
+        }
+
+    def templates_for_path(self, path: PredicatePath, count: int | None = None) -> list[str]:
+        """Templates whose argmax predicate is ``path``, by support
+        (the Table 17 case study)."""
+        key = str(path)
+        matching = [
+            t for t in self._theta
+            if (best := self.best_path(t)) is not None and str(best[0]) == key
+        ]
+        matching.sort(key=lambda t: (-self._support.get(t, 0.0), t))
+        return matching if count is None else matching[:count]
+
+    # -- Persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the model (versioned JSON)."""
+        payload = {
+            "format_version": MODEL_FORMAT_VERSION,
+            "n_observations": self.n_observations,
+            "templates": {
+                template: {"support": self._support.get(template, 0.0), "theta": row}
+                for template, row in self._theta.items()
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TemplateModel":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("format_version")
+        if version != MODEL_FORMAT_VERSION:
+            raise ValueError(f"unsupported model format version: {version}")
+        model = cls()
+        model.n_observations = payload.get("n_observations", 0)
+        for template, entry in payload["templates"].items():
+            model.set_distribution(template, entry["theta"], entry.get("support", 0.0))
+        return model

@@ -1,0 +1,140 @@
+"""Online question answering (Sec 3.3).
+
+Given a user question ``q0`` the answerer evaluates Eq 7:
+
+    ``P(v|q0) = Σ_{e,p,t} P(v|e,p) · P(p|t) · P(t|e,q0) · P(e|q0)``
+
+by enumerating the question's entity mentions (NER + KB membership), the
+templates from conceptualizing each entity (``P(t|e,q)``), the learned
+predicate distribution ``P(p|t)``, and the value sets ``V(e,p)``.  The
+complexity is ``O(|P|)`` — linear in the candidate predicates per template —
+exactly the paper's analysis.
+
+The result distinguishes *found a predicate* (the ``#pro`` condition of
+Sec 7.3.1) from *produced values*: a question whose template is known but
+whose entity lacks the fact processes without an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kbview import KBView
+from repro.core.model import TemplateModel
+from repro.core.template import Template
+from repro.kb.paths import PredicatePath
+from repro.kb.triple import is_literal, literal_value
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.tokenizer import tokenize
+from repro.taxonomy.conceptualizer import Conceptualizer
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerResult:
+    """Outcome of answering one BFQ."""
+
+    question: str
+    value: str | None  # best single value (argmax_v), unquoted
+    values: tuple[str, ...]  # full answer set V(e, p*) of the best reading
+    score: float
+    entity: str | None
+    template: str | None
+    predicate: PredicatePath | None
+    found_predicate: bool  # the #pro condition
+    candidates: tuple[tuple[str, float], ...] = field(default=())
+
+    @property
+    def answered(self) -> bool:
+        return self.value is not None
+
+
+class OnlineAnswerer:
+    """Evaluates Eq 7 against a knowledge base view and a template model."""
+
+    def __init__(
+        self,
+        kbview: KBView,
+        ner: EntityRecognizer,
+        conceptualizer: Conceptualizer,
+        model: TemplateModel,
+        max_concepts: int = 4,
+    ) -> None:
+        self.kbview = kbview
+        self.ner = ner
+        self.conceptualizer = conceptualizer
+        self.model = model
+        self.max_concepts = max_concepts
+
+    def answer(self, question: str) -> AnswerResult:
+        """Answer one BFQ by evaluating Eq 7 over all readings."""
+        tokens = tuple(tokenize(question))
+        mentions = self.ner.find_mentions(tokens)
+        candidate_entities = [
+            (mention, entity) for mention in mentions for entity in mention.candidates
+        ]
+        if not candidate_entities:
+            return self._no_answer(question)
+        entity_prob = 1.0 / len(candidate_entities)  # uniform P(e|q), Sec 3.2
+
+        found_predicate = False
+        # Score (entity, path) readings: S = Σ_t P(e|q)·P(t|e,q)·P(p|t).
+        reading_scores: dict[tuple[str, str], float] = {}
+        reading_info: dict[tuple[str, str], tuple[str, PredicatePath]] = {}
+
+        for mention, entity in candidate_entities:
+            span = (mention.start, mention.end)
+            context = tokens[: mention.start] + tokens[mention.end :]
+            concepts = self.conceptualizer.conceptualize(entity, context)
+            top_concepts = sorted(concepts.items(), key=lambda kv: (-kv[1], kv[0]))
+            for concept, concept_prob in top_concepts[: self.max_concepts]:
+                template = Template.from_question(tokens, span, concept)
+                distribution = self.model.predicates_for(template.text)
+                if not distribution:
+                    continue
+                found_predicate = True
+                for path, theta in distribution.items():
+                    key = (entity, str(path))
+                    score = entity_prob * concept_prob * theta
+                    reading_scores[key] = reading_scores.get(key, 0.0) + score
+                    if key not in reading_info:
+                        reading_info[key] = (template.text, path)
+
+        if not reading_scores:
+            return self._no_answer(question, found_predicate)
+
+        # Rank readings, keep the best one that yields values.
+        ranked = sorted(reading_scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        for (entity, _path_key), score in ranked:
+            template_text, path = reading_info[(entity, _path_key)]
+            values = self.kbview.values(entity, path)
+            if not values:
+                continue
+            rendered = tuple(sorted(render_term(v) for v in values))
+            value_prob = 1.0 / len(values)
+            candidates = tuple((v, score * value_prob) for v in rendered)
+            return AnswerResult(
+                question=question,
+                value=rendered[0],
+                values=rendered,
+                score=score * value_prob,
+                entity=entity,
+                template=template_text,
+                predicate=path,
+                found_predicate=True,
+                candidates=candidates,
+            )
+        return self._no_answer(question, found_predicate)
+
+    @staticmethod
+    def _no_answer(question: str, found_predicate: bool = False) -> AnswerResult:
+        return AnswerResult(
+            question=question, value=None, values=(), score=0.0, entity=None,
+            template=None, predicate=None, found_predicate=found_predicate,
+        )
+
+
+def render_term(term: str) -> str:
+    """Literal terms lose their quote prefix; resource terms pass through."""
+    if is_literal(term):
+        return literal_value(term)
+    return term

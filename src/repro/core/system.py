@@ -1,0 +1,167 @@
+"""The KBQA system facade: train once, answer BFQs and complex questions.
+
+Wires the offline procedure (learner), the online procedure (answerer) and
+the decomposition machinery (Sec 5) into the two-call API a downstream user
+needs: :meth:`KBQA.train` and :meth:`KBQA.answer` /
+:meth:`KBQA.answer_complex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.decompose import (
+    ENTITY_VARIABLE,
+    Decomposer,
+    Decomposition,
+    PatternStatistics,
+)
+from repro.core.learner import LearnerConfig, LearnResult, OfflineLearner
+from repro.core.online import AnswerResult, OnlineAnswerer
+from repro.corpus.qa import QACorpus
+from repro.data.compile import CompiledKB
+from repro.taxonomy.conceptualizer import Conceptualizer
+
+
+@dataclass(frozen=True, slots=True)
+class KBQAConfig:
+    """End-to-end configuration (learner + decomposition + online)."""
+
+    learner: LearnerConfig = field(default_factory=LearnerConfig)
+    max_concepts_online: int = 4
+    pattern_max_questions: int | None = 25_000
+    pattern_max_tokens: int = 23
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexAnswer:
+    """Result of answering a (possibly) complex question."""
+
+    question: str
+    decomposition: Decomposition
+    steps: tuple[AnswerResult, ...]
+    final: AnswerResult | None
+
+    @property
+    def answered(self) -> bool:
+        return self.final is not None and self.final.answered
+
+    @property
+    def value(self) -> str | None:
+        return self.final.value if self.final else None
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        return self.final.values if self.final else ()
+
+
+class KBQA:
+    """A trained KBQA instance over one compiled knowledge base."""
+
+    def __init__(
+        self,
+        kb: CompiledKB,
+        conceptualizer: Conceptualizer,
+        learn_result: LearnResult,
+        pattern_statistics: PatternStatistics,
+        config: KBQAConfig,
+    ) -> None:
+        self.kb = kb
+        self.conceptualizer = conceptualizer
+        self.learn_result = learn_result
+        self.config = config
+        self.model = learn_result.model
+        self.answerer = OnlineAnswerer(
+            learn_result.kbview,
+            learn_result.ner,
+            conceptualizer,
+            learn_result.model,
+            max_concepts=config.max_concepts_online,
+        )
+        self.decomposer = Decomposer(
+            pattern_statistics,
+            learn_result.ner,
+            learn_result.model,
+            conceptualizer,
+            max_concepts=config.max_concepts_online,
+        )
+
+    # -- Training -------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        kb: CompiledKB,
+        corpus: QACorpus,
+        conceptualizer: Conceptualizer,
+        config: KBQAConfig | None = None,
+    ) -> "KBQA":
+        """Run the full offline procedure of Figure 3 and return the system."""
+        config = config or KBQAConfig()
+        learner = OfflineLearner(kb, conceptualizer, config.learner)
+        learn_result = learner.learn(corpus)
+        statistics = PatternStatistics.from_corpus(
+            corpus.questions(),
+            learn_result.ner,
+            max_questions=config.pattern_max_questions,
+            max_tokens=config.pattern_max_tokens,
+        )
+        return cls(kb, conceptualizer, learn_result, statistics, config)
+
+    # -- Answering ---------------------------------------------------------------
+
+    def answer(self, question: str) -> AnswerResult:
+        """Answer a binary factoid question (Sec 3.3)."""
+        return self.answerer.answer(question)
+
+    def decompose(self, question: str) -> Decomposition:
+        """Optimal decomposition of a (possibly) complex question (Sec 5)."""
+        return self.decomposer.decompose(question)
+
+    def answer_complex(self, question: str) -> ComplexAnswer:
+        """Divide-and-conquer answering (Sec 5.1): decompose, then answer
+        each sub-question with the previous answer substituted for ``$e``."""
+        decomposition = self.decompose(question)
+        if decomposition.is_simple or decomposition.score <= 0.0:
+            final = self.answer(question)
+            return ComplexAnswer(question, decomposition, (final,), final)
+
+        steps: list[AnswerResult] = []
+        current = self.answer(decomposition.sequence[0])
+        steps.append(current)
+        for pattern in decomposition.sequence[1:]:
+            if not current.answered:
+                return ComplexAnswer(question, decomposition, tuple(steps), None)
+            next_question = pattern.replace(ENTITY_VARIABLE, current.value)
+            current = self.answer(next_question)
+            steps.append(current)
+        return ComplexAnswer(question, decomposition, tuple(steps), current)
+
+    # -- Introspection ---------------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """Inventory numbers used by the coverage experiments (Table 12/16)."""
+        expanded = self.learn_result.expanded
+        return {
+            "kb": self.kb.kind,
+            "templates": self.model.n_templates,
+            "predicates": self.model.n_predicates,
+            "templates_per_predicate": round(self.model.templates_per_predicate(), 1),
+            "observations": self.learn_result.n_observations,
+            "seed_entities": self.learn_result.n_seed_entities,
+            "expanded_spo": len(expanded) if expanded else 0,
+            "em_iterations": self.learn_result.em.iterations,
+        }
+
+
+def train_without_expansion(
+    kb: CompiledKB,
+    corpus: QACorpus,
+    conceptualizer: Conceptualizer,
+    config: KBQAConfig | None = None,
+) -> KBQA:
+    """Ablation helper: KBQA restricted to direct predicates (Table 16's
+    length-1 row)."""
+    config = config or KBQAConfig()
+    ablated = replace(config, learner=replace(config.learner, use_expansion=False))
+    return KBQA.train(kb, corpus, conceptualizer, ablated)

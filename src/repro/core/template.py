@@ -1,0 +1,67 @@
+"""Templates: the paper's question representation.
+
+A template ``t = t(q, e, c)`` is a question with the mention of entity ``e``
+replaced by one of its concepts ``c`` (Sec 2): ``when was barack obama
+born?`` with ``barack obama -> $person`` becomes ``when was $person born?``.
+The concept token keeps the ``$`` prefix, so a template's canonical string
+form is self-describing and serves as its identity everywhere (EM parameter
+keys, model persistence, online lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.nlp.tokenizer import tokenize
+from repro.taxonomy.isa import is_concept
+
+
+@dataclass(frozen=True, slots=True)
+class Template:
+    """An immutable template: tokens with one concept slot."""
+
+    tokens: tuple[str, ...]
+    slot: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.slot < len(self.tokens):
+            raise ValueError(f"slot {self.slot} out of range for {self.tokens}")
+        if not is_concept(self.tokens[self.slot]):
+            raise ValueError(f"slot token must be a concept: {self.tokens[self.slot]!r}")
+
+    @classmethod
+    def from_question(
+        cls, tokens: Sequence[str], span: tuple[int, int], concept: str
+    ) -> "Template":
+        """Replace the mention at ``span`` (half-open) with ``concept``."""
+        start, end = span
+        if not (0 <= start < end <= len(tokens)):
+            raise ValueError(f"bad span {span} for question of {len(tokens)} tokens")
+        new_tokens = tuple(tokens[:start]) + (concept,) + tuple(tokens[end:])
+        return cls(new_tokens, start)
+
+    @classmethod
+    def from_text(cls, text: str) -> "Template":
+        """Parse a canonical template string (inverse of :attr:`text`)."""
+        tokens = tuple(tokenize(text))
+        for index, token in enumerate(tokens):
+            if is_concept(token):
+                return cls(tokens, index)
+        raise ValueError(f"no concept slot in template text: {text!r}")
+
+    @property
+    def concept(self) -> str:
+        return self.tokens[self.slot]
+
+    @property
+    def text(self) -> str:
+        """Canonical string form — the template's identity."""
+        return " ".join(self.tokens)
+
+    def instantiate(self, entity_tokens: Sequence[str]) -> tuple[str, ...]:
+        """Substitute an entity mention back into the slot."""
+        return self.tokens[: self.slot] + tuple(entity_tokens) + self.tokens[self.slot + 1 :]
+
+    def __str__(self) -> str:
+        return self.text

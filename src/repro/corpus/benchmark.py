@@ -1,0 +1,449 @@
+"""Benchmark construction (QALD-like, WebQuestions-like, complex set).
+
+The paper evaluates on QALD-1/3/5 and WebQuestions (Table 5), each a mix of
+binary factoid questions (BFQs) and non-BFQs.  We rebuild that structure
+against the synthetic world with three BFQ difficulty strata:
+
+* **seen surface** — a training paraphrase with a (possibly) different
+  entity: the template is known, KBQA should answer;
+* **unseen surface** — a held-out paraphrase (``test_only``): the template
+  was never learned, reproducing the paper's strict-template-matching misses;
+* **rare intent** — intents that are under-sampled in the corpus.
+
+Non-BFQs (superlatives, comparisons, counts, booleans, listings,
+descriptions) carry computable gold answers but no single entity-predicate
+reading; KBQA is expected to refuse them, bounding its recall by the BFQ
+ratio exactly as Tables 7-10 show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus import surface
+from repro.data.world import SCHEMA_BY_INTENT, World
+from repro.utils.rng import SeedStream
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkQuestion:
+    qid: str
+    question: str
+    gold_values: frozenset[str]
+    gold_intent: str | None
+    entity: str | None
+    is_bfq: bool
+    category: str
+    meta: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class Benchmark:
+    """A named evaluation set."""
+
+    name: str
+    questions: list[BenchmarkQuestion]
+
+    @property
+    def n_total(self) -> int:
+        return len(self.questions)
+
+    @property
+    def n_bfq(self) -> int:
+        return sum(1 for q in self.questions if q.is_bfq)
+
+    @property
+    def bfq_ratio(self) -> float:
+        return self.n_bfq / self.n_total if self.questions else 0.0
+
+    def bfqs(self) -> list[BenchmarkQuestion]:
+        return [q for q in self.questions if q.is_bfq]
+
+
+RARE_INTENTS = ("flows_through", "pages", "students", "elevation")
+
+# Surfaces shared across intents *within the same entity type* — the only
+# genuinely ambiguous cases, since cross-type shares (how tall: person vs
+# mountain) are resolved by conceptualization.  A question drawn here carries
+# one of the intents as gold, sampled uniformly; a system answering with the
+# sibling intent is judged partially right — the mechanism behind the paper's
+# #par column ('place of birth' for a lived-in question, etc.).
+AMBIGUOUS_SURFACES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("how big is {e}?", ("population", "area")),
+    ("where is {e} from?", ("pob", "residence")),
+)
+
+
+def build_qald_like(
+    name: str,
+    world: World,
+    seed: int = 7,
+    n_bfq_seen: int = 9,
+    n_bfq_unseen: int = 2,
+    n_bfq_rare: int = 1,
+    n_nonbfq: int = 38,
+    n_bfq_ambiguous: int | None = None,
+) -> Benchmark:
+    """A QALD-style benchmark with the requested BFQ / non-BFQ mix.
+
+    ``n_bfq_ambiguous`` of the *seen* questions use surfaces shared across
+    intents (defaults to roughly a quarter of the seen stratum).
+    """
+    if n_bfq_ambiguous is None:
+        n_bfq_ambiguous = max(1, n_bfq_seen // 4) if n_bfq_seen else 0
+    n_bfq_ambiguous = min(n_bfq_ambiguous, n_bfq_seen)
+    stream = SeedStream(seed).substream(f"benchmark:{name}")
+    questions: list[BenchmarkQuestion] = []
+    questions += _bfq_questions(
+        world, stream.substream("seen"), n_bfq_seen - n_bfq_ambiguous, held_out=False
+    )
+    questions += _ambiguous_bfq_questions(
+        world, stream.substream("ambiguous"), n_bfq_ambiguous
+    )
+    questions += _bfq_questions(world, stream.substream("unseen"), n_bfq_unseen, held_out=True)
+    questions += _bfq_questions(
+        world, stream.substream("rare"), n_bfq_rare, held_out=False, intents=RARE_INTENTS
+    )
+    questions += _nonbfq_questions(world, stream.substream("nonbfq"), n_nonbfq)
+    questions = stream.shuffled(questions)
+    questions = [_with_qid(q, f"{name}-{i:03d}") for i, q in enumerate(questions)]
+    return Benchmark(name, questions)
+
+
+def build_webquestions_like(world: World, seed: int = 7, total: int = 600) -> Benchmark:
+    """A WebQuestions-style set: larger, mostly non-BFQ (Table 5/10)."""
+    n_bfq_seen = int(total * 0.26)
+    n_bfq_unseen = int(total * 0.07)
+    n_bfq_rare = int(total * 0.02)
+    n_nonbfq = total - n_bfq_seen - n_bfq_unseen - n_bfq_rare
+    return build_qald_like(
+        "webquestions", world, seed=seed,
+        n_bfq_seen=n_bfq_seen, n_bfq_unseen=n_bfq_unseen,
+        n_bfq_rare=n_bfq_rare, n_nonbfq=n_nonbfq,
+    )
+
+
+# ---------------------------------------------------------------------------
+# BFQ questions
+# ---------------------------------------------------------------------------
+
+
+def _bfq_questions(
+    world: World,
+    stream: SeedStream,
+    count: int,
+    held_out: bool,
+    intents: tuple[str, ...] | None = None,
+) -> list[BenchmarkQuestion]:
+    rng = stream.rng()
+    pool = _answerable_instances(world, intents)
+    if not pool:
+        return []
+    questions: list[BenchmarkQuestion] = []
+    attempts = 0
+    while len(questions) < count and attempts < count * 20:
+        attempts += 1
+        intent, node = rng.choice(pool)
+        bank = surface.held_out_surfaces(intent) if held_out else surface.train_surfaces(intent)
+        if not bank:
+            continue
+        chosen = rng.choice(bank)
+        gold = world.gold_values(node, intent)
+        if not gold:
+            continue
+        category = "bfq_unseen" if held_out else (
+            "bfq_rare" if intents else "bfq_seen"
+        )
+        questions.append(BenchmarkQuestion(
+            qid="", question=chosen.text.format(e=world.name_of(node)),
+            gold_values=frozenset(gold), gold_intent=intent, entity=node,
+            is_bfq=True, category=category,
+        ))
+    return questions
+
+
+def _ambiguous_bfq_questions(
+    world: World, stream: SeedStream, count: int
+) -> list[BenchmarkQuestion]:
+    """BFQs drawn from cross-intent surfaces (the #par generators)."""
+    rng = stream.rng()
+    questions: list[BenchmarkQuestion] = []
+    attempts = 0
+    while len(questions) < count and attempts < count * 30 + 30:
+        attempts += 1
+        text, intents = rng.choice(AMBIGUOUS_SURFACES)
+        gold_intent = rng.choice(intents)
+        schema = SCHEMA_BY_INTENT[gold_intent]
+        candidates = [
+            e for etype in schema.domain_types for e in world.of_type(etype)
+            if e.get_fact(gold_intent)
+        ]
+        if not candidates:
+            continue
+        entity = rng.choice(candidates)
+        gold = world.gold_values(entity.node, gold_intent)
+        if not gold:
+            continue
+        questions.append(BenchmarkQuestion(
+            qid="", question=text.format(e=entity.name),
+            gold_values=frozenset(gold), gold_intent=gold_intent,
+            entity=entity.node, is_bfq=True, category="bfq_ambiguous",
+        ))
+    return questions
+
+
+def _answerable_instances(world: World, intents=None) -> list[tuple[str, str]]:
+    wanted = set(intents) if intents else None
+    pool: list[tuple[str, str]] = []
+    for node, entity in world.entities.items():
+        for intent in entity.facts:
+            if intent not in SCHEMA_BY_INTENT or intent not in surface.SURFACES:
+                continue
+            if wanted is not None and intent not in wanted:
+                continue
+            pool.append((intent, node))
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# Non-BFQ questions
+# ---------------------------------------------------------------------------
+
+
+def _nonbfq_questions(world: World, stream: SeedStream, count: int) -> list[BenchmarkQuestion]:
+    rng = stream.rng()
+    builders = (
+        _superlative_question,
+        _comparison_question,
+        _count_question,
+        _boolean_question,
+        _listing_question,
+        _description_question,
+    )
+    questions: list[BenchmarkQuestion] = []
+    i = 0
+    attempts = 0
+    while len(questions) < count and attempts < count * 20:
+        attempts += 1
+        built = builders[i % len(builders)](world, rng)
+        i += 1
+        if built is not None:
+            questions.append(built)
+    return questions
+
+
+def _superlative_question(world: World, rng) -> BenchmarkQuestion | None:
+    choices = (
+        ("city", "population", "which city has the largest population?"),
+        ("city", "area", "which city has the biggest area?"),
+        ("mountain", "elevation", "which mountain is the highest?"),
+        ("country", "population", "which country has the most people?"),
+    )
+    etype, intent, question = rng.choice(choices)
+    best_node, best_value = None, -1
+    for entity in world.of_type(etype):
+        fact = entity.get_fact(intent)
+        if fact and int(fact[0]) > best_value:
+            best_node, best_value = entity.node, int(fact[0])
+    if best_node is None:
+        return None
+    return BenchmarkQuestion(
+        qid="", question=question, gold_values=frozenset({world.name_of(best_node)}),
+        gold_intent=None, entity=None, is_bfq=False, category="nonbfq_superlative",
+    )
+
+
+def _comparison_question(world: World, rng) -> BenchmarkQuestion | None:
+    cities = [c for c in world.of_type("city") if c.get_fact("population")]
+    if len(cities) < 2:
+        return None
+    a, b = rng.sample(cities, 2)
+    winner = a if int(a.get_fact("population")[0]) >= int(b.get_fact("population")[0]) else b
+    return BenchmarkQuestion(
+        qid="", question=f"which city has more people , {a.name} or {b.name}?",
+        gold_values=frozenset({winner.name}), gold_intent=None, entity=None,
+        is_bfq=False, category="nonbfq_comparison",
+    )
+
+
+def _count_question(world: World, rng) -> BenchmarkQuestion | None:
+    countries = world.of_type("country")
+    if not countries:
+        return None
+    country = rng.choice(countries)
+    n = sum(
+        1 for city in world.of_type("city")
+        if city.get_fact("located_country") == (country.node,)
+    )
+    return BenchmarkQuestion(
+        qid="", question=f"how many cities are there in {country.name}?",
+        gold_values=frozenset({str(n)}), gold_intent=None, entity=country.node,
+        is_bfq=False, category="nonbfq_count",
+    )
+
+
+def _boolean_question(world: World, rng) -> BenchmarkQuestion | None:
+    people = [p for p in world.of_type("person") if p.get_fact("spouse")]
+    if len(people) < 2:
+        return None
+    a = rng.choice(people)
+    if rng.random() < 0.5:
+        b_node = a.get_fact("spouse")[0]
+        gold = "yes"
+    else:
+        b = rng.choice(people)
+        b_node = b.node
+        gold = "yes" if a.get_fact("spouse") == (b_node,) else "no"
+    return BenchmarkQuestion(
+        qid="", question=f"is {a.name} married to {world.name_of(b_node)}?",
+        gold_values=frozenset({gold}), gold_intent=None, entity=a.node,
+        is_bfq=False, category="nonbfq_boolean",
+    )
+
+
+def _listing_question(world: World, rng) -> BenchmarkQuestion | None:
+    countries = world.of_type("country")
+    if not countries:
+        return None
+    country = rng.choice(countries)
+    cities = sorted(
+        city.name for city in world.of_type("city")
+        if city.get_fact("located_country") == (country.node,)
+    )
+    return BenchmarkQuestion(
+        qid="", question=f"list all cities in {country.name} ordered by population",
+        gold_values=frozenset(cities), gold_intent=None, entity=country.node,
+        is_bfq=False, category="nonbfq_listing",
+    )
+
+
+def _description_question(world: World, rng) -> BenchmarkQuestion | None:
+    cities = world.of_type("city")
+    if not cities:
+        return None
+    city = rng.choice(cities)
+    return BenchmarkQuestion(
+        qid="", question=f"why is {city.name} worth visiting?",
+        gold_values=frozenset(), gold_intent=None, entity=city.node,
+        is_bfq=False, category="nonbfq_description",
+    )
+
+
+def _with_qid(question: BenchmarkQuestion, qid: str) -> BenchmarkQuestion:
+    return BenchmarkQuestion(
+        qid=qid, question=question.question, gold_values=question.gold_values,
+        gold_intent=question.gold_intent, entity=question.entity,
+        is_bfq=question.is_bfq, category=question.category, meta=question.meta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Complex questions (Table 15 analogues)
+# ---------------------------------------------------------------------------
+
+
+def build_complex_benchmark(world: World, seed: int = 7) -> Benchmark:
+    """Eight complex questions mirroring Table 15's composition patterns."""
+    rng = SeedStream(seed).substream("complex").rng()
+    questions: list[BenchmarkQuestion] = []
+
+    def add(question: str, gold: set[str], pattern: str) -> None:
+        questions.append(BenchmarkQuestion(
+            qid=f"complex-{len(questions):02d}", question=question,
+            gold_values=frozenset(gold), gold_intent=None, entity=None,
+            is_bfq=False, category="complex", meta={"pattern": pattern},
+        ))
+
+    country = _pick(rng, world, "country", lambda e: e.get_fact("capital"))
+    if country is not None:
+        capital = world.entity(country.get_fact("capital")[0])
+        if capital.get_fact("population"):
+            add(
+                f"how many people are there in the capital of {country.name}?",
+                set(capital.get_fact("population")), "capital -> population",
+            )
+        if capital.get_fact("area"):
+            add(
+                f"what is the area of the capital of {country.name}?",
+                set(capital.get_fact("area")), "capital -> area",
+            )
+
+    country2 = _pick(
+        rng, world, "country",
+        lambda e: e.get_fact("capital")
+        and world.entity(e.get_fact("capital")[0]).get_fact("area"),
+        exclude=country.node if country else None,
+    )
+    if country2 is not None:
+        capital2 = world.entity(country2.get_fact("capital")[0])
+        add(
+            f"how large is the capital of {country2.name}?",
+            set(capital2.get_fact("area")), "capital -> area (ambiguous surface)",
+        )
+
+    person = _pick(rng, world, "person", lambda e: e.get_fact("spouse"))
+    if person is not None:
+        spouse = world.entity(person.get_fact("spouse")[0])
+        add(
+            f"when was {person.name} 's wife born?",
+            set(spouse.get_fact("dob")), "spouse -> dob",
+        )
+
+    book = _pick(
+        rng, world, "book",
+        lambda e: e.get_fact("author")
+        and world.entity(e.get_fact("author")[0]).get_fact("works_written"),
+    )
+    if book is not None:
+        author = world.entity(book.get_fact("author")[0])
+        add(
+            f"what are books written by the author of {book.name}?",
+            world.gold_values(author.node, "works_written"), "author -> works_written",
+        )
+
+    band = _pick(rng, world, "band", lambda e: e.get_fact("members"))
+    if band is not None:
+        instruments: set[str] = set()
+        for member in band.get_fact("members"):
+            instruments |= world.gold_values(member, "instrument")
+        if instruments:
+            add(
+                f"what instrument do members of {band.name} play?",
+                instruments, "members -> instrument",
+            )
+
+    company = _pick(
+        rng, world, "company",
+        lambda e: e.get_fact("ceo") and world.entity(e.get_fact("ceo")[0]).get_fact("dob"),
+    )
+    if company is not None:
+        ceo = world.entity(company.get_fact("ceo")[0])
+        add(
+            f"what is the birthday of the ceo of {company.name}?",
+            set(ceo.get_fact("dob")), "ceo -> dob",
+        )
+
+    company2 = _pick(
+        rng, world, "company",
+        lambda e: e.get_fact("headquarters")
+        and world.entity(e.get_fact("headquarters")[0]).get_fact("located_country"),
+        exclude=company.node if company else None,
+    )
+    if company2 is not None:
+        hq = world.entity(company2.get_fact("headquarters")[0])
+        add(
+            f"in which country is the headquarter of {company2.name} located?",
+            world.gold_values(hq.node, "located_country"), "headquarters -> country",
+        )
+
+    return Benchmark("complex", questions)
+
+
+def _pick(rng, world: World, etype: str, predicate, exclude: str | None = None):
+    candidates = [
+        e for e in world.of_type(etype)
+        if e.node != exclude and predicate(e)
+    ]
+    if not candidates:
+        return None
+    return rng.choice(candidates)

@@ -1,0 +1,94 @@
+"""QA pair and corpus containers with JSONL persistence."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class QAPair:
+    """One question/answer pair from the (synthetic) community QA site.
+
+    ``meta`` carries generator provenance — intent, entity node, clean/noisy
+    flags — used only by evaluation (never by the learner, which sees just
+    the text, as the paper's system does).
+    """
+
+    qid: str
+    question: str
+    answer: str
+    meta: dict = field(default_factory=dict, hash=False, compare=False)
+
+    def to_json(self) -> str:
+        """One JSONL line for this pair."""
+        return json.dumps(
+            {"qid": self.qid, "question": self.question, "answer": self.answer, "meta": self.meta},
+            ensure_ascii=False,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "QAPair":
+        data = json.loads(line)
+        return cls(data["qid"], data["question"], data["answer"], data.get("meta", {}))
+
+
+class QACorpus:
+    """An ordered collection of QA pairs."""
+
+    def __init__(self, pairs: Iterable[QAPair] = ()) -> None:
+        self.pairs: list[QAPair] = list(pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[QAPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> QAPair:
+        return self.pairs[index]
+
+    def add(self, pair: QAPair) -> None:
+        self.pairs.append(pair)
+
+    def questions(self) -> Iterator[str]:
+        return (pair.question for pair in self.pairs)
+
+    def filter(self, predicate: Callable[[QAPair], bool]) -> "QACorpus":
+        return QACorpus(pair for pair in self.pairs if predicate(pair))
+
+    def head(self, count: int) -> "QACorpus":
+        return QACorpus(self.pairs[:count])
+
+    # -- Persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write the corpus as JSONL; returns the pair count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for pair in self.pairs:
+                handle.write(pair.to_json())
+                handle.write("\n")
+        return len(self.pairs)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QACorpus":
+        corpus = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    corpus.add(QAPair.from_json(line))
+        return corpus
+
+    # -- Introspection ---------------------------------------------------------
+
+    def intent_counts(self) -> dict[str, int]:
+        """Generator-provenance histogram (evaluation only)."""
+        counts: dict[str, int] = {}
+        for pair in self.pairs:
+            intent = pair.meta.get("intent")
+            if intent:
+                counts[intent] = counts.get(intent, 0) + 1
+        return counts

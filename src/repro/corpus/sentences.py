@@ -1,0 +1,72 @@
+"""Declarative sentence corpus (the web-document stand-in for bootstrapping).
+
+The bootstrapping baseline of Table 12 (Unger et al. / BOA patterns) learns
+predicate paraphrases from free text between entity and value mentions in
+web documents.  These templates render world facts as such sentences.  Only
+a subset of intents has sentence coverage — CVT-mediated relations rarely
+surface as clean subject-object sentences — which is precisely why the
+baseline covers fewer predicates than template learning.
+"""
+
+from __future__ import annotations
+
+from repro.data.world import SCHEMA_BY_INTENT, World
+from repro.utils.rng import SeedStream
+
+SENTENCE_TEMPLATES: dict[str, tuple[str, ...]] = {
+    "population": (
+        "{e} has a population of {v} .",
+        "the population of {e} is {v} .",
+        "{v} people live in {e} .",
+    ),
+    "area": (
+        "{e} covers an area of {v} .",
+        "the area of {e} is {v} square kilometers .",
+    ),
+    "dob": (
+        "{e} was born in {v} .",
+        "born in {v} , {e} grew up quickly .",
+    ),
+    "pob": (
+        "{e} was born in {v} .",
+        "{e} grew up in {v} .",
+    ),
+    "spouse": ("{e} is married to {v} .",),
+    "capital": (
+        "the capital of {e} is {v} .",
+        "{e} 's capital city is {v} .",
+    ),
+    "ceo": ("the ceo of {e} is {v} .",),
+    "mayor": ("the mayor of {e} is {v} .",),
+    "founded": ("{e} was founded in {v} .",),
+    "author": ("{e} was written by {v} .",),
+    "height": ("{e} is {v} centimeters tall .",),
+    "currency": ("the currency of {e} is the {v} .",),
+    "language": ("people in {e} speak {v} .",),
+    "headquarters": ("{e} is headquartered in {v} .",),
+    "employees": ("{e} employs {v} people .",),
+    "river_length": ("{e} is {v} kilometers long .",),
+    "director": ("{e} was directed by {v} .",),
+    "release": ("{e} was released in {v} .",),
+}
+
+
+def generate_sentences(world: World, count: int = 20_000, seed: int = 7) -> list[str]:
+    """Render ``count`` declarative sentences from world facts."""
+    rng = SeedStream(seed).substream("sentences").rng()
+    instances: list[tuple[str, str]] = []
+    for node, entity in world.entities.items():
+        for intent in entity.facts:
+            if intent in SENTENCE_TEMPLATES:
+                instances.append((intent, node))
+    if not instances:
+        return []
+    sentences: list[str] = []
+    for _ in range(count):
+        intent, node = rng.choice(instances)
+        values = sorted(world.gold_values(node, intent))
+        if not values:
+            continue
+        template = rng.choice(SENTENCE_TEMPLATES[intent])
+        sentences.append(template.format(e=world.name_of(node), v=rng.choice(values)))
+    return sentences

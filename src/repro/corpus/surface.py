@@ -1,0 +1,430 @@
+"""Per-intent natural-language surface banks.
+
+Each intent carries a bank of question *surfaces* — the paraphrase variety
+that, after conceptualization, becomes the paper's template space.  Three
+deliberate properties shape the learning problem exactly as the paper
+describes it:
+
+* **diversity** — many surfaces per intent, including noun-phrase forms
+  (``the capital of {e}``) that complex-question decomposition relies on;
+* **ambiguity** — some surfaces are shared across intents with different
+  usage weights (``how big is {e}?`` asks population or area; ``where is
+  {e} from?`` asks birthplace, residence or band origin), so ``P(p|t)`` is a
+  genuine distribution, not a lookup table;
+* **held-out paraphrases** — surfaces marked ``test_only`` never appear in
+  the training corpus; benchmark questions built from them reproduce the
+  paper's template-miss failure mode (Sec 7.3.1's recall analysis).
+
+Answer surfaces embed the value in a chatty reply, reproducing Table 3
+(including the Example 2 trap where the reply also mentions the entity's
+profession, which entity-value refinement must filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.question_class import AnswerType
+
+
+@dataclass(frozen=True, slots=True)
+class Surface:
+    """One question phrasing for an intent; ``{e}`` marks the entity slot."""
+
+    text: str
+    weight: float = 1.0
+    test_only: bool = False
+
+
+def _s(text: str, weight: float = 1.0, test_only: bool = False) -> Surface:
+    return Surface(text, weight, test_only)
+
+
+SURFACES: dict[str, tuple[Surface, ...]] = {
+    "dob": (
+        _s("when was {e} born?", 3.0),
+        _s("what year was {e} born?", 2.0),
+        _s("in which year was {e} born?"),
+        _s("what is the birthday of {e}?"),
+        _s("when is {e} 's birthday?"),
+        _s("what is {e} 's date of birth?"),
+        _s("birthday of {e}", 0.5),
+        _s("how old is {e}?", 0.8),
+        _s("which year saw the birth of {e}?", test_only=True),
+        _s("when did {e} come into the world?", test_only=True),
+    ),
+    "pob": (
+        _s("where was {e} born?", 3.0),
+        _s("what is the birthplace of {e}?", 1.5),
+        _s("in which city was {e} born?"),
+        _s("what city was {e} born in?"),
+        _s("birthplace of {e}", 0.5),
+        _s("where is {e} from?", 1.2),
+        _s("in what town did {e} first see daylight?", test_only=True),
+    ),
+    "residence": (
+        _s("where does {e} live?", 3.0),
+        _s("in which city does {e} live?"),
+        _s("what city does {e} live in?"),
+        _s("where is {e} living?"),
+        _s("where is {e} from?", 0.6),
+        _s("what place does {e} call home?", test_only=True),
+    ),
+    "height": (
+        _s("how tall is {e}?", 3.0),
+        _s("what is the height of {e}?", 2.0),
+        _s("what is {e} 's height?"),
+        _s("height of {e}", 0.5),
+        _s("how big is {e}?", 0.3),
+        _s("what does {e} measure in height?", test_only=True),
+    ),
+    "profession": (
+        _s("what does {e} do for a living?", 2.0),
+        _s("what is the profession of {e}?", 2.0),
+        _s("what is {e} 's job?"),
+        _s("what occupation does {e} have?"),
+        _s("what line of work is {e} in?", test_only=True),
+    ),
+    "spouse": (
+        _s("who is the wife of {e}?", 2.0),
+        _s("who is the husband of {e}?", 2.0),
+        _s("who is {e} married to?", 2.0),
+        _s("who is {e} 's wife?", 1.5),
+        _s("who is {e} 's husband?", 1.5),
+        _s("what is {e} 's wife 's name?"),
+        _s("who is the spouse of {e}?"),
+        _s("{e} 's wife", 0.6),
+        _s("who is marry to {e}?", 0.4),
+        _s("to whom did {e} tie the knot?", test_only=True),
+    ),
+    "instrument": (
+        _s("what instrument does {e} play?", 3.0),
+        _s("which instrument does {e} play?"),
+        _s("what instrument do {e} play?", 0.8),
+        _s("what does {e} play?", 0.8),
+        _s("what is {e} 's instrument of choice?", test_only=True),
+    ),
+    "works_written": (
+        _s("what books did {e} write?", 2.0),
+        _s("what are books written by {e}?", 1.5),
+        _s("which books were written by {e}?"),
+        _s("what did {e} write?"),
+        _s("books by {e}", 0.5),
+        _s("what titles came from the pen of {e}?", test_only=True),
+    ),
+    "population": (
+        _s("how many people are there in {e}?", 3.0),
+        _s("what is the population of {e}?", 3.0),
+        _s("how many people live in {e}?", 2.0),
+        _s("what is the total number of people in {e}?"),
+        _s("how many residents does {e} have?"),
+        _s("how many inhabitants are there in {e}?"),
+        _s("population of {e}", 0.6),
+        _s("how big is {e}?", 0.7),
+        _s("how populous is {e}?", test_only=True),
+        _s("what is the head count of {e}?", test_only=True),
+    ),
+    "area": (
+        _s("what is the area of {e}?", 3.0),
+        _s("how large is {e}?", 1.5),
+        _s("what is the size of {e}?"),
+        _s("how many square kilometers is {e}?"),
+        _s("area of {e}", 0.5),
+        _s("how big is {e}?", 0.3),
+        _s("how much ground does {e} cover?", test_only=True),
+    ),
+    "mayor": (
+        _s("who is the mayor of {e}?", 3.0),
+        _s("who is {e} 's mayor?"),
+        _s("what is the name of the mayor of {e}?"),
+        _s("who runs the city of {e}?", 0.8),
+        _s("who holds the mayor office in {e}?", test_only=True),
+    ),
+    "located_country": (
+        _s("in which country is {e}?", 2.0),
+        _s("which country is {e} in?", 2.0),
+        _s("what country is {e} located in?"),
+        _s("in which country is {e} located?"),
+        _s("where is {e} located?", 0.6),
+        _s("what nation claims {e}?", test_only=True),
+    ),
+    "founded": (
+        _s("when was {e} founded?", 3.0),
+        _s("in which year was {e} founded?"),
+        _s("when was {e} established?", 1.5),
+        _s("what year was {e} founded?"),
+        _s("how old is {e}?", 0.4),
+        _s("when did {e} open its doors?", test_only=True),
+    ),
+    "capital": (
+        _s("what is the capital of {e}?", 3.0),
+        _s("what is the capital city of {e}?"),
+        _s("which city is the capital of {e}?"),
+        _s("what city is {e} 's capital?"),
+        _s("the capital of {e}", 0.8),
+        _s("capital of {e}", 0.6),
+        _s("which town houses the government of {e}?", test_only=True),
+    ),
+    "currency": (
+        _s("what is the currency of {e}?", 3.0),
+        _s("which currency is used in {e}?"),
+        _s("what money do they use in {e}?"),
+        _s("currency of {e}", 0.5),
+        _s("what do people pay with in {e}?", test_only=True),
+    ),
+    "language": (
+        _s("what language is spoken in {e}?", 2.0),
+        _s("what is the official language of {e}?", 2.0),
+        _s("which language do they speak in {e}?"),
+        _s("language of {e}", 0.5),
+        _s("what tongue is native to {e}?", test_only=True),
+    ),
+    "headquarters": (
+        _s("where is the headquarter of {e}?", 2.0),
+        _s("what is the headquarter of {e}?", 1.5),
+        _s("where is {e} headquartered?", 1.5),
+        _s("in which city is the headquarter of {e}?"),
+        _s("the headquarter of {e}", 0.8),
+        _s("where is the head office of {e}?"),
+        _s("where does {e} keep its main office?", test_only=True),
+    ),
+    "ceo": (
+        _s("who is the ceo of {e}?", 3.0),
+        _s("who is the chief executive of {e}?"),
+        _s("who is {e} 's ceo?"),
+        _s("the ceo of {e}", 0.8),
+        _s("who runs {e}?", 0.8),
+        _s("who occupies the corner office at {e}?", test_only=True),
+    ),
+    "revenue": (
+        _s("what is the revenue of {e}?", 3.0),
+        _s("how much money does {e} make?"),
+        _s("how much revenue does {e} generate?"),
+        _s("revenue of {e}", 0.5),
+        _s("what does {e} pull in each year?", test_only=True),
+    ),
+    "employees": (
+        _s("how many employees does {e} have?", 3.0),
+        _s("how many people work at {e}?", 2.0),
+        _s("what is the number of employees of {e}?"),
+        _s("how many staff does {e} employ?"),
+        _s("how big is the workforce of {e}?", test_only=True),
+    ),
+    "board_members": (
+        _s("who are the board members of {e}?", 2.0),
+        _s("who is on the board of {e}?", 2.0),
+        _s("who sits on the board of {e}?"),
+        _s("board members of {e}", 0.5),
+        _s("who fills the board seats of {e}?", test_only=True),
+    ),
+    "river_length": (
+        _s("how long is {e}?", 2.5),
+        _s("what is the length of {e}?", 2.0),
+        _s("how many kilometers long is {e}?"),
+        _s("length of {e}", 0.5),
+        _s("what distance does {e} run?", test_only=True),
+    ),
+    "flows_through": (
+        _s("which country does {e} flow through?", 2.0),
+        _s("through which country does {e} flow?"),
+        _s("where does {e} flow?", 0.8),
+        _s("what country does {e} cross?"),
+        _s("which land does {e} water?", test_only=True),
+    ),
+    "author": (
+        _s("who wrote {e}?", 3.0),
+        _s("who is the author of {e}?", 2.5),
+        _s("the author of {e}", 0.8),
+        _s("who is the writer of {e}?"),
+        _s("what is the name of the author of {e}?"),
+        _s("whose pen produced {e}?", test_only=True),
+    ),
+    "published": (
+        _s("when was {e} published?", 3.0),
+        _s("what year was {e} published?"),
+        _s("in which year was {e} published?"),
+        _s("when did {e} come out?", 0.8),
+        _s("when did {e} reach the shelves?", test_only=True),
+    ),
+    "pages": (
+        _s("how many pages does {e} have?", 3.0),
+        _s("what is the number of pages of {e}?"),
+        _s("how many pages is {e}?"),
+        _s("how thick is {e} in pages?", test_only=True),
+    ),
+    "genre": (
+        _s("what genre is {e}?", 3.0),
+        _s("what is the genre of {e}?", 2.0),
+        _s("what kind of music does {e} play?", 1.0),
+        _s("what style does {e} belong to?", test_only=True),
+    ),
+    "members": (
+        _s("who are the members of {e}?", 3.0),
+        _s("who is in {e}?", 1.5),
+        _s("who plays in {e}?"),
+        _s("members of {e}", 0.8),
+        _s("the members of {e}", 0.8),
+        _s("who are {e} 's members?"),
+        _s("who makes up the lineup of {e}?", test_only=True),
+    ),
+    "origin": (
+        _s("where is {e} from?", 1.5),
+        _s("what city is {e} from?", 1.5),
+        _s("where was {e} formed?", 1.5),
+        _s("where did {e} form?"),
+        _s("what town spawned {e}?", test_only=True),
+    ),
+    "formed": (
+        _s("when was {e} formed?", 3.0),
+        _s("when did {e} form?"),
+        _s("what year did {e} start?"),
+        _s("when did {e} get together?"),
+        _s("when did {e} first jam?", test_only=True),
+    ),
+    "songs": (
+        _s("what songs did {e} record?", 2.0),
+        _s("what are the songs of {e}?", 2.0),
+        _s("which songs are by {e}?"),
+        _s("songs of {e}", 0.5),
+        _s("what tracks did {e} lay down?", test_only=True),
+    ),
+    "director": (
+        _s("who directed {e}?", 3.0),
+        _s("who is the director of {e}?", 2.0),
+        _s("the director of {e}", 0.8),
+        _s("who was {e} directed by?"),
+        _s("who called the shots on {e}?", test_only=True),
+    ),
+    "release": (
+        _s("when was {e} released?", 3.0),
+        _s("what year did {e} come out?"),
+        _s("when did {e} come out?", 0.8),
+        _s("when did {e} premiere?"),
+        _s("when did {e} hit theaters?", test_only=True),
+    ),
+    "runtime": (
+        _s("what is the runtime of {e}?", 2.0),
+        _s("how long is {e}?", 1.2),
+        _s("how many minutes is {e}?"),
+        _s("what is the running time of {e}?"),
+        _s("how much of my evening does {e} take?", test_only=True),
+    ),
+    "students": (
+        _s("how many students does {e} have?", 3.0),
+        _s("how many students attend {e}?", 2.0),
+        _s("what is the number of students at {e}?"),
+        _s("how many students study at {e}?"),
+        _s("how big is the student body of {e}?", test_only=True),
+    ),
+    "located_city": (
+        _s("in which city is {e}?", 2.0),
+        _s("what city is {e} in?", 2.0),
+        _s("where is {e} located?", 0.8),
+        _s("where is {e}?", 0.8),
+        _s("which town hosts {e}?", test_only=True),
+    ),
+    "elevation": (
+        _s("how high is {e}?", 3.0),
+        _s("what is the elevation of {e}?", 2.0),
+        _s("how tall is {e}?", 0.6),
+        _s("what is the height of {e}?", 0.6),
+        _s("how far above sea level does {e} rise?", test_only=True),
+    ),
+}
+
+
+# Intent-specific answer surfaces; ``{v}`` is the value (or comma-joined
+# values), ``{profession}`` reproduces Example 2's profession trap.
+ANSWER_SURFACES: dict[str, tuple[str, ...]] = {
+    "dob": (
+        "the {profession} was born in {v}.",
+        "he was born in {v}.",
+        "she was born in {v}.",
+        "{v} if i remember right.",
+    ),
+    "population": (
+        "it 's {v}.",
+        "around {v} people live there.",
+        "the population is {v}.",
+    ),
+    "spouse": (
+        "his wife is {v}.",
+        "her husband is {v}.",
+        "{v} , they married years ago.",
+    ),
+    "capital": ("the capital is {v}.", "{v} is the capital."),
+    "height": ("about {v} centimeters.", "{v} cm."),
+    "area": ("roughly {v} square kilometers.", "it covers {v}."),
+    "mayor": ("the mayor is {v}.",),
+    "ceo": ("the ceo is {v}.", "{v} runs it."),
+    "author": ("it was written by {v}.", "{v} wrote it."),
+    "members": ("the members are {v}.", "the lineup is {v}."),
+    "board_members": ("the board includes {v}.",),
+    "songs": ("they recorded {v}.",),
+    "works_written": ("the books are {v}.",),
+}
+
+# Generic answer surfaces by expected answer type.
+GENERIC_ANSWERS: dict[AnswerType, tuple[str, ...]] = {
+    AnswerType.NUMERIC: (
+        "it 's {v}.",
+        "{v}.",
+        "about {v} i think.",
+        "the answer is {v}.",
+        "roughly {v}.",
+    ),
+    AnswerType.DATE: (
+        "in {v}.",
+        "it was {v}.",
+        "{v}.",
+        "i think it was {v}.",
+        "the year was {v}.",
+    ),
+    AnswerType.HUMAN: ("{v}.", "it 's {v}.", "that would be {v}."),
+    AnswerType.LOCATION: ("{v}.", "in {v}.", "it 's {v}.", "that 's {v}."),
+    AnswerType.ENTITY: ("{v}.", "it 's {v}.", "the answer is {v}."),
+}
+
+# Filler question/answer pairs with no factoid content (corpus noise).
+CHITCHAT: tuple[tuple[str, str], ...] = (
+    ("what should i eat tonight?", "maybe pizza, you can never go wrong."),
+    ("does anyone else hate mondays?", "everyone does, hang in there."),
+    ("best way to learn guitar?", "practice every day and be patient."),
+    ("is it normal to talk to your cat?", "totally normal, mine answers back."),
+    ("how do i get over a breakup?", "time heals, focus on yourself."),
+    ("what is the meaning of life?", "42, obviously."),
+    ("any tips for a first date?", "be yourself and listen a lot."),
+    ("why is the sky blue?", "light scattering, short wavelengths bounce more."),
+    ("how do i stop procrastinating?", "start with five minutes, momentum helps."),
+    ("what is a good gift for my mom?", "something handmade always wins."),
+)
+
+
+def train_surfaces(intent: str) -> list[Surface]:
+    """Surfaces eligible for corpus generation (test-only ones excluded)."""
+    return [s for s in SURFACES[intent] if not s.test_only]
+
+
+def held_out_surfaces(intent: str) -> list[Surface]:
+    """Held-out paraphrases used only by benchmark construction."""
+    return [s for s in SURFACES[intent] if s.test_only]
+
+
+def surface_context_sources() -> dict[str, list[str]]:
+    """Concept -> texts, the conceptualizer's co-occurrence material.
+
+    Each intent's surface vocabulary is attributed to every concept its
+    domain types can carry, weighted implicitly by repetition of shared
+    surfaces across intents.
+    """
+    from repro.data.conceptnet import concepts_for_type
+    from repro.data.world import SCHEMA_BY_INTENT
+
+    sources: dict[str, list[str]] = {}
+    for intent, surfaces in SURFACES.items():
+        schema = SCHEMA_BY_INTENT[intent]
+        texts = [s.text.replace("{e}", " ") for s in surfaces if not s.test_only]
+        for etype in schema.domain_types:
+            for concept in concepts_for_type(etype):
+                sources.setdefault(concept, []).extend(texts)
+    return sources

@@ -1,0 +1,35 @@
+"""Synthetic world and knowledge-base construction.
+
+The paper evaluates over a private billion-triple KB (KBA), Freebase and
+DBpedia, with Yahoo! Answers as the QA corpus and Wikipedia Infobox as the
+validation resource for predicate expansion.  None of those are shippable, so
+this package builds a deterministic synthetic world — typed entities with
+ground-truth facts — and compiles it into:
+
+* a **Freebase-like** RDF store where several relations run through CVT
+  (mediator) nodes, so the spouse intent really is ``marriage->person->name``;
+* a **DBpedia-like** RDF store with direct predicates;
+* an **Infobox** fact sheet per entity (ground truth, direct facts only).
+
+Everything is seeded; the same seed reproduces the same world.
+"""
+
+from repro.data.world import World, WorldEntity, IntentSchema, build_world, WorldConfig
+from repro.data.compile import CompiledKB, compile_freebase_like, compile_dbpedia_like
+from repro.data.infobox import Infobox, build_infobox
+from repro.data.conceptnet import build_taxonomy, build_conceptualizer
+
+__all__ = [
+    "World",
+    "WorldEntity",
+    "IntentSchema",
+    "WorldConfig",
+    "build_world",
+    "CompiledKB",
+    "compile_freebase_like",
+    "compile_dbpedia_like",
+    "Infobox",
+    "build_infobox",
+    "build_taxonomy",
+    "build_conceptualizer",
+]

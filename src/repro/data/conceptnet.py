@@ -1,0 +1,64 @@
+"""Build the is-a taxonomy and conceptualizer from the world.
+
+The taxonomy plays Probase's role (Sec 1.3): it supplies ``P(c|e)`` priors
+from the world's typed entities.  The conceptualizer's context model
+``P(w|c)`` is primed from intent labels and can be enriched with any
+concept-tagged text (the QA surface banks pass theirs in via
+``extra_contexts`` — see :func:`repro.suite.build_suite`), standing in for
+Probase's co-occurrence statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.data.world import (
+    INTENT_CATALOG,
+    PROFESSION_CONCEPTS,
+    TYPE_CONCEPTS,
+    World,
+)
+from repro.taxonomy.conceptualizer import Conceptualizer
+from repro.taxonomy.isa import IsANetwork
+
+
+def build_taxonomy(world: World) -> IsANetwork:
+    """Is-a edges for every world entity with its concept weights."""
+    network = IsANetwork()
+    for node, entity in world.entities.items():
+        for concept, weight in entity.concepts:
+            network.add(node, concept, weight)
+    return network
+
+
+def concepts_for_type(etype: str) -> list[str]:
+    """All concepts that entities of ``etype`` may carry."""
+    concepts = [c for c, _w in TYPE_CONCEPTS.get(etype, ())]
+    if etype == "person":
+        concepts.extend(PROFESSION_CONCEPTS.values())
+    return concepts
+
+
+def build_conceptualizer(
+    world: World,
+    extra_contexts: Mapping[str, Iterable[str]] | None = None,
+    smoothing: float = 0.1,
+) -> Conceptualizer:
+    """Conceptualizer with a context model over the world's concepts.
+
+    The base signal ties each concept to the vocabulary of the intents whose
+    domain covers that concept's entity type (e.g. ``$company`` to
+    *headquarters*, *ceo*, *revenue*); ``extra_contexts`` adds richer
+    concept-tagged text such as the corpus surface banks.
+    """
+    conceptualizer = Conceptualizer(build_taxonomy(world), smoothing=smoothing)
+    for schema in INTENT_CATALOG:
+        words = schema.label.split() + [schema.intent.replace("_", " ")]
+        for etype in schema.domain_types:
+            for concept in concepts_for_type(etype):
+                conceptualizer.observe(concept, words, weight=2.0)
+    if extra_contexts:
+        for concept, texts in extra_contexts.items():
+            for text in texts:
+                conceptualizer.observe_text(concept, text)
+    return conceptualizer

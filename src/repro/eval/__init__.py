@@ -1,0 +1,14 @@
+"""Evaluation harness: QALD-style and WebQuestions-style metrics and runners."""
+
+from repro.eval.metrics import Judgement, QALDMetrics, WebQMetrics, judge
+from repro.eval.runner import evaluate_qald, evaluate_webquestions, EvalRecord
+
+__all__ = [
+    "Judgement",
+    "QALDMetrics",
+    "WebQMetrics",
+    "judge",
+    "evaluate_qald",
+    "evaluate_webquestions",
+    "EvalRecord",
+]

@@ -1,0 +1,72 @@
+"""Run a QA system over a benchmark and aggregate metrics.
+
+Any object with ``answer(question) -> AnswerResult`` evaluates here — KBQA,
+every baseline and the hybrid composition share the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.online import AnswerResult
+from repro.corpus.benchmark import Benchmark, BenchmarkQuestion
+from repro.data.compile import CompiledKB
+from repro.data.world import SCHEMA_BY_INTENT
+from repro.eval.metrics import Judgement, QALDMetrics, WebQMetrics, judge
+
+
+@dataclass(frozen=True, slots=True)
+class EvalRecord:
+    """Per-question evaluation trace (kept for error analysis)."""
+
+    question: BenchmarkQuestion
+    result: AnswerResult
+    judgement: Judgement | None
+    processed: bool
+
+
+def evaluate_qald(
+    system,
+    benchmark: Benchmark,
+    kb: CompiledKB | None = None,
+) -> tuple[QALDMetrics, list[EvalRecord]]:
+    """QALD-style evaluation (Tables 7, 8, 9, 11).
+
+    When ``kb`` is given, the predicted predicate path is mapped back to an
+    intent so judging can follow the paper's predicate-level convention;
+    otherwise judging is value-set only.
+    """
+    metrics = QALDMetrics()
+    records: list[EvalRecord] = []
+    for bq in benchmark.questions:
+        result = system.answer(bq.question)
+        processed = result.answered
+        judgement: Judgement | None = None
+        if processed:
+            predicted_intent = None
+            related: tuple[str, ...] = ()
+            if kb is not None and result.predicate is not None:
+                predicted_intent = kb.intent_of(result.predicate)
+            if bq.gold_intent is not None:
+                related = SCHEMA_BY_INTENT[bq.gold_intent].related
+            judgement = judge(
+                set(result.values),
+                set(bq.gold_values),
+                predicted_intent=predicted_intent,
+                gold_intent=bq.gold_intent,
+                related_intents=related,
+            )
+        metrics.record(bq.is_bfq, processed, judgement)
+        records.append(EvalRecord(bq, result, judgement, processed))
+    return metrics, records
+
+
+def evaluate_webquestions(system, benchmark: Benchmark) -> tuple[WebQMetrics, list[EvalRecord]]:
+    """WebQuestions-style evaluation (Table 10)."""
+    metrics = WebQMetrics()
+    records: list[EvalRecord] = []
+    for bq in benchmark.questions:
+        result = system.answer(bq.question)
+        metrics.record(set(result.values), result.value, set(bq.gold_values))
+        records.append(EvalRecord(bq, result, None, result.answered))
+    return metrics, records

@@ -1,0 +1,33 @@
+"""RDF knowledge-base substrate.
+
+The paper runs on Trinity.RDF over billion-triple graphs; this package
+provides the equivalent functionality at library scale: a dictionary-encoded
+in-memory triple store with subject/predicate/object orderings, predicate
+paths (the paper's *expanded predicates*), a scan-based multi-source BFS that
+mirrors the memory-efficient generation of Sec 6.2, and a plain-text
+serialization format.
+"""
+
+from repro.kb.dictionary import Dictionary
+from repro.kb.triple import Triple, is_literal, make_literal, literal_value
+from repro.kb.store import TripleStore
+from repro.kb.paths import PredicatePath
+from repro.kb.expansion import ExpandedStore, expand_predicates
+from repro.kb.query import select, solve
+from repro.kb.rdf_io import load_ntriples, save_ntriples
+
+__all__ = [
+    "Dictionary",
+    "Triple",
+    "TripleStore",
+    "PredicatePath",
+    "ExpandedStore",
+    "expand_predicates",
+    "is_literal",
+    "make_literal",
+    "literal_value",
+    "load_ntriples",
+    "save_ntriples",
+    "solve",
+    "select",
+]

@@ -1,0 +1,160 @@
+"""Predicate expansion — memory-efficient multi-source BFS (Sec 6.2).
+
+The paper generates all ``(s, p+, o)`` triples with ``|p+| <= k`` whose
+subject occurs in the QA corpus, by ``k`` rounds of *index + scan + join*
+over the disk-resident knowledge base: build a hash index on the current
+frontier, scan every triple once, and join triple subjects against the
+frontier.  We follow exactly that structure (a full :meth:`TripleStore.triples`
+scan per round, never a per-node graph walk), which keeps the cost
+``O(k * |K| + #spo)`` as analysed in the paper.
+
+Two paper-mandated restrictions are honoured:
+
+* only subjects from the seed set (QA-corpus entities) start paths — the
+  'reduction on s' of Sec 6.2;
+* paths of length >= 2 must end with a *naming* predicate (``name`` /
+  ``alias``) — Sec 6.3 discards other tails as 'very weak relations'.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.kb.paths import PredicatePath
+from repro.kb.store import TripleStore
+
+DEFAULT_TAIL_PREDICATES = frozenset({"name", "alias"})
+
+
+@dataclass
+class ExpandedStore:
+    """Materialized ``(s, p+, o)`` triples produced by :func:`expand_predicates`.
+
+    Provides the two lookups the KBQA pipeline needs — ``V(e, p+)`` and
+    ``paths_between(e, v)`` — over the *expanded* predicate space, with the
+    same hash-probe complexity the base store offers for direct predicates.
+    """
+
+    max_length: int
+    _by_subject: dict[str, dict[PredicatePath, set[str]]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    _by_pair: dict[tuple[str, str], set[PredicatePath]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    _triple_count: int = 0
+
+    def record(self, subject: str, path: PredicatePath, obj: str) -> None:
+        """Insert one (s, p+, o) triple (idempotent)."""
+        objects = self._by_subject[subject].setdefault(path, set())
+        if obj not in objects:
+            objects.add(obj)
+            self._by_pair[(subject, obj)].add(path)
+            self._triple_count += 1
+
+    # -- Lookups ----------------------------------------------------------
+
+    def objects(self, subject: str, path: PredicatePath) -> set[str]:
+        """``V(e, p+)`` over expanded predicates."""
+        return set(self._by_subject.get(subject, {}).get(path, ()))
+
+    def paths_between(self, subject: str, obj: str) -> set[PredicatePath]:
+        """All expanded predicates connecting (subject, obj)."""
+        return set(self._by_pair.get((subject, obj), ()))
+
+    def paths_of(self, subject: str) -> set[PredicatePath]:
+        """All expanded predicates leaving ``subject``."""
+        return set(self._by_subject.get(subject, ()))
+
+    def value_count(self, subject: str, path: PredicatePath) -> int:
+        return len(self._by_subject.get(subject, {}).get(path, ()))
+
+    # -- Inventory ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of materialized (s, p+, o) triples."""
+        return self._triple_count
+
+    def subjects(self) -> Iterator[str]:
+        return iter(self._by_subject)
+
+    def distinct_paths(self) -> set[PredicatePath]:
+        """All expanded predicates materialized for any subject."""
+        paths: set[PredicatePath] = set()
+        for by_path in self._by_subject.values():
+            paths.update(by_path)
+        return paths
+
+    def triples(self) -> Iterator[tuple[str, PredicatePath, str]]:
+        """Scan every materialized (s, p+, o)."""
+        for subject, by_path in self._by_subject.items():
+            for path, objects in by_path.items():
+                for obj in objects:
+                    yield subject, path, obj
+
+    def stats(self) -> dict[str, int]:
+        """Triple/subject/path counts split by direct vs expanded."""
+        paths = self.distinct_paths()
+        return {
+            "spo_triples": self._triple_count,
+            "subjects": len(self._by_subject),
+            "paths": len(paths),
+            "direct_paths": sum(1 for p in paths if p.is_direct),
+            "expanded_paths": sum(1 for p in paths if not p.is_direct),
+        }
+
+
+def expand_predicates(
+    store: TripleStore,
+    seeds: Iterable[str],
+    max_length: int = 3,
+    tail_predicates: frozenset[str] = DEFAULT_TAIL_PREDICATES,
+) -> ExpandedStore:
+    """Generate all ``(s, p+, o)`` with ``s`` in ``seeds``, ``|p+| <= max_length``.
+
+    Implements Algorithm of Sec 6.2: round ``i`` joins a full scan of the
+    store against the frontier produced by round ``i-1``.  ``frontier`` maps
+    an intermediate node to the set of ``(seed, prefix-path)`` ways it was
+    reached; joining a triple ``(node, p, o)`` extends each way by ``p``.
+
+    Length-1 paths are recorded unconditionally (they are ordinary KB
+    predicates); longer paths are recorded only when their final predicate is
+    in ``tail_predicates``, but *traversal* continues through any predicate so
+    that e.g. ``marriage -> person -> name`` is reachable even though
+    ``marriage -> person`` itself is discarded.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+
+    expanded = ExpandedStore(max_length=max_length)
+    seed_set = {s for s in seeds if store.has_subject(s)}
+    if not seed_set:
+        return expanded
+
+    # frontier: node -> set of (seed, prefix) provenance entries; a ``None``
+    # prefix marks a seed node at round 0 (PredicatePath cannot be empty).
+    frontier: dict[str, set[tuple[str, PredicatePath | None]]] = {
+        seed: {(seed, None)} for seed in seed_set
+    }
+
+    for round_index in range(1, max_length + 1):
+        next_frontier: dict[str, set[tuple[str, PredicatePath | None]]] = defaultdict(set)
+        for triple in store.triples():
+            provenance = frontier.get(triple.subject)
+            if not provenance:
+                continue
+            for seed, prefix in provenance:
+                path = (
+                    PredicatePath.single(triple.predicate)
+                    if prefix is None
+                    else prefix.extend(triple.predicate)
+                )
+                if len(path) == 1 or path.last in tail_predicates:
+                    expanded.record(seed, path, triple.object)
+                if round_index < max_length:
+                    next_frontier[triple.object].add((seed, path))
+        frontier = next_frontier
+
+    return expanded

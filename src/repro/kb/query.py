@@ -1,0 +1,152 @@
+"""Basic-graph-pattern queries over the triple store.
+
+Trinity.RDF, the paper's substrate, is a SPARQL engine; KBQA itself only
+needs point lookups, but a reproduction of the substrate should be queryable
+the same way.  This module evaluates conjunctive triple patterns (the BGP
+core of SPARQL) with variables written ``?name``:
+
+    >>> q = [("?p", "pob", "?c"), ("?c", "name", make_literal("honolulu"))]
+    >>> solve(store, q)                                     # doctest: +SKIP
+    [{'?p': 'm.person_0001', '?c': 'm.city_0007'}, ...]
+
+Evaluation is by iterative binding extension with a greedy
+most-bound-pattern-first join order — the textbook index-nested-loop
+strategy every RDF engine starts from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.kb.store import TripleStore
+
+Pattern = tuple[str, str, str]
+Binding = dict[str, str]
+
+
+def is_variable(term: str) -> bool:
+    """Query variables are written ``?name``."""
+    return term.startswith("?")
+
+
+def _substitute(pattern: Pattern, binding: Binding) -> Pattern:
+    return tuple(binding.get(t, t) for t in pattern)  # type: ignore[return-value]
+
+
+def _bound_count(pattern: Pattern, binding: Binding) -> int:
+    return sum(1 for t in _substitute(pattern, binding) if not is_variable(t))
+
+
+def _match_pattern(store: TripleStore, pattern: Pattern) -> Iterable[Binding]:
+    """All bindings satisfying a single (possibly variable-free) pattern."""
+    s, p, o = pattern
+    s_var, p_var, o_var = is_variable(s), is_variable(p), is_variable(o)
+
+    if not s_var and not p_var and not o_var:
+        if store.has(s, p, o):
+            yield {}
+        return
+    if not s_var and not p_var:  # (s, p, ?o)
+        for obj in store.objects(s, p):
+            yield {o: obj}
+        return
+    if not p_var and not o_var:  # (?s, p, o)
+        for subj in store.subjects(p, o):
+            yield {s: subj}
+        return
+    if not s_var and not o_var:  # (s, ?p, o)
+        for pred in store.predicates_between(s, o):
+            yield {p: pred}
+        return
+    if not s_var:  # (s, ?p, ?o)
+        for pred in store.predicates_of(s):
+            for obj in store.objects(s, pred):
+                binding = {}
+                if p_var:
+                    binding[p] = pred
+                if o_var:
+                    binding[o] = obj
+                if p_var and o_var and p == o and pred != obj:
+                    continue
+                yield binding
+        return
+    # Fully or mostly unbound: fall back to a scan.
+    for triple in store.triples():
+        binding: Binding = {}
+        ok = True
+        for var, value in ((s, triple.subject), (p, triple.predicate), (o, triple.object)):
+            if is_variable(var):
+                if var in binding and binding[var] != value:
+                    ok = False
+                    break
+                binding[var] = value
+            elif var != value:
+                ok = False
+                break
+        if ok:
+            yield binding
+
+
+def solve(
+    store: TripleStore,
+    patterns: Sequence[Pattern],
+    limit: int | None = None,
+) -> list[Binding]:
+    """All variable bindings satisfying every pattern (conjunction).
+
+    Patterns are joined greedily: at each step the pattern with the most
+    already-bound positions is evaluated next, so selective lookups come
+    first and scans are deferred.
+    """
+    for pattern in patterns:
+        if len(pattern) != 3:
+            raise ValueError(f"pattern must have 3 terms: {pattern!r}")
+
+    results: list[Binding] = []
+    _extend(store, list(patterns), {}, results, limit)
+    return results
+
+
+def _extend(
+    store: TripleStore,
+    remaining: list[Pattern],
+    binding: Binding,
+    results: list[Binding],
+    limit: int | None,
+) -> None:
+    if limit is not None and len(results) >= limit:
+        return
+    if not remaining:
+        results.append(dict(binding))
+        return
+    # Greedy join order: most-bound pattern first.
+    index = max(range(len(remaining)), key=lambda i: _bound_count(remaining[i], binding))
+    pattern = remaining[index]
+    rest = remaining[:index] + remaining[index + 1 :]
+    for extension in _match_pattern(store, _substitute(pattern, binding)):
+        conflict = any(binding.get(var, value) != value for var, value in extension.items())
+        if conflict:
+            continue
+        binding.update(extension)
+        _extend(store, rest, binding, results, limit)
+        for var in extension:
+            del binding[var]
+
+
+def select(
+    store: TripleStore,
+    patterns: Sequence[Pattern],
+    variables: Sequence[str],
+    limit: int | None = None,
+) -> list[tuple[str, ...]]:
+    """SPARQL-SELECT-style projection of :func:`solve` results (distinct)."""
+    seen: set[tuple[str, ...]] = set()
+    out: list[tuple[str, ...]] = []
+    for binding in solve(store, patterns, limit=None):
+        row = tuple(binding.get(v, "") for v in variables)
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+    return out

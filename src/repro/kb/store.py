@@ -1,0 +1,164 @@
+"""In-memory dictionary-encoded triple store.
+
+Maintains three index orderings so every single-variable lookup the KBQA
+pipeline performs is a hash probe:
+
+* ``SPO`` — ``subject -> predicate -> {objects}`` for ``V(e, p)`` (Eq 6);
+* ``POS`` — ``predicate -> object -> {subjects}`` for reverse lookups and the
+  bootstrapping baseline;
+* ``OSP`` — ``object -> subject -> {predicates}`` for
+  ``predicates_between(e, v)``, the pruning step of the EM M-step (Eq 24).
+
+The public API speaks term strings; ids stay internal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.kb.dictionary import Dictionary
+from repro.kb.triple import Triple, is_literal
+
+
+class TripleStore:
+    """A set of RDF triples with SPO/POS/OSP hash indexes.
+
+    >>> kb = TripleStore()
+    >>> kb.add("m.obama", "dob", '"1961"')
+    True
+    >>> sorted(kb.objects("m.obama", "dob"))
+    ['"1961"']
+    """
+
+    def __init__(self) -> None:
+        self.dictionary = Dictionary()
+        self._spo: dict[int, dict[int, set[int]]] = defaultdict(dict)
+        self._pos: dict[int, dict[int, set[int]]] = defaultdict(dict)
+        self._osp: dict[int, dict[int, set[int]]] = defaultdict(dict)
+        self._size = 0
+
+    # -- Mutation ----------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        s = self.dictionary.encode(subject)
+        p = self.dictionary.encode(predicate)
+        o = self.dictionary.encode(obj)
+        objects = self._spo[s].setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p].setdefault(o, set()).add(s)
+        self._osp[o].setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add_triple(t))
+
+    # -- Point lookups -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.has(triple.subject, triple.predicate, triple.object)
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        """Point membership test for one triple."""
+        s = self.dictionary.lookup(subject)
+        p = self.dictionary.lookup(predicate)
+        o = self.dictionary.lookup(obj)
+        if s is None or p is None or o is None:
+            return False
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """``V(e, p)`` — all objects for a (subject, predicate) pair."""
+        s = self.dictionary.lookup(subject)
+        p = self.dictionary.lookup(predicate)
+        if s is None or p is None:
+            return set()
+        decode = self.dictionary.decode
+        return {decode(o) for o in self._spo.get(s, {}).get(p, ())}
+
+    def subjects(self, predicate: str, obj: str) -> set[str]:
+        """All subjects s with (s, predicate, obj) in the store."""
+        p = self.dictionary.lookup(predicate)
+        o = self.dictionary.lookup(obj)
+        if p is None or o is None:
+            return set()
+        decode = self.dictionary.decode
+        return {decode(s) for s in self._pos.get(p, {}).get(o, ())}
+
+    def predicates_between(self, subject: str, obj: str) -> set[str]:
+        """All direct predicates p with (subject, p, obj) in the store."""
+        s = self.dictionary.lookup(subject)
+        o = self.dictionary.lookup(obj)
+        if s is None or o is None:
+            return set()
+        decode = self.dictionary.decode
+        return {decode(p) for p in self._osp.get(o, {}).get(s, ())}
+
+    def predicates_of(self, subject: str) -> set[str]:
+        """All predicates leaving ``subject``."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return set()
+        decode = self.dictionary.decode
+        return {decode(p) for p in self._spo.get(s, ())}
+
+    def out_degree(self, subject: str) -> int:
+        """Number of triples with ``subject`` as the subject (entity frequency
+        in the sense of Sec 6.3)."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return 0
+        return sum(len(objs) for objs in self._spo.get(s, {}).values())
+
+    def has_subject(self, subject: str) -> bool:
+        s = self.dictionary.lookup(subject)
+        return s is not None and s in self._spo
+
+    # -- Scans ---------------------------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        """Scan all triples in subject id order (the disk-scan analogue the
+        expansion algorithm of Sec 6.2 relies on)."""
+        decode = self.dictionary.decode
+        for s, by_predicate in self._spo.items():
+            subject = decode(s)
+            for p, objects in by_predicate.items():
+                predicate = decode(p)
+                for o in objects:
+                    yield Triple(subject, predicate, decode(o))
+
+    def subjects_iter(self) -> Iterator[str]:
+        """All distinct subjects."""
+        decode = self.dictionary.decode
+        return (decode(s) for s in self._spo)
+
+    def predicates(self) -> set[str]:
+        """All distinct predicates in the store."""
+        decode = self.dictionary.decode
+        return {decode(p) for p in self._pos}
+
+    # -- Statistics ------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Store-level counts used by benchmark headers and DESIGN checks."""
+        n_entities = sum(
+            1 for term in self.dictionary.terms() if not is_literal(term)
+        )
+        return {
+            "triples": self._size,
+            "terms": len(self.dictionary),
+            "resources": n_entities,
+            "predicates": len(self._pos),
+            "subjects": len(self._spo),
+        }

@@ -1,0 +1,54 @@
+"""Triple record and literal conventions.
+
+Terms in the store are plain strings.  Two kinds are distinguished by a
+prefix convention, mirroring how RDF separates IRIs from literals:
+
+* **resources** — entity / CVT node identifiers such as ``m.person_12`` and
+  predicate names such as ``population``;
+* **literals** — attribute values, stored with a ``"`` prefix so that the
+  string ``"honolulu"`` (a literal) can never collide with an entity node
+  that happens to be named ``honolulu``.
+
+Helper functions below are the single source of truth for the convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LITERAL_PREFIX = '"'
+
+
+def make_literal(value: object) -> str:
+    """Wrap a raw value as a literal term (idempotent on literals)."""
+    text = str(value)
+    if text.startswith(LITERAL_PREFIX):
+        return text
+    return LITERAL_PREFIX + text
+
+
+def is_literal(term: str) -> bool:
+    """True if ``term`` is a literal (by the prefix convention)."""
+    return term.startswith(LITERAL_PREFIX)
+
+
+def literal_value(term: str) -> str:
+    """Strip the literal prefix; raises on non-literals to catch misuse."""
+    if not is_literal(term):
+        raise ValueError(f"not a literal term: {term!r}")
+    return term[len(LITERAL_PREFIX) :]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An (s, p, o) fact; all three components are term strings."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"

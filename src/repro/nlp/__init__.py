@@ -1,0 +1,21 @@
+"""NLP substrate: tokenization, gazetteer NER, UIUC question classification.
+
+These replace the off-the-shelf components the paper relies on (Stanford NER,
+the Li & Roth question classifier) with deterministic equivalents that
+exercise the same interfaces.
+"""
+
+from repro.nlp.tokenizer import tokenize, detokenize
+from repro.nlp.ner import EntityRecognizer, Mention
+from repro.nlp.question_class import AnswerType, classify_question
+from repro.nlp.synonyms import SynonymLexicon
+
+__all__ = [
+    "tokenize",
+    "detokenize",
+    "EntityRecognizer",
+    "Mention",
+    "AnswerType",
+    "classify_question",
+    "SynonymLexicon",
+]

@@ -1,0 +1,100 @@
+"""Gazetteer-based named entity recognition and linking.
+
+Stands in for Stanford NER (Sec 3.2): detects entity mentions in a token
+sequence by longest-match lookup against the knowledge base's name
+dictionary, and links each mention to the set of KB nodes carrying that name.
+Ambiguity is preserved — a mention like ``apple`` links to both the company
+and the fruit node, and downstream conceptualization disambiguates, exactly
+as in the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.nlp.tokenizer import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class Mention:
+    """An entity mention: token span [start, end) plus linked KB nodes."""
+
+    start: int
+    end: int
+    surface: str
+    candidates: tuple[str, ...]
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class EntityRecognizer:
+    """Longest-match gazetteer matcher over KB entity names.
+
+    >>> ner = EntityRecognizer({"barack obama": ["m.obama"], "obama": ["m.obama"]})
+    >>> [m.surface for m in ner.find_mentions(tokenize("when was barack obama born?"))]
+    ['barack obama']
+    """
+
+    def __init__(self, gazetteer: dict[str, Iterable[str]]) -> None:
+        self._names: dict[tuple[str, ...], tuple[str, ...]] = {}
+        by_first: dict[str, int] = defaultdict(int)
+        for name, nodes in gazetteer.items():
+            tokens = tuple(tokenize(name))
+            if not tokens:
+                continue
+            self._names[tokens] = tuple(sorted(set(nodes)))
+            by_first[tokens[0]] = max(by_first[tokens[0]], len(tokens))
+        self._max_len_by_first = dict(by_first)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def lookup(self, name: str) -> tuple[str, ...]:
+        """Nodes whose name is exactly ``name`` (after tokenization)."""
+        return self._names.get(tuple(tokenize(name)), ())
+
+    def find_mentions(self, tokens: Sequence[str]) -> list[Mention]:
+        """Greedy leftmost-longest scan for gazetteer matches.
+
+        Overlapping matches are suppressed in favour of the longer, earlier
+        one — mirroring how a chunking NER emits non-overlapping spans.
+        """
+        mentions: list[Mention] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            longest = self._max_len_by_first.get(tokens[i], 0)
+            match: Mention | None = None
+            for length in range(min(longest, n - i), 0, -1):
+                span = tuple(tokens[i : i + length])
+                nodes = self._names.get(span)
+                if nodes:
+                    match = Mention(i, i + length, " ".join(span), nodes)
+                    break
+            if match is not None:
+                mentions.append(match)
+                i = match.end
+            else:
+                i += 1
+        return mentions
+
+    def find_all_spans(self, tokens: Sequence[str]) -> list[Mention]:
+        """Every matching span, including overlapping ones.
+
+        The decomposition statistics (Sec 5.2) need *all* valid entity spans,
+        not a single segmentation, to count ``fv``.
+        """
+        mentions: list[Mention] = []
+        n = len(tokens)
+        for i in range(n):
+            longest = self._max_len_by_first.get(tokens[i], 0)
+            for length in range(1, min(longest, n - i) + 1):
+                span = tuple(tokens[i : i + length])
+                nodes = self._names.get(span)
+                if nodes:
+                    mentions.append(Mention(i, i + length, " ".join(span), nodes))
+        return mentions

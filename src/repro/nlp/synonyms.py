@@ -1,0 +1,67 @@
+"""Predicate synonym lexicon for the synonym-based baseline (DEANNA-like).
+
+Synonym-based systems (DEANNA, gAnswer; Sec 1.2) map question phrases to
+predicates through a precomputed synonym list plus a surface-similarity
+score.  This lexicon plays the role of their Wikipedia-derived similarity
+resource: each predicate gets a handful of paraphrase phrases.  It is
+deliberately *good but incomplete* — exactly the regime the paper analyses:
+``what is the population of X`` resolves, ``how many people are there in X``
+does not, because no contiguous phrase of the latter is a synonym of
+``population``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+
+class SynonymLexicon:
+    """Maps phrases to predicates with an association score in (0, 1]."""
+
+    def __init__(self) -> None:
+        self._phrase_to_predicates: dict[tuple[str, ...], dict[str, float]] = defaultdict(dict)
+        self._predicate_phrases: dict[str, set[tuple[str, ...]]] = defaultdict(set)
+
+    def add(self, predicate: str, phrase: str, score: float = 1.0) -> None:
+        """Associate ``phrase`` with ``predicate`` at the given strength."""
+        if not 0.0 < score <= 1.0:
+            raise ValueError(f"score must be in (0, 1], got {score}")
+        tokens = tuple(phrase.lower().split())
+        if not tokens:
+            raise ValueError("empty synonym phrase")
+        self._phrase_to_predicates[tokens][predicate] = max(
+            score, self._phrase_to_predicates[tokens].get(predicate, 0.0)
+        )
+        self._predicate_phrases[predicate].add(tokens)
+
+    def add_many(self, predicate: str, phrases: Iterable[str], score: float = 1.0) -> None:
+        for phrase in phrases:
+            self.add(predicate, phrase, score)
+
+    def predicates_for_phrase(self, tokens: Sequence[str]) -> dict[str, float]:
+        """Predicates associated with the exact phrase ``tokens``."""
+        return dict(self._phrase_to_predicates.get(tuple(tokens), ()))
+
+    def phrases_for_predicate(self, predicate: str) -> set[tuple[str, ...]]:
+        return set(self._predicate_phrases.get(predicate, ()))
+
+    def predicates(self) -> set[str]:
+        return set(self._predicate_phrases)
+
+    def max_phrase_length(self) -> int:
+        if not self._phrase_to_predicates:
+            return 0
+        return max(len(p) for p in self._phrase_to_predicates)
+
+    def __len__(self) -> int:
+        """Number of (phrase, predicate) associations."""
+        return sum(len(preds) for preds in self._phrase_to_predicates.values())
+
+
+def jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Token-set Jaccard similarity, the surface score synonym systems use."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)

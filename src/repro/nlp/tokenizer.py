@@ -1,0 +1,31 @@
+"""Whitespace/punctuation tokenizer.
+
+All layers of the pipeline (templates, pattern statistics, NER spans) agree
+on this tokenization, so a token index computed anywhere is valid everywhere.
+Questions are lowercased: the paper's templates are case-insensitive surface
+forms.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Words and numbers (hyphens allowed inside); possessives split into their
+# own token ("obama's" -> "obama", "'s"); sentence punctuation dropped except
+# the question mark, which is part of template identity.
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9\-]*|'s|\$[a-z_]+|[?$]")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split ``text`` into tokens.
+
+    >>> tokenize("When was Barack Obama's wife born?")
+    ['when', 'was', 'barack', 'obama', "'s", 'wife', 'born', '?']
+    """
+    return _TOKEN_RE.findall(text.lower().replace("’", "'"))
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Best-effort inverse of :func:`tokenize` for display purposes."""
+    text = " ".join(tokens)
+    return text.replace(" 's", "'s").replace(" ?", "?")

@@ -1,0 +1,11 @@
+"""Probabilistic is-a taxonomy and context-aware conceptualization.
+
+Stands in for Probase (Wu et al., SIGMOD 2012) and the conceptualization
+method of Song et al. (IJCAI 2011) that the paper plugs in for
+``P(t|q, e) = P(c|q, e)`` (Eq 5).
+"""
+
+from repro.taxonomy.isa import IsANetwork
+from repro.taxonomy.conceptualizer import Conceptualizer
+
+__all__ = ["IsANetwork", "Conceptualizer"]

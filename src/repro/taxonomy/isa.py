@@ -1,0 +1,76 @@
+"""Probabilistic is-a network: ``P(c | e)`` for entities and concepts.
+
+Concepts are written with a ``$`` prefix (``$city``, ``$person``) matching
+the paper's template notation.  Each entity carries a weighted set of
+concepts; weights normalize to the prior concept distribution ``P(c|e)``
+that conceptualization starts from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+
+def is_concept(term: str) -> bool:
+    """Concept terms carry the ``$`` prefix used in templates."""
+    return term.startswith("$")
+
+
+class IsANetwork:
+    """Entity -> concept edges with instance counts (Probase-style).
+
+    >>> net = IsANetwork()
+    >>> net.add("m.honolulu", "$city", 8.0)
+    >>> net.add("m.honolulu", "$location", 2.0)
+    >>> net.prior("m.honolulu")["$city"]
+    0.8
+    """
+
+    def __init__(self) -> None:
+        self._concepts_of: dict[str, dict[str, float]] = defaultdict(dict)
+        self._instances_of: dict[str, set[str]] = defaultdict(set)
+
+    def add(self, entity: str, concept: str, weight: float = 1.0) -> None:
+        """Record an is-a edge; repeated adds accumulate weight."""
+        if not is_concept(concept):
+            raise ValueError(f"concepts must start with '$': {concept!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        current = self._concepts_of[entity].get(concept, 0.0)
+        self._concepts_of[entity][concept] = current + weight
+        self._instances_of[concept].add(entity)
+
+    def concepts(self, entity: str) -> set[str]:
+        return set(self._concepts_of.get(entity, ()))
+
+    def instances(self, concept: str) -> set[str]:
+        return set(self._instances_of.get(concept, ()))
+
+    def all_concepts(self) -> set[str]:
+        return set(self._instances_of)
+
+    def has_entity(self, entity: str) -> bool:
+        return entity in self._concepts_of
+
+    def prior(self, entity: str) -> dict[str, float]:
+        """``P(c|e)`` — concept weights normalized to a distribution."""
+        weights = self._concepts_of.get(entity)
+        if not weights:
+            return {}
+        total = sum(weights.values())
+        return {concept: weight / total for concept, weight in weights.items()}
+
+    def merge(self, other: "IsANetwork") -> None:
+        """Union another network into this one (weights accumulate)."""
+        for entity, weights in other._concepts_of.items():
+            for concept, weight in weights.items():
+                self.add(entity, concept, weight)
+
+    def stats(self) -> dict[str, int]:
+        """Entity/concept/edge counts."""
+        return {
+            "entities": len(self._concepts_of),
+            "concepts": len(self._instances_of),
+            "edges": sum(len(w) for w in self._concepts_of.values()),
+        }

@@ -1,0 +1,66 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every experiment prints a table mirroring the paper's layout, typically with a
+"paper" column next to a "measured" column.  The renderer is intentionally
+dependency-free so benchmark output stays readable in plain pytest logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["system", "P"], title="demo")
+    >>> t.add_row(["KBQA", 0.85])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row (must match the column count)."""
+        row = [_format_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as column-aligned text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print with surrounding blank lines so pytest -s output is legible."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value != int(value) else f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,44 @@
+"""Small text-processing helpers shared by the NLP and corpus layers."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Sequence
+
+_WS_RE = re.compile(r"\s+")
+_PUNCT_RE = re.compile(r"[?!.,;:'\"()\[\]]")
+
+
+def normalize_space(text: str) -> str:
+    """Collapse runs of whitespace and strip the ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def strip_punctuation(text: str) -> str:
+    """Drop sentence punctuation (keeps hyphens and digits)."""
+    return normalize_space(_PUNCT_RE.sub(" ", text))
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield all contiguous ``n``-grams of ``tokens``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])
+
+
+def token_spans(tokens: Sequence[str], max_len: int | None = None) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, end)`` half-open index pairs for every contiguous span.
+
+    Spans are produced shortest-first, matching the order the decomposition
+    dynamic program consumes them in.
+    """
+    limit = len(tokens) if max_len is None else min(max_len, len(tokens))
+    for length in range(1, limit + 1):
+        for start in range(len(tokens) - length + 1):
+            yield (start, start + length)
+
+
+def join_tokens(tokens: Sequence[str]) -> str:
+    """Inverse of whitespace tokenization used across the project."""
+    return " ".join(tokens)

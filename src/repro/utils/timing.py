@@ -1,0 +1,52 @@
+"""Wall-clock measurement helpers for the efficiency experiments (Table 14)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time over repeated start/stop cycles.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.calls
+    1
+    """
+
+    elapsed: float = 0.0
+    calls: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Begin a timing cycle."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current cycle; returns its duration in seconds."""
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started
+        self._started = None
+        self.elapsed += delta
+        self.calls += 1
+        return delta
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean time per call in milliseconds (0 if never called)."""
+        if self.calls == 0:
+            return 0.0
+        return self.elapsed * 1000.0 / self.calls

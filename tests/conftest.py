@@ -1,0 +1,63 @@
+"""Shared fixtures: a small world/suite and trained systems, built once.
+
+Everything here is session-scoped and deterministic (seed 7), so the whole
+test suite pays the build/train cost exactly once per interpreter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import KBQA
+from repro.suite import Suite, build_suite
+
+
+@pytest.fixture(scope="session")
+def suite() -> Suite:
+    """The small-scale synthetic setup used across the test suite."""
+    return build_suite("small", seed=7)
+
+
+@pytest.fixture(scope="session")
+def world(suite):
+    return suite.world
+
+
+@pytest.fixture(scope="session")
+def freebase(suite):
+    return suite.freebase
+
+
+@pytest.fixture(scope="session")
+def dbpedia(suite):
+    return suite.dbpedia
+
+
+@pytest.fixture(scope="session")
+def corpus(suite):
+    return suite.corpus
+
+
+@pytest.fixture(scope="session")
+def conceptualizer(suite):
+    return suite.conceptualizer
+
+
+@pytest.fixture(scope="session")
+def kbqa_fb(suite) -> KBQA:
+    """KBQA trained on the Freebase-like KB (the main system under test)."""
+    return KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+
+
+@pytest.fixture(scope="session")
+def kbqa_dbp(suite) -> KBQA:
+    """KBQA trained on the DBpedia-like KB."""
+    return KBQA.train(suite.dbpedia, suite.corpus, suite.conceptualizer)
+
+
+def pick_entity(world, etype: str, *required_intents: str):
+    """First entity of ``etype`` carrying all ``required_intents`` facts."""
+    for entity in world.of_type(etype):
+        if all(entity.get_fact(intent) for intent in required_intents):
+            return entity
+    raise AssertionError(f"no {etype} with facts {required_intents}")

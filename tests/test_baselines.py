@@ -1,0 +1,194 @@
+"""Tests for the baseline QA systems (keyword / rule / synonym / hybrid)."""
+
+import pytest
+
+from repro.baselines.bootstrapping import BootstrapLearner
+from repro.baselines.hybrid import HybridSystem
+from repro.baselines.keyword import KeywordQA, predicate_keywords
+from repro.baselines.rule import RuleQA
+from repro.baselines.synonym import SynonymQA, build_default_lexicon
+from repro.kb.paths import PredicatePath
+
+from tests.conftest import pick_entity
+
+
+class TestKeywordQA:
+    @pytest.fixture(scope="class")
+    def keyword(self, suite):
+        return KeywordQA(suite.freebase)
+
+    def test_answers_predicate_named_question(self, suite, keyword):
+        """'what is the population of X' names the predicate: answerable."""
+        city = pick_entity(suite.world, "city", "population")
+        result = keyword.answer(f"what is the population of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_fails_paraphrase(self, suite, keyword):
+        """The paper's core keyword-failure: 'how many people are there in
+        X?' has no keyword matching 'population'."""
+        city = pick_entity(suite.world, "city", "population")
+        result = keyword.answer(f"how many people are there in {city.name}?")
+        assert result.value not in suite.world.gold_values(city.node, "population") or not result.answered
+
+    def test_no_entity_refused(self, keyword):
+        assert not keyword.answer("what is the population?").answered
+
+    def test_predicate_keywords_split_camel_case(self):
+        words = predicate_keywords(PredicatePath(("populationTotal",)))
+        assert "population" in words and "total" in words
+
+    def test_predicate_keywords_split_underscores(self):
+        words = predicate_keywords(PredicatePath(("organization_members", "member", "name")))
+        assert "organization" in words and "members" in words
+
+    def test_dbpedia_variant(self, suite):
+        keyword_dbp = KeywordQA(suite.dbpedia)
+        city = pick_entity(suite.world, "city", "population")
+        result = keyword_dbp.answer(f"what is the population total of {city.name}?")
+        assert result.answered
+
+
+class TestRuleQA:
+    @pytest.fixture(scope="class")
+    def rule(self, suite):
+        return RuleQA(suite.freebase)
+
+    def test_canned_pattern_answers(self, suite, rule):
+        city = pick_entity(suite.world, "city", "population")
+        result = rule.answer(f"what is the population of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_label_based_pattern(self, suite, rule):
+        country = pick_entity(suite.world, "country", "capital")
+        result = rule.answer(f"what is the capital of {country.name}?")
+        assert result.answered
+
+    def test_off_pattern_refused(self, suite, rule):
+        city = pick_entity(suite.world, "city", "population")
+        assert not rule.answer(f"how many people are there in {city.name}?").answered
+
+    def test_unknown_label_refused(self, suite, rule):
+        city = pick_entity(suite.world, "city", "population")
+        assert not rule.answer(f"what is the frobnication of {city.name}?").answered
+
+    def test_who_pattern(self, suite, rule):
+        city = pick_entity(suite.world, "city", "mayor")
+        result = rule.answer(f"who is the mayor of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "mayor")
+
+
+class TestSynonymQA:
+    @pytest.fixture(scope="class")
+    def synonym(self, suite):
+        return SynonymQA(suite.freebase)
+
+    def test_exact_label(self, suite, synonym):
+        city = pick_entity(suite.world, "city", "population")
+        result = synonym.answer(f"what is the population of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_synonym_phrase(self, suite, synonym):
+        """Question c© of Table 1: 'total number of people' is a synonym."""
+        city = pick_entity(suite.world, "city", "population")
+        result = synonym.answer(f"what is the total number of people in {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_fails_non_synonym_paraphrase(self, suite, synonym):
+        """Question a© of Table 1: 'how many people are there in X?' —
+        no contiguous phrase is a population synonym (the paper's DEANNA
+        failure)."""
+        city = pick_entity(suite.world, "city", "population")
+        result = synonym.answer(f"how many people are there in {city.name}?")
+        gold = suite.world.gold_values(city.node, "population")
+        assert not result.answered or result.value not in gold
+
+    def test_type_coherence_disambiguates_born(self, suite, synonym):
+        """'born' is a synonym of both dob and pob; the question type must
+        pick the right one (when -> DATE -> dob, where -> LOC -> pob)."""
+        person = pick_entity(suite.world, "person", "dob", "pob")
+        when = synonym.answer(f"when was {person.name} born?")
+        assert when.answered
+        assert when.value in suite.world.gold_values(person.node, "dob")
+        where = synonym.answer(f"where was {person.name} born?")
+        assert where.answered
+        assert where.value in suite.world.gold_values(person.node, "pob")
+
+    def test_no_entity_refused(self, synonym):
+        assert not synonym.answer("what is the population of nowhere-land?").answered
+
+    def test_default_lexicon_nonempty(self, suite):
+        lexicon = build_default_lexicon(suite.freebase)
+        assert len(lexicon) > 50
+        pop_path = str(suite.freebase.expected_path("population"))
+        assert pop_path in lexicon.predicates()
+
+
+class TestBootstrapping:
+    @pytest.fixture(scope="class")
+    def boot_result(self, suite):
+        return BootstrapLearner(suite.freebase).learn(suite.sentences)
+
+    def test_learns_patterns(self, boot_result):
+        assert boot_result.n_patterns > 0
+        assert boot_result.sentences_matched > 0
+
+    def test_population_pattern_found(self, boot_result):
+        population_patterns = [
+            p for p in boot_result.patterns if p.predicate == "population"
+        ]
+        assert population_patterns
+        infixes = {" ".join(p.infix) for p in population_patterns}
+        assert any("population" in infix for infix in infixes)
+
+    def test_direct_only_no_cvt_relations(self, boot_result):
+        """Bootstrapping aligns against flat relation instances: the CVT
+        relations (spouse, members) are out of reach — the coverage gap of
+        Table 12."""
+        assert "marriage" not in boot_result.predicates
+        assert "group_member" not in boot_result.predicates
+
+    def test_coverage_gap_vs_kbqa(self, boot_result, kbqa_fb):
+        """Table 12's claim: template learning covers far more templates
+        and more predicates than bootstrapping."""
+        assert kbqa_fb.model.n_templates > 10 * boot_result.n_patterns
+        assert kbqa_fb.model.n_predicates > boot_result.n_predicates
+
+
+class TestHybrid:
+    def test_kbqa_preferred(self, suite, kbqa_fb):
+        keyword = KeywordQA(suite.freebase)
+        hybrid = HybridSystem(kbqa_fb, keyword)
+        city = pick_entity(suite.world, "city", "population")
+        question = f"how many people are there in {city.name}?"
+        assert hybrid.answer(question).value == kbqa_fb.answer(question).value
+
+    def test_fallback_used_on_refusal(self, suite, kbqa_fb):
+        """A question KBQA refuses but the synonym system answers must fall
+        through (the Table 11 uplift mechanism)."""
+        synonym = SynonymQA(suite.freebase)
+        hybrid = HybridSystem(kbqa_fb, synonym)
+        # a held-out paraphrase with a strong synonym: 'what is the head
+        # count of X' - kbqa misses (unseen), synonym has no phrase either;
+        # use an unseen-surface question the synonym CAN do instead:
+        city = pick_entity(suite.world, "city", "area")
+        question = f"how much ground does {city.name} cover?"
+        kbqa_result = kbqa_fb.answer(question)
+        hybrid_result = hybrid.answer(question)
+        if not kbqa_result.answered:
+            assert hybrid_result.value == synonym.answer(question).value
+
+    def test_hybrid_never_hurts_coverage(self, suite, kbqa_fb):
+        from repro.eval.runner import evaluate_qald
+
+        synonym = SynonymQA(suite.freebase)
+        hybrid = HybridSystem(kbqa_fb, synonym)
+        bench = suite.benchmark("qald3")
+        alone, _ = evaluate_qald(synonym, bench, suite.freebase)
+        combined, _ = evaluate_qald(hybrid, bench, suite.freebase)
+        assert combined.right >= alone.right
+        assert combined.recall >= alone.recall

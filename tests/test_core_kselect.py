@@ -1,0 +1,63 @@
+"""Tests for valid(k) and the expansion-length selection (Sec 6.3)."""
+
+import pytest
+
+from repro.core.kselect import choose_k, top_entities_by_frequency, valid_k
+
+
+class TestTopEntities:
+    def test_ordered_by_out_degree(self, suite):
+        store = suite.freebase.store
+        top = top_entities_by_frequency(store, 10)
+        degrees = [store.out_degree(e) for e in top]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_excludes_cvt_nodes(self, suite):
+        top = top_entities_by_frequency(suite.freebase.store, 100)
+        assert all(not node.startswith("cvt.") for node in top)
+
+    def test_count_respected(self, suite):
+        assert len(top_entities_by_frequency(suite.freebase.store, 5)) == 5
+
+
+class TestValidK:
+    def test_table4_shape_freebase(self, suite):
+        """Table 4's KBA shape: valid(2) > valid(1), collapse at k=3."""
+        counts = valid_k(suite.freebase.store, suite.infobox, 3, sample_entities=200)
+        assert counts[2] > counts[1]
+        assert counts[3] < 0.7 * counts[2]
+        assert counts[3] > 0  # the surviving CVT relations are real
+
+    def test_table4_shape_dbpedia(self, suite):
+        """DBpedia's shape: k=3 collapses to almost nothing (no CVTs)."""
+        counts = valid_k(suite.dbpedia.store, suite.infobox, 3, sample_entities=200)
+        assert counts[2] > 0
+        assert counts[3] < 0.1 * counts[2]
+
+    def test_more_entities_more_valid(self, suite):
+        small = valid_k(suite.freebase.store, suite.infobox, 2, sample_entities=50)
+        large = valid_k(suite.freebase.store, suite.infobox, 2, sample_entities=200)
+        assert large[1] >= small[1]
+
+    def test_keys_cover_all_lengths(self, suite):
+        counts = valid_k(suite.freebase.store, suite.infobox, 3, sample_entities=20)
+        assert set(counts) == {1, 2, 3}
+
+
+class TestChooseK:
+    def test_paper_choice_is_three(self, suite):
+        counts = valid_k(suite.freebase.store, suite.infobox, 3, sample_entities=200)
+        assert choose_k(counts) == 3
+
+    def test_zero_tail_excluded(self):
+        assert choose_k({1: 100, 2: 120, 3: 0}) == 2
+
+    def test_collapse_included_then_stop(self):
+        # the paper keeps k=3 despite the drop (meaningful CVTs survive)
+        assert choose_k({1: 100, 2: 120, 3: 20, 4: 15}) == 3
+
+    def test_empty(self):
+        assert choose_k({}) == 1
+
+    def test_single_level(self):
+        assert choose_k({1: 10}) == 1

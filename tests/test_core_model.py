@@ -1,0 +1,109 @@
+"""Tests for the template model container and persistence."""
+
+import pytest
+
+from repro.core.model import TemplateModel
+from repro.kb.paths import PredicatePath
+
+
+@pytest.fixture
+def model() -> TemplateModel:
+    m = TemplateModel()
+    m.set_distribution(
+        "how many people are there in $city ?",
+        {"population": 0.9, "area": 0.1},
+        support=50.0,
+    )
+    m.set_distribution(
+        "who is the wife of $person ?",
+        {"marriage->person->name": 1.0},
+        support=30.0,
+    )
+    m.set_distribution(
+        "what is the area of $city ?",
+        {"area": 1.0},
+        support=10.0,
+    )
+    m.n_observations = 90
+    return m
+
+
+class TestTemplateModel:
+    def test_contains(self, model):
+        assert "who is the wife of $person ?" in model
+        assert "unknown $x ?" not in model
+
+    def test_predicates_for(self, model):
+        dist = model.predicates_for("how many people are there in $city ?")
+        assert dist[PredicatePath.single("population")] == pytest.approx(0.9)
+
+    def test_predicates_for_unknown_template(self, model):
+        assert model.predicates_for("nope $x") == {}
+
+    def test_best_path(self, model):
+        path, prob = model.best_path("how many people are there in $city ?")
+        assert path == PredicatePath.single("population")
+        assert prob == pytest.approx(0.9)
+
+    def test_best_path_unknown(self, model):
+        assert model.best_path("nope $x") is None
+
+    def test_distribution_renormalized(self):
+        m = TemplateModel()
+        m.set_distribution("t $x", {"a": 2.0, "b": 2.0})
+        assert m.predicates_for("t $x")[PredicatePath.single("a")] == pytest.approx(0.5)
+
+    def test_zero_mass_rejected(self):
+        m = TemplateModel()
+        with pytest.raises(ValueError):
+            m.set_distribution("t $x", {"a": 0.0})
+        with pytest.raises(ValueError):
+            m.set_distribution("t $x", {})
+
+    def test_inventory_counts(self, model):
+        assert model.n_templates == 3
+        assert model.n_predicates == 3  # population, area, marriage path
+        assert model.templates_per_predicate() == pytest.approx(1.0)
+
+    def test_top_templates_by_support(self, model):
+        top = model.top_templates(2)
+        assert top[0] == "how many people are there in $city ?"
+        assert top[1] == "who is the wife of $person ?"
+
+    def test_templates_for_path(self, model):
+        spouse = PredicatePath(("marriage", "person", "name"))
+        assert model.templates_for_path(spouse) == ["who is the wife of $person ?"]
+
+    def test_stats_by_path_length(self, model):
+        stats = model.stats_by_path_length()
+        assert stats[1]["templates"] == 2
+        assert stats[3]["templates"] == 1
+        assert stats[3]["predicates"] == 1
+
+    def test_save_load_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = TemplateModel.load(path)
+        assert loaded.n_templates == model.n_templates
+        assert loaded.n_observations == model.n_observations
+        assert loaded.support("who is the wife of $person ?") == pytest.approx(30.0)
+        original = model.predicates_for("how many people are there in $city ?")
+        restored = loaded.predicates_for("how many people are there in $city ?")
+        assert {str(k): v for k, v in original.items()} == pytest.approx(
+            {str(k): v for k, v in restored.items()}
+        )
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "templates": {}}')
+        with pytest.raises(ValueError, match="format version"):
+            TemplateModel.load(path)
+
+    def test_trained_model_roundtrip(self, kbqa_fb, tmp_path):
+        """The real trained model must survive persistence."""
+        path = tmp_path / "trained.json"
+        kbqa_fb.model.save(path)
+        loaded = TemplateModel.load(path)
+        assert loaded.n_templates == kbqa_fb.model.n_templates
+        template = "what is the population of $city ?"
+        assert loaded.best_path(template) == kbqa_fb.model.best_path(template)

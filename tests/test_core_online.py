@@ -1,0 +1,102 @@
+"""Tests for the online answering procedure (Sec 3.3)."""
+
+import pytest
+
+from repro.kb.paths import PredicatePath
+
+from tests.conftest import pick_entity
+
+
+class TestOnlineAnswering:
+    def test_seen_surface_answered(self, suite, kbqa_fb):
+        city = pick_entity(suite.world, "city", "population")
+        result = kbqa_fb.answer(f"what is the population of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+        assert result.predicate == PredicatePath.single("population")
+
+    def test_noncanonical_surface_answered(self, suite, kbqa_fb):
+        """The keyword-defeating paraphrase the paper opens with."""
+        city = pick_entity(suite.world, "city", "population")
+        result = kbqa_fb.answer(f"how many people are there in {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_unseen_surface_refused(self, suite, kbqa_fb):
+        """Held-out paraphrases have no learned template: KBQA refuses
+        rather than guessing (the paper's precision mechanism)."""
+        city = pick_entity(suite.world, "city", "population")
+        result = kbqa_fb.answer(f"what is the head count of {city.name}?")
+        assert not result.answered
+
+    def test_unknown_entity_refused(self, kbqa_fb):
+        result = kbqa_fb.answer("what is the population of gotham city?")
+        assert not result.answered
+        assert not result.found_predicate
+
+    def test_spouse_via_expanded_predicate(self, suite, kbqa_fb):
+        person = pick_entity(suite.world, "person", "spouse")
+        result = kbqa_fb.answer(f"who is {person.name} married to?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(person.node, "spouse")
+        assert not result.predicate.is_direct
+
+    def test_multi_valued_answer_set(self, suite, kbqa_fb):
+        band = pick_entity(suite.world, "band", "members")
+        result = kbqa_fb.answer(f"who are the members of {band.name}?")
+        assert result.answered
+        assert set(result.values) == suite.world.gold_values(band.node, "members")
+
+    def test_entity_missing_fact_not_answered(self, suite, kbqa_fb):
+        person = next(
+            p for p in suite.world.of_type("person") if not p.get_fact("spouse")
+        )
+        result = kbqa_fb.answer(f"who is the wife of {person.name}?")
+        assert not result.answered
+        # the template itself is known: a predicate was found (#pro)
+        assert result.found_predicate
+
+    def test_nonbfq_refused(self, kbqa_fb):
+        result = kbqa_fb.answer("which city has the largest population?")
+        assert not result.answered
+
+    def test_chitchat_refused(self, kbqa_fb):
+        result = kbqa_fb.answer("what should i eat tonight?")
+        assert not result.answered
+
+    def test_result_carries_explanation(self, suite, kbqa_fb):
+        city = pick_entity(suite.world, "city", "population")
+        result = kbqa_fb.answer(f"what is the population of {city.name}?")
+        assert result.entity == city.node
+        assert result.template == "what is the population of $city ?"
+        assert result.score > 0.0
+        assert result.candidates
+
+    def test_ambiguous_name_resolved_by_context(self, suite, kbqa_fb):
+        """A company/food name in a company question must resolve to the
+        company reading (the paper's apple example)."""
+        collision = None
+        for name, nodes in suite.world.ambiguous_names().items():
+            types = {suite.world.entity(n).etype for n in nodes}
+            if "company" in types:
+                collision = (name, nodes)
+                break
+        assert collision
+        name, nodes = collision
+        company = next(n for n in nodes if suite.world.entity(n).etype == "company")
+        result = kbqa_fb.answer(f"who is the ceo of {name}?")
+        assert result.answered
+        assert result.entity == company
+        assert result.value in suite.world.gold_values(company, "ceo")
+
+    def test_dbpedia_system_answers_too(self, suite, kbqa_dbp):
+        city = pick_entity(suite.world, "city", "population")
+        result = kbqa_dbp.answer(f"what is the population of {city.name}?")
+        assert result.answered
+        assert result.value in suite.world.gold_values(city.node, "population")
+
+    def test_values_sorted_deterministic(self, suite, kbqa_fb):
+        band = pick_entity(suite.world, "band", "members")
+        r1 = kbqa_fb.answer(f"who are the members of {band.name}?")
+        r2 = kbqa_fb.answer(f"who are the members of {band.name}?")
+        assert r1.values == r2.values == tuple(sorted(r1.values))

@@ -1,0 +1,69 @@
+"""Tests for the Template representation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.template import Template
+from repro.nlp.tokenizer import tokenize
+
+
+class TestTemplateConstruction:
+    def test_from_question(self):
+        tokens = tokenize("how many people are there in honolulu?")
+        template = Template.from_question(tokens, (6, 7), "$city")
+        assert template.text == "how many people are there in $city ?"
+        assert template.concept == "$city"
+
+    def test_multi_token_mention_collapses(self):
+        tokens = tokenize("when was barack obama born?")
+        template = Template.from_question(tokens, (2, 4), "$person")
+        assert template.text == "when was $person born ?"
+        assert template.slot == 2
+
+    def test_bad_span_rejected(self):
+        with pytest.raises(ValueError):
+            Template.from_question(["a", "b"], (1, 1), "$c")
+        with pytest.raises(ValueError):
+            Template.from_question(["a", "b"], (0, 3), "$c")
+
+    def test_slot_must_be_concept(self):
+        with pytest.raises(ValueError):
+            Template(("when", "was", "obama"), 2)
+
+    def test_from_text_roundtrip(self):
+        template = Template.from_text("when was $person born ?")
+        assert template.concept == "$person"
+        assert template.slot == 2
+        assert Template.from_text(template.text) == template
+
+    def test_from_text_without_concept_rejected(self):
+        with pytest.raises(ValueError):
+            Template.from_text("when was obama born ?")
+
+
+class TestTemplateBehaviour:
+    def test_instantiate_inverse_of_from_question(self):
+        tokens = tuple(tokenize("when was barack obama born?"))
+        template = Template.from_question(tokens, (2, 4), "$person")
+        assert template.instantiate(("barack", "obama")) == tokens
+
+    def test_identity_by_text(self):
+        a = Template.from_text("when was $person born ?")
+        b = Template.from_text("when was $person born ?")
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_concepts_different_templates(self):
+        a = Template.from_text("when was $person born ?")
+        b = Template.from_text("when was $politician born ?")
+        assert a != b
+
+    @given(st.integers(min_value=0, max_value=4))
+    def test_property_roundtrip(self, start):
+        tokens = tuple("t0 t1 t2 t3 t4 t5".split())
+        end = start + 2
+        if end > len(tokens):
+            return
+        template = Template.from_question(tokens, (start, end), "$x")
+        assert template.instantiate(tokens[start:end]) == tokens
+        assert Template.from_text(template.text).text == template.text

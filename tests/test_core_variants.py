@@ -1,0 +1,176 @@
+"""Tests for the variant-question extension (ranking/comparison/listing...).
+
+The paper's Sec 1 claim: BFQ capability unlocks these forms.  The extension
+answers them by reformulating into learned-template BFQ probes.
+"""
+
+import pytest
+
+from repro.core.variants import ExtendedKBQA, VariantAnswerer, _as_number, _singular
+
+
+@pytest.fixture(scope="module")
+def variants(suite, kbqa_fb) -> VariantAnswerer:
+    return VariantAnswerer(kbqa_fb, suite.taxonomy)
+
+
+@pytest.fixture(scope="module")
+def extended(suite, kbqa_fb) -> ExtendedKBQA:
+    return ExtendedKBQA(kbqa_fb, suite.taxonomy)
+
+
+def _largest(world, etype, intent):
+    candidates = [e for e in world.of_type(etype) if e.get_fact(intent)]
+    return max(candidates, key=lambda e: int(e.get_fact(intent)[0]))
+
+
+class TestSuperlative:
+    def test_largest_population(self, suite, variants):
+        expected = _largest(suite.world, "city", "population")
+        result = variants.answer("which city has the largest population?")
+        assert result is not None and result.kind == "superlative"
+        assert result.value == expected.name
+
+    def test_most_people_country(self, suite, variants):
+        expected = _largest(suite.world, "country", "population")
+        result = variants.answer("which country has the most people?")
+        assert result is not None
+        assert result.value == expected.name
+
+    def test_rare_attribute_refuses_rather_than_guesses(self, variants):
+        """'elevation' is a designed-rare intent: when its template was not
+        learned, the probe chain must fail closed (no answer), never guess."""
+        result = variants.answer("which mountain has the highest elevation?")
+        if result is not None:  # learned at this seed/scale: must be right
+            assert result.kind == "superlative"
+
+    def test_unknown_concept_rejected(self, variants):
+        assert variants.answer("which wizard has the largest beard?") is None
+
+
+class TestComparison:
+    def test_population_comparison(self, suite, variants):
+        cities = [c for c in suite.world.of_type("city") if c.get_fact("population")][:2]
+        a, b = cities
+        winner = a if int(a.get_fact("population")[0]) >= int(b.get_fact("population")[0]) else b
+        result = variants.answer(f"which city has more people , {a.name} or {b.name}?")
+        assert result is not None and result.kind == "comparison"
+        assert result.value == winner.name
+
+
+class TestCountAndListing:
+    def test_count_cities_in_country(self, suite, variants):
+        country = suite.world.of_type("country")[0]
+        expected = sum(
+            1 for c in suite.world.of_type("city")
+            if c.get_fact("located_country") == (country.node,)
+        )
+        result = variants.answer(f"how many cities are there in {country.name}?")
+        assert result is not None and result.kind == "count"
+        assert result.value == str(expected)
+
+    def test_listing_sorted_by_population(self, suite, variants):
+        country = next(
+            c for c in suite.world.of_type("country")
+            if sum(
+                1 for city in suite.world.of_type("city")
+                if city.get_fact("located_country") == (c.node,)
+            ) >= 2
+        )
+        result = variants.answer(f"list all cities in {country.name} ordered by population")
+        assert result is not None and result.kind == "listing"
+        member_cities = [
+            city for city in suite.world.of_type("city")
+            if city.get_fact("located_country") == (country.node,)
+        ]
+        assert set(result.values) == {c.name for c in member_cities}
+        populations = [
+            int(next(c for c in member_cities if c.name == name).get_fact("population")[0])
+            for name in result.values
+        ]
+        assert populations == sorted(populations, reverse=True)
+
+
+class TestBoolean:
+    def test_married_yes(self, suite, variants):
+        person = next(p for p in suite.world.of_type("person") if p.get_fact("spouse"))
+        spouse_name = suite.world.name_of(person.get_fact("spouse")[0])
+        result = variants.answer(f"is {person.name} married to {spouse_name}?")
+        assert result is not None and result.value == "yes"
+
+    def test_married_no(self, suite, variants):
+        married = [p for p in suite.world.of_type("person") if p.get_fact("spouse")]
+        person = married[0]
+        non_spouse = next(
+            p for p in married if p.node not in (person.node, person.get_fact("spouse")[0])
+        )
+        result = variants.answer(f"is {person.name} married to {non_spouse.name}?")
+        assert result is not None and result.value == "no"
+
+
+class TestExtendedKBQA:
+    def test_falls_back_to_bfq(self, suite, extended, kbqa_fb):
+        city = next(e for e in suite.world.of_type("city") if e.get_fact("population"))
+        question = f"what is the population of {city.name}?"
+        assert extended.answer(question).value == kbqa_fb.answer(question).value
+
+    def test_variant_marked_in_template(self, extended):
+        result = extended.answer("which city has the largest population?")
+        assert result.answered
+        assert result.template == "variant:superlative"
+
+    def test_improves_nonbfq_recall(self, suite, kbqa_fb, extended):
+        """The extension's reason to exist: non-BFQ strata become answerable."""
+        from repro.eval.runner import evaluate_qald
+
+        bench = suite.benchmark("qald3")
+        base, _ = evaluate_qald(kbqa_fb, bench, suite.freebase)
+        ext, _ = evaluate_qald(extended, bench, suite.freebase)
+        assert ext.right > base.right
+        assert ext.recall > base.recall + 0.1
+        assert ext.precision >= 0.8  # the probes keep precision high
+
+    def test_descriptions_still_refused(self, extended):
+        result = extended.answer("why is mapleton worth visiting?")
+        assert not result.answered
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("plural,singular", [
+        ("cities", "city"), ("countries", "country"), ("mountains", "mountain"),
+        ("glass", "glass"), ("city", "city"),
+    ])
+    def test_singular(self, plural, singular):
+        assert _singular(plural) == singular
+
+    def test_as_number(self):
+        assert _as_number("42") == 42.0
+        assert _as_number("oakville") is None
+
+
+class TestOrdinalRanking:
+    """The paper's Sec 1 ranking example: 'the 3rd largest population'."""
+
+    def _ranked(self, world, etype, intent):
+        candidates = [e for e in world.of_type(etype) if e.get_fact(intent)]
+        return sorted(candidates, key=lambda e: -int(e.get_fact(intent)[0]))
+
+    def test_third_largest_population(self, suite, variants):
+        ranked = self._ranked(suite.world, "city", "population")
+        result = variants.answer("which city has the 3rd largest population?")
+        assert result is not None
+        assert result.value == ranked[2].name
+
+    def test_second_largest(self, suite, variants):
+        ranked = self._ranked(suite.world, "city", "population")
+        result = variants.answer("which city has the 2nd largest population?")
+        assert result is not None
+        assert result.value == ranked[1].name
+
+    def test_rank_beyond_instances_refused(self, variants):
+        assert variants.answer("which city has the 999th largest population?") is None
+
+    def test_plain_superlative_still_rank_one(self, suite, variants):
+        ranked = self._ranked(suite.world, "city", "population")
+        result = variants.answer("which city has the largest population?")
+        assert result is not None and result.value == ranked[0].name

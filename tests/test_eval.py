@@ -1,0 +1,135 @@
+"""Tests for metrics and evaluation runners."""
+
+import pytest
+
+from repro.eval.metrics import Judgement, QALDMetrics, WebQMetrics, judge
+from repro.eval.runner import evaluate_qald, evaluate_webquestions
+
+
+class TestJudge:
+    def test_exact_value_match_right(self):
+        assert judge({"1961"}, {"1961"}) == Judgement.RIGHT
+
+    def test_case_insensitive(self):
+        assert judge({"Tokyo"}, {"tokyo"}) == Judgement.RIGHT
+
+    def test_overlap_partial(self):
+        assert judge({"a", "b"}, {"b", "c"}) == Judgement.PARTIAL
+
+    def test_disjoint_wrong(self):
+        assert judge({"a"}, {"b"}) == Judgement.WRONG
+
+    def test_intent_identity_wins(self):
+        assert judge({"wrong"}, {"right"}, "population", "population") == Judgement.RIGHT
+
+    def test_related_intent_partial(self):
+        result = judge({"x"}, {"y"}, "area", "population", related_intents=("area",))
+        assert result == Judgement.PARTIAL
+
+    def test_unrelated_intent_falls_to_values(self):
+        result = judge({"x"}, {"y"}, "dob", "population", related_intents=("area",))
+        assert result == Judgement.WRONG
+
+    def test_empty_gold_wrong(self):
+        assert judge({"a"}, set()) == Judgement.WRONG
+
+
+class TestQALDMetrics:
+    def test_paper_formulas(self):
+        """Check P, P*, R, R* against hand-computed values."""
+        m = QALDMetrics()
+        # 10 questions, 6 BFQ; processed 5, right 3, partial 1
+        outcomes = [
+            (True, True, Judgement.RIGHT),
+            (True, True, Judgement.RIGHT),
+            (True, True, Judgement.PARTIAL),
+            (False, True, Judgement.RIGHT),
+            (False, True, Judgement.WRONG),
+            (True, False, None),
+            (True, False, None),
+            (True, False, None),
+            (False, False, None),
+            (False, False, None),
+        ]
+        for is_bfq, processed, judgement in outcomes:
+            m.record(is_bfq, processed, judgement)
+        assert m.n_total == 10 and m.n_bfq == 6
+        assert m.processed == 5
+        assert m.precision == pytest.approx(3 / 5)
+        assert m.precision_star == pytest.approx(4 / 5)
+        assert m.recall == pytest.approx(3 / 10)
+        assert m.recall_star == pytest.approx(4 / 10)
+        # the paper's R_BFQ = #ri / #BFQ uses the overall right count
+        assert m.recall_bfq == pytest.approx(3 / 6)
+        assert m.precision_bfq == pytest.approx(2 / 3)
+
+    def test_zero_division_safe(self):
+        m = QALDMetrics()
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.recall_bfq == 0.0
+
+    def test_as_row_keys(self):
+        row = QALDMetrics().as_row()
+        assert set(row) == {"#pro", "#ri", "#par", "R", "R_BFQ", "R*", "R*_BFQ", "P", "P*"}
+
+
+class TestWebQMetrics:
+    def test_perfect_answer(self):
+        m = WebQMetrics()
+        m.record({"a", "b"}, "a", {"a", "b"})
+        assert m.f1 == pytest.approx(1.0)
+        assert m.precision_at_1 == pytest.approx(1.0)
+
+    def test_partial_answer_f1(self):
+        m = WebQMetrics()
+        m.record({"a"}, "a", {"a", "b"})  # P=1, R=0.5 -> F1 = 2/3
+        assert m.f1 == pytest.approx(2 / 3)
+
+    def test_unanswered_scores_zero(self):
+        m = WebQMetrics()
+        m.record(set(), None, {"a"})
+        assert m.f1 == 0.0
+        assert m.n_answered == 0
+
+    def test_precision_over_answered_only(self):
+        m = WebQMetrics()
+        m.record({"a"}, "a", {"a"})  # answered, P=1
+        m.record(set(), None, {"b"})  # unanswered
+        assert m.precision == pytest.approx(1.0)
+        assert m.recall == pytest.approx(0.5)
+
+    def test_top1_miss(self):
+        m = WebQMetrics()
+        m.record({"a", "b"}, "b", {"a"})
+        assert m.precision_at_1 == 0.0
+
+
+class TestRunners:
+    def test_evaluate_qald_counts_consistent(self, suite, kbqa_fb):
+        metrics, records = evaluate_qald(kbqa_fb, suite.benchmark("qald3"), suite.freebase)
+        assert metrics.n_total == 99
+        assert metrics.n_bfq == 41
+        assert len(records) == 99
+        assert metrics.processed == sum(1 for r in records if r.processed)
+        assert metrics.right + metrics.partial <= metrics.processed
+
+    def test_kbqa_shape_high_precision_bounded_recall(self, suite, kbqa_fb):
+        """The paper's headline: precision high, recall bounded by BFQs."""
+        metrics, _ = evaluate_qald(kbqa_fb, suite.benchmark("qald3"), suite.freebase)
+        assert metrics.precision >= 0.75
+        assert metrics.recall <= metrics.n_bfq / metrics.n_total + 0.01
+        assert metrics.recall_bfq > metrics.recall
+
+    def test_evaluate_webquestions(self, suite, kbqa_fb):
+        metrics, records = evaluate_webquestions(kbqa_fb, suite.benchmark("webquestions"))
+        assert metrics.n_total == 200
+        assert len(records) == 200
+        assert 0 < metrics.f1 < 1
+        assert metrics.precision > 0.7  # KBQA: precise when it answers
+
+    def test_records_carry_judgements(self, suite, kbqa_fb):
+        _metrics, records = evaluate_qald(kbqa_fb, suite.benchmark("qald5"), suite.freebase)
+        judged = [r for r in records if r.judgement is not None]
+        assert judged
+        assert all(r.processed for r in judged)

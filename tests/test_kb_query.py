@@ -1,0 +1,152 @@
+"""Tests for the basic-graph-pattern query evaluator."""
+
+import pytest
+
+from repro.kb.query import is_variable, select, solve
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+
+
+@pytest.fixture
+def kb() -> TripleStore:
+    store = TripleStore()
+    store.add("a", "name", make_literal("barack obama"))
+    store.add("a", "pob", "d")
+    store.add("a", "dob", make_literal("1961"))
+    store.add("c", "name", make_literal("michelle obama"))
+    store.add("c", "pob", "d")
+    store.add("d", "name", make_literal("honolulu"))
+    store.add("d", "population", make_literal("390000"))
+    store.add("e", "name", make_literal("springfield"))
+    store.add("x", "pob", "e")
+    return store
+
+
+class TestSinglePattern:
+    def test_fully_ground_true(self, kb):
+        assert solve(kb, [("a", "pob", "d")]) == [{}]
+
+    def test_fully_ground_false(self, kb):
+        assert solve(kb, [("a", "pob", "e")]) == []
+
+    def test_object_variable(self, kb):
+        result = solve(kb, [("a", "pob", "?c")])
+        assert result == [{"?c": "d"}]
+
+    def test_subject_variable(self, kb):
+        result = solve(kb, [("?p", "pob", "d")])
+        assert {frozenset(b.items()) for b in result} == {
+            frozenset({("?p", "a")}), frozenset({("?p", "c")}),
+        }
+
+    def test_predicate_variable(self, kb):
+        result = solve(kb, [("a", "?rel", "d")])
+        assert result == [{"?rel": "pob"}]
+
+    def test_subject_bound_rest_free(self, kb):
+        result = solve(kb, [("a", "?p", "?o")])
+        assert len(result) == 3
+        assert {"?p": "pob", "?o": "d"} in result
+
+    def test_full_scan(self, kb):
+        result = solve(kb, [("?s", "?p", "?o")])
+        assert len(result) == len(kb)
+
+    def test_repeated_variable_within_pattern(self, kb):
+        kb.add("loop", "self", "loop")
+        result = solve(kb, [("?x", "self", "?x")])
+        assert result == [{"?x": "loop"}]
+
+
+class TestConjunction:
+    def test_two_hop_join(self, kb):
+        """People born in the city named honolulu."""
+        patterns = [
+            ("?person", "pob", "?city"),
+            ("?city", "name", make_literal("honolulu")),
+        ]
+        people = {b["?person"] for b in solve(kb, patterns)}
+        assert people == {"a", "c"}
+
+    def test_join_respects_shared_variables(self, kb):
+        patterns = [
+            ("?person", "pob", "?city"),
+            ("?city", "population", "?pop"),
+        ]
+        result = solve(kb, patterns)
+        # only d has a population; x's city e does not
+        assert {b["?person"] for b in result} == {"a", "c"}
+        assert all(b["?pop"] == make_literal("390000") for b in result)
+
+    def test_unsatisfiable_conjunction(self, kb):
+        patterns = [
+            ("?p", "pob", "?c"),
+            ("?c", "name", make_literal("nowhere")),
+        ]
+        assert solve(kb, patterns) == []
+
+    def test_limit(self, kb):
+        result = solve(kb, [("?s", "?p", "?o")], limit=3)
+        assert len(result) == 3
+
+    def test_malformed_pattern_rejected(self, kb):
+        with pytest.raises(ValueError):
+            solve(kb, [("a", "pob")])  # type: ignore[list-item]
+
+
+class TestSelect:
+    def test_projection(self, kb):
+        rows = select(
+            kb,
+            [("?p", "pob", "?c"), ("?c", "name", make_literal("honolulu"))],
+            ["?p"],
+        )
+        assert set(rows) == {("a",), ("c",)}
+
+    def test_distinct(self, kb):
+        kb.add("a", "residence", "d")
+        rows = select(kb, [("a", "?rel", "d")], ["?rel"])
+        assert sorted(rows) == [("pob",), ("residence",)]
+        rows_projected = select(kb, [("a", "?rel", "d")], [])
+        assert rows_projected == [()]  # all bindings project to one row
+
+    def test_limit(self, kb):
+        rows = select(kb, [("?s", "name", "?n")], ["?s"], limit=2)
+        assert len(rows) == 2
+
+
+class TestOnCompiledKB:
+    def test_spouse_query_through_cvt(self, suite):
+        """The Figure 1 query: names of spouses, via the marriage CVT."""
+        from tests.conftest import pick_entity
+
+        person = pick_entity(suite.world, "person", "spouse")
+        patterns = [
+            (person.node, "marriage", "?cvt"),
+            ("?cvt", "person", "?spouse"),
+            ("?spouse", "name", "?name"),
+        ]
+        names = {row[0][1:] for row in select(suite.freebase.store, patterns, ["?name"])}
+        assert names == suite.world.gold_values(person.node, "spouse")
+
+    def test_all_cities_of_country(self, suite):
+        # mountains share the 'country' predicate, so the category pattern
+        # is load-bearing here
+        country = suite.world.of_type("country")[0]
+        patterns = [
+            ("?city", "country", country.node),
+            ("?city", "category", "$city"),
+            ("?city", "name", "?name"),
+        ]
+        names = {row[0][1:] for row in select(suite.freebase.store, patterns, ["?name"])}
+        expected = {
+            c.name for c in suite.world.of_type("city")
+            if c.get_fact("located_country") == (country.node,)
+        }
+        assert names == expected
+
+
+class TestHelpers:
+    def test_is_variable(self):
+        assert is_variable("?x")
+        assert not is_variable("x")

@@ -1,0 +1,71 @@
+"""Tests for N-Triples-like serialization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.rdf_io import load_ntriples, save_ntriples
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+
+import pytest
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, tmp_path):
+        kb = TripleStore()
+        kb.add("a", "dob", make_literal("1961"))
+        kb.add("a", "pob", "d")
+        path = tmp_path / "kb.nt"
+        assert save_ntriples(kb, path) == 2
+        loaded = load_ntriples(path)
+        assert len(loaded) == 2
+        assert loaded.has("a", "dob", make_literal("1961"))
+
+    def test_escaped_characters_roundtrip(self, tmp_path):
+        kb = TripleStore()
+        nasty = make_literal("tab\there\nand newline\\slash")
+        kb.add("s", "p", nasty)
+        path = tmp_path / "kb.nt"
+        save_ntriples(kb, path)
+        loaded = load_ntriples(path)
+        assert loaded.has("s", "p", nasty)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_ntriples(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "kb.nt"
+        path.write_text("a\tp\tb\n\n\nc\tp\td\n")
+        assert len(load_ntriples(path)) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abc\t\n\\", min_size=1, max_size=6),
+                st.sampled_from(["p", "q"]),
+                st.text(alphabet="xyz\t\n\\\"", min_size=1, max_size=6),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, tmp_path_factory, triples):
+        kb = TripleStore()
+        for s, p, o in triples:
+            kb.add(s, p, o)
+        path = tmp_path_factory.mktemp("rdf") / "kb.nt"
+        save_ntriples(kb, path)
+        loaded = load_ntriples(path)
+        original = {(t.subject, t.predicate, t.object) for t in kb.triples()}
+        restored = {(t.subject, t.predicate, t.object) for t in loaded.triples()}
+        assert original == restored
+
+    def test_compiled_kb_roundtrip(self, suite, tmp_path):
+        """The full Freebase-like store must survive serialization."""
+        path = tmp_path / "freebase.nt"
+        count = save_ntriples(suite.freebase.store, path)
+        loaded = load_ntriples(path)
+        assert len(loaded) == count == len(suite.freebase.store)
+        assert loaded.stats() == suite.freebase.store.stats()

@@ -1,0 +1,74 @@
+"""Tests for the UIUC question classifier and type compatibility."""
+
+import pytest
+
+from repro.nlp.question_class import (
+    AnswerType,
+    answer_types_compatible,
+    classify_question,
+)
+
+
+class TestClassifyQuestion:
+    @pytest.mark.parametrize("question,expected", [
+        ("When was Barack Obama born?", AnswerType.DATE),
+        ("Who is the wife of Barack Obama?", AnswerType.HUMAN),
+        ("Where was Barack Obama born?", AnswerType.LOCATION),
+        ("How many people are there in Honolulu?", AnswerType.NUMERIC),
+        ("How much money does apple make?", AnswerType.NUMERIC),
+        ("How tall is mount kelvaro?", AnswerType.NUMERIC),
+        ("What is the population of Honolulu?", AnswerType.NUMERIC),
+        ("What is the capital of aurelia?", AnswerType.LOCATION),
+        ("What is the birthday of the ceo?", AnswerType.DATE),
+        ("Which city was he born in?", AnswerType.LOCATION),
+        ("What is the currency of aurelia?", AnswerType.ENTITY),
+        ("Why is the sky blue?", AnswerType.DESCRIPTION),
+        ("Is Barack Obama married to Michelle?", AnswerType.DESCRIPTION),
+        ("What instrument does she play?", AnswerType.ENTITY),
+        ("Who wrote the silent garden?", AnswerType.HUMAN),
+    ])
+    def test_classification(self, question, expected):
+        assert classify_question(question) == expected
+
+    def test_empty_question(self):
+        assert classify_question("") == AnswerType.UNKNOWN
+
+    def test_head_word_beats_generic_what(self):
+        # 'what' defaults to ENTITY, but 'population' forces NUM.
+        assert classify_question("what population does it have?") == AnswerType.NUMERIC
+
+    def test_how_without_quantifier(self):
+        assert classify_question("how do i fix this?") == AnswerType.DESCRIPTION
+
+
+class TestCompatibility:
+    def test_exact_match(self):
+        assert answer_types_compatible(AnswerType.DATE, AnswerType.DATE)
+
+    def test_date_satisfies_numeric(self):
+        assert answer_types_compatible(AnswerType.NUMERIC, AnswerType.DATE)
+
+    def test_numeric_does_not_satisfy_date(self):
+        assert not answer_types_compatible(AnswerType.DATE, AnswerType.NUMERIC)
+
+    def test_human_incompatible_with_date(self):
+        assert not answer_types_compatible(AnswerType.DATE, AnswerType.HUMAN)
+
+    def test_unknown_question_accepts_anything(self):
+        assert answer_types_compatible(AnswerType.UNKNOWN, AnswerType.HUMAN)
+
+    def test_unknown_value_accepted(self):
+        assert answer_types_compatible(AnswerType.HUMAN, AnswerType.UNKNOWN)
+
+    def test_entity_accepts_human_and_location(self):
+        assert answer_types_compatible(AnswerType.ENTITY, AnswerType.HUMAN)
+        assert answer_types_compatible(AnswerType.ENTITY, AnswerType.LOCATION)
+
+    def test_location_rejects_numeric(self):
+        assert not answer_types_compatible(AnswerType.LOCATION, AnswerType.NUMERIC)
+
+    def test_example2_trap_filtered(self):
+        """Example 2: a birthday question must reject a profession value."""
+        question_type = classify_question("When was Barack Obama born?")
+        profession_type = AnswerType.ENTITY  # profession predicate category
+        assert not answer_types_compatible(question_type, profession_type)

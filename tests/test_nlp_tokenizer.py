@@ -1,0 +1,56 @@
+"""Tests for the shared tokenizer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.tokenizer import detokenize, tokenize
+
+
+class TestTokenize:
+    def test_basic_question(self):
+        assert tokenize("When was Barack Obama born?") == [
+            "when", "was", "barack", "obama", "born", "?",
+        ]
+
+    def test_possessive_splits(self):
+        assert tokenize("Barack Obama's wife") == ["barack", "obama", "'s", "wife"]
+
+    def test_unicode_apostrophe(self):
+        assert tokenize("obama’s") == ["obama", "'s"]
+
+    def test_numbers_survive_punctuation(self):
+        # the answer-extraction bug class: '1904.' must tokenize to '1904'
+        assert tokenize("the year was 1904.") == ["the", "year", "was", "1904"]
+
+    def test_concept_tokens_preserved(self):
+        assert tokenize("when was $person born?") == ["when", "was", "$person", "born", "?"]
+
+    def test_hyphenated(self):
+        assert tokenize("well-known") == ["well-known"]
+
+    def test_commas_dropped(self):
+        assert tokenize("a, b and c") == ["a", "b", "and", "c"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_lowercases(self):
+        assert tokenize("HELLO World") == ["hello", "world"]
+
+    @given(st.text(max_size=80))
+    def test_never_raises_and_tokens_nonempty(self, text):
+        tokens = tokenize(text)
+        assert all(tokens), "no empty tokens"
+
+    @given(st.text(alphabet="abc 123'?", max_size=40))
+    def test_idempotent_through_detokenize(self, text):
+        tokens = tokenize(text)
+        assert tokenize(detokenize(tokens)) == tokens
+
+
+class TestDetokenize:
+    def test_rejoins_possessive(self):
+        assert detokenize(["obama", "'s", "wife"]) == "obama's wife"
+
+    def test_rejoins_question_mark(self):
+        assert detokenize(["born", "?"]) == "born?"

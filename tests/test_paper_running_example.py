@@ -1,0 +1,188 @@
+"""The paper's running example, end to end.
+
+Builds the exact toy KB of Figure 1 and the QA corpus of Table 3, then
+verifies the behaviours the paper walks through:
+
+* Example 1 — the generative chain answers q3 ('how many people are there
+  in honolulu?') with 390k via the population predicate;
+* Example 2 — entity-value extraction pulls (obama, 1961) and the
+  refinement drops the (obama, politician) noise pair;
+* Sec 1.1 / Table 1 — the spouse intent resolves only through the expanded
+  predicate ``marriage -> person -> name``;
+* Example 3/4 + Algorithm 2 — question f© ('when was barack obama's wife
+  born?') decomposes into (barack obama's wife, when was $e born?) and the
+  chain produces 1964.
+
+The corpus is Table 3 plus the two spouse questions a 41M-pair corpus would
+contain thousands of (the toy three-pair corpus cannot carry the spouse
+template on its own).
+"""
+
+import pytest
+
+from repro.core.em import EMConfig
+from repro.core.learner import LearnerConfig
+from repro.core.system import KBQA, KBQAConfig
+from repro.corpus.qa import QACorpus, QAPair
+from repro.data.compile import CompiledKB
+from repro.data.world import SCHEMA_BY_INTENT
+from repro.kb.paths import PredicatePath
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+from repro.taxonomy.conceptualizer import Conceptualizer
+from repro.taxonomy.isa import IsANetwork
+
+
+@pytest.fixture(scope="module")
+def figure1_kb() -> CompiledKB:
+    """Figure 1's graph, with node ids a/b/c/d as printed in the paper."""
+    store = TripleStore()
+    store.add("a", "name", make_literal("barack obama"))
+    store.add("a", "dob", make_literal("1961"))
+    store.add("a", "pob", "d")
+    store.add("a", "profession", "prof")
+    store.add("prof", "name", make_literal("politician"))
+    store.add("a", "category", "$person")
+    store.add("a", "category", "$politician")
+    store.add("a", "marriage", "b")
+    store.add("b", "date", make_literal("1992"))
+    store.add("b", "category", "$event")
+    store.add("b", "person", "c")
+    store.add("c", "name", make_literal("michelle obama"))
+    store.add("c", "dob", make_literal("1964"))
+    store.add("c", "category", "$person")
+    store.add("d", "name", make_literal("honolulu"))
+    store.add("d", "population", make_literal("390000"))
+    store.add("d", "category", "$city")
+
+    path_for_intent = {
+        "dob": PredicatePath(("dob",)),
+        "population": PredicatePath(("population",)),
+        "spouse": PredicatePath(("marriage", "person", "name")),
+        "pob": PredicatePath(("pob", "name")),
+        "profession": PredicatePath(("profession", "name")),
+    }
+    return CompiledKB(
+        kind="freebase",
+        store=store,
+        world=None,  # the toy KB has no World behind it
+        path_for_intent=path_for_intent,
+        intent_for_path={str(p): i for i, p in path_for_intent.items()},
+        gazetteer={
+            "barack obama": ["a"],
+            "michelle obama": ["c"],
+            "honolulu": ["d"],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def table3_corpus() -> QACorpus:
+    return QACorpus([
+        # Table 3 verbatim.
+        QAPair("q1", "when was barack obama born?", "the politician was born in 1961."),
+        QAPair("q2", "when was barack obama born?", "he was born in 1961."),
+        QAPair("q3", "how many people are there in honolulu?", "it 's 390000."),
+        # The spouse evidence a web-scale corpus supplies.
+        QAPair("q4", "who is barack obama 's wife?", "michelle obama."),
+        QAPair("q5", "barack obama 's wife", "michelle obama of course."),
+        QAPair("q6", "who is michelle obama 's husband?", "barack obama."),
+    ])
+
+
+@pytest.fixture(scope="module")
+def toy_conceptualizer() -> Conceptualizer:
+    taxonomy = IsANetwork()
+    taxonomy.add("a", "$person", 6.0)
+    taxonomy.add("a", "$politician", 4.0)
+    taxonomy.add("c", "$person", 8.0)
+    taxonomy.add("d", "$city", 9.0)
+    taxonomy.add("d", "$location", 1.0)
+    conceptualizer = Conceptualizer(taxonomy)
+    conceptualizer.observe_text("$city", "how many people are there in population")
+    conceptualizer.observe_text("$person", "when was born wife husband")
+    return conceptualizer
+
+
+@pytest.fixture(scope="module")
+def toy_system(figure1_kb, table3_corpus, toy_conceptualizer) -> KBQA:
+    config = KBQAConfig(
+        learner=LearnerConfig(em=EMConfig(max_iterations=10)),
+        pattern_max_questions=None,
+    )
+    return KBQA.train(figure1_kb, table3_corpus, toy_conceptualizer, config)
+
+
+class TestExample1:
+    def test_honolulu_population(self, toy_system):
+        """Example 1's generative chain end to end."""
+        result = toy_system.answer("how many people are there in honolulu?")
+        assert result.answered
+        assert result.value == "390000"
+        assert result.entity == "d"
+        assert result.predicate == PredicatePath.single("population")
+        assert result.template == "how many people are there in $city ?"
+
+
+class TestExample2:
+    def test_refinement_filters_politician(self, toy_system):
+        """(obama, politician) extracted then filtered; (obama, 1961) kept."""
+        model = toy_system.model
+        dob_template = "when was $person born ?"
+        assert dob_template in model
+        best_path, prob = model.best_path(dob_template)
+        assert best_path == PredicatePath.single("dob")
+        assert prob > 0.9
+        # no template may map the birthday question to the profession path
+        profession = PredicatePath(("profession", "name"))
+        for template in model.templates():
+            if "born" in template:
+                assert profession not in model.predicates_for(template)
+
+
+class TestExpandedSpouse:
+    def test_spouse_only_via_marriage_path(self, toy_system, figure1_kb):
+        """Table 1 row e©: the wife question needs the 3-edge path."""
+        assert not figure1_kb.store.objects("a", "spouse")
+        result = toy_system.answer("who is barack obama 's wife?")
+        assert result.answered
+        assert result.value == "michelle obama"
+        assert result.predicate == PredicatePath(("marriage", "person", "name"))
+
+
+class TestQuestionF:
+    def test_decomposition_matches_example3(self, toy_system):
+        decomposition = toy_system.decompose("when was barack obama 's wife born?")
+        assert decomposition.sequence == (
+            "barack obama 's wife",
+            "when was $e born ?",
+        )
+        assert decomposition.score > 0.0
+
+    def test_invalid_sequence_rejected(self, toy_system):
+        """Example 3's invalid split (q̌0 = 'was barack obama's wife born')
+        must lose: 'when $e ?' has fv = 0 in the corpus (Example 4)."""
+        stats = toy_system.decomposer.statistics
+        assert stats.validity("when $e ?".split()) == 0.0
+        assert stats.validity("when was $e born ?".split()) > 0.0
+
+    def test_chained_answer_is_1964(self, toy_system):
+        answer = toy_system.answer_complex("when was barack obama 's wife born?")
+        assert answer.answered
+        assert answer.value == "1964"
+        assert [s.value for s in answer.steps] == ["michelle obama", "1964"]
+
+
+class TestTable1Coverage:
+    """Every natural-language row of Table 1 the toy corpus supports."""
+
+    @pytest.mark.parametrize("question,expected", [
+        ("how many people are there in honolulu?", "390000"),
+        ("when was barack obama born?", "1961"),
+        ("who is barack obama 's wife?", "michelle obama"),
+        ("when was barack obama 's wife born?", "1964"),
+    ])
+    def test_row(self, toy_system, question, expected):
+        answer = toy_system.answer_complex(question)
+        assert answer.answered, question
+        assert answer.value == expected

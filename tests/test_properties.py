@@ -1,0 +1,193 @@
+"""Cross-module property-based tests.
+
+These exercise invariants that span several components: the decomposition
+DP against brute force, the BGP solver against a naive reference, the
+expansion against live traversal on random graphs, and a statistical
+end-to-end accuracy sweep of the trained system.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.expansion import expand_predicates
+from repro.kb.paths import follow
+from repro.kb.query import is_variable, solve
+from repro.kb.store import TripleStore
+from repro.utils.rng import SeedStream
+
+
+# ---------------------------------------------------------------------------
+# BGP solver vs. naive reference
+# ---------------------------------------------------------------------------
+
+_nodes = st.sampled_from(["n1", "n2", "n3", "n4"])
+_preds = st.sampled_from(["p", "q"])
+_terms_or_vars = st.sampled_from(["n1", "n2", "n3", "?x", "?y"])
+_pred_or_var = st.sampled_from(["p", "q", "?r"])
+
+
+def _naive_solve(store: TripleStore, patterns) -> set[frozenset]:
+    """Reference: enumerate every assignment of variables to store terms."""
+    variables = sorted({
+        t for pattern in patterns for t in pattern if is_variable(t)
+    })
+    universe = sorted({
+        term for triple in store.triples()
+        for term in (triple.subject, triple.predicate, triple.object)
+    })
+    solutions = set()
+    for assignment in itertools.product(universe, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+        if all(
+            store.has(*(binding.get(t, t) for t in pattern))
+            for pattern in patterns
+        ):
+            solutions.add(frozenset(binding.items()))
+    return solutions
+
+
+class TestQueryAgainstReference:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(_nodes, _preds, _nodes), min_size=1, max_size=8),
+        st.lists(
+            st.tuples(_terms_or_vars, _pred_or_var, _terms_or_vars),
+            min_size=1,
+            max_size=2,
+        ),
+    )
+    def test_solver_matches_naive_enumeration(self, triples, patterns):
+        store = TripleStore()
+        for s, p, o in triples:
+            store.add(s, p, o)
+        fast = {frozenset(b.items()) for b in solve(store, patterns)}
+        assert fast == _naive_solve(store, patterns)
+
+
+# ---------------------------------------------------------------------------
+# Expansion vs. live traversal on random graphs
+# ---------------------------------------------------------------------------
+
+
+class TestExpansionAgainstTraversal:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(_nodes, st.sampled_from(["p", "name"]), _nodes), max_size=20))
+    def test_materialized_equals_followed(self, triples):
+        store = TripleStore()
+        for s, p, o in triples:
+            store.add(s, p, o)
+        seeds = ["n1", "n2"]
+        expanded = expand_predicates(store, seeds, max_length=3)
+        for subject, path, obj in expanded.triples():
+            assert obj in follow(store, subject, path)
+            assert subject in seeds
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(_nodes, st.sampled_from(["p", "name"]), _nodes), max_size=20))
+    def test_tail_whitelist_invariant(self, triples):
+        store = TripleStore()
+        for s, p, o in triples:
+            store.add(s, p, o)
+        expanded = expand_predicates(store, ["n1"], max_length=3)
+        for path in expanded.distinct_paths():
+            assert path.is_direct or path.last in ("name", "alias")
+
+
+# ---------------------------------------------------------------------------
+# Decomposition DP vs. brute force
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_best(decomposer, tokens) -> float:
+    """Score of the best decomposition by exhaustive recursion (Eq 28)."""
+    tokens = tuple(tokens)
+
+    def best(span: tuple[str, ...]) -> float:
+        score = 1.0 if decomposer.is_primitive(span) else 0.0
+        n = len(span)
+        for i in range(n):
+            for j in range(i + 1, n + 1):
+                if (i, j) == (0, n):
+                    continue
+                inner = best(span[i:j])
+                if inner <= 0.0:
+                    continue
+                remainder = list(span[:i]) + ["$e"] + list(span[j:])
+                score = max(score, decomposer.statistics.validity(remainder) * inner)
+        return score
+
+    return best(tokens)
+
+
+class TestDecompositionOptimality:
+    def test_dp_matches_brute_force_on_complex_questions(self, suite, kbqa_fb):
+        from repro.nlp.tokenizer import tokenize
+
+        questions = [q.question for q in suite.benchmark("complex").questions][:4]
+        for question in questions:
+            tokens = tokenize(question)
+            if len(tokens) > 12:  # keep brute force tractable
+                continue
+            dp_score = kbqa_fb.decompose(question).score
+            brute = _brute_force_best(kbqa_fb.decomposer, tokens)
+            assert dp_score == pytest.approx(brute), question
+
+    def test_dp_matches_brute_force_on_simple_bfqs(self, suite, kbqa_fb):
+        from repro.nlp.tokenizer import tokenize
+
+        city = next(e for e in suite.world.of_type("city") if e.get_fact("population"))
+        question = f"how big is {city.name}?"
+        dp_score = kbqa_fb.decompose(question).score
+        brute = _brute_force_best(kbqa_fb.decomposer, tokenize(question))
+        assert dp_score == pytest.approx(brute)
+
+
+# ---------------------------------------------------------------------------
+# Statistical end-to-end sweep
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEndSweep:
+    def test_seen_surface_accuracy_over_random_probes(self, suite, kbqa_fb):
+        """Over many random (entity, intent, seen-surface) probes, KBQA must
+        be overwhelmingly right-or-silent and never confidently wrong about
+        a different entity's fact."""
+        from repro.corpus.surface import train_surfaces
+
+        rng = SeedStream(13).substream("sweep").rng()
+        instances = [
+            (intent, node)
+            for node, entity in suite.world.entities.items()
+            for intent in entity.facts
+        ]
+        right = wrong = refused = 0
+        for _ in range(200):
+            intent, node = rng.choice(instances)
+            bank = train_surfaces(intent)
+            surface = rng.choice(bank)
+            question = surface.text.format(e=suite.world.name_of(node))
+            result = kbqa_fb.answer(question)
+            if not result.answered:
+                refused += 1
+                continue
+            gold = {v.lower() for v in suite.world.gold_values(node, intent)}
+            related_gold = set()
+            from repro.data.world import SCHEMA_BY_INTENT
+
+            for rel in SCHEMA_BY_INTENT[intent].related:
+                related_gold |= {
+                    v.lower() for v in suite.world.gold_values(node, rel)
+                }
+            predicted = {v.lower() for v in result.values}
+            if predicted & (gold | related_gold):
+                right += 1
+            else:
+                wrong += 1
+        answered = right + wrong
+        assert answered > 100, "most probes must be answered"
+        assert right / answered > 0.9, (right, wrong, refused)

@@ -1,0 +1,135 @@
+"""Tests for the is-a network and context-aware conceptualization."""
+
+import pytest
+
+from repro.taxonomy.conceptualizer import Conceptualizer
+from repro.taxonomy.isa import IsANetwork, is_concept
+
+
+class TestIsANetwork:
+    def test_prior_normalizes(self):
+        net = IsANetwork()
+        net.add("m.honolulu", "$city", 8.0)
+        net.add("m.honolulu", "$location", 2.0)
+        prior = net.prior("m.honolulu")
+        assert prior["$city"] == pytest.approx(0.8)
+        assert sum(prior.values()) == pytest.approx(1.0)
+
+    def test_repeated_add_accumulates(self):
+        net = IsANetwork()
+        net.add("e", "$c", 1.0)
+        net.add("e", "$c", 1.0)
+        net.add("e", "$d", 2.0)
+        assert net.prior("e")["$c"] == pytest.approx(0.5)
+
+    def test_unknown_entity_prior_empty(self):
+        assert IsANetwork().prior("ghost") == {}
+
+    def test_concept_prefix_enforced(self):
+        with pytest.raises(ValueError):
+            IsANetwork().add("e", "city")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IsANetwork().add("e", "$c", 0.0)
+
+    def test_instances_inverse_of_concepts(self):
+        net = IsANetwork()
+        net.add("e1", "$c")
+        net.add("e2", "$c")
+        assert net.instances("$c") == {"e1", "e2"}
+        assert net.concepts("e1") == {"$c"}
+
+    def test_merge(self):
+        a, b = IsANetwork(), IsANetwork()
+        a.add("e", "$c", 1.0)
+        b.add("e", "$c", 1.0)
+        b.add("f", "$d", 1.0)
+        a.merge(b)
+        assert a.concepts("f") == {"$d"}
+        assert a.prior("e") == {"$c": 1.0}
+
+    def test_stats(self):
+        net = IsANetwork()
+        net.add("e", "$c")
+        net.add("e", "$d")
+        assert net.stats() == {"entities": 1, "concepts": 2, "edges": 2}
+
+    def test_is_concept(self):
+        assert is_concept("$city")
+        assert not is_concept("city")
+
+
+class TestConceptualizer:
+    @pytest.fixture
+    def apple_net(self) -> IsANetwork:
+        net = IsANetwork()
+        net.add("m.apple_co", "$company", 8.0)
+        net.add("m.apple_co", "$organization", 2.0)
+        net.add("m.apple_fruit", "$fruit", 9.0)
+        net.add("m.apple_fruit", "$food", 1.0)
+        return net
+
+    @pytest.fixture
+    def contextualized(self, apple_net) -> Conceptualizer:
+        c = Conceptualizer(apple_net)
+        c.observe_text("$company", "headquarter ceo revenue founded company")
+        c.observe_text("$fruit", "eat sweet juice ripe tree")
+        return c
+
+    def test_no_context_returns_prior(self, apple_net):
+        c = Conceptualizer(apple_net)
+        assert c.conceptualize("m.apple_co") == apple_net.prior("m.apple_co")
+
+    def test_paper_apple_example(self, contextualized):
+        """'what is the headquarter of apple' -> $company (Sec 1.3)."""
+        context = "what is the headquarter of".split()
+        assert contextualized.best_concept("m.apple_co", context) == "$company"
+        fruit_posterior = contextualized.conceptualize("m.apple_fruit", context)
+        # The fruit node has no $company concept; its best is still $fruit,
+        # but a company-context question scores the company node higher.
+        company_score = contextualized.context_log_likelihood("$company", context)
+        fruit_score = contextualized.context_log_likelihood("$fruit", context)
+        assert company_score > fruit_score
+        assert set(fruit_posterior) == {"$fruit", "$food"}
+
+    def test_context_flips_concept(self, contextualized):
+        eat_context = "how do i eat a ripe".split()
+        hq_context = "where is the headquarter of".split()
+        assert contextualized.best_concept("m.apple_fruit", eat_context) == "$fruit"
+        assert contextualized.best_concept("m.apple_co", hq_context) == "$company"
+
+    def test_posterior_is_distribution(self, contextualized):
+        posterior = contextualized.conceptualize("m.apple_co", ["headquarter"])
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in posterior.values())
+
+    def test_unknown_entity(self, contextualized):
+        assert contextualized.conceptualize("ghost", ["x"]) == {}
+        assert contextualized.best_concept("ghost") is None
+
+    def test_stopwords_ignored(self, contextualized):
+        with_stop = contextualized.conceptualize("m.apple_co", ["the", "of", "headquarter"])
+        without = contextualized.conceptualize("m.apple_co", ["headquarter"])
+        assert with_stop == pytest.approx(without)
+
+    def test_invalid_smoothing(self, apple_net):
+        with pytest.raises(ValueError):
+            Conceptualizer(apple_net, smoothing=0.0)
+
+    def test_world_conceptualizer_disambiguates(self, suite):
+        """The suite-level conceptualizer must solve the designed ambiguity:
+        company-named foods resolve by context."""
+        ambiguous = suite.world.ambiguous_names()
+        target = None
+        for name, nodes in ambiguous.items():
+            types = {suite.world.entity(n).etype for n in nodes}
+            if "company" in types and "food" in types:
+                target = (name, nodes)
+                break
+        assert target is not None, "world must contain a company/food collision"
+        _name, nodes = target
+        company = next(n for n in nodes if suite.world.entity(n).etype == "company")
+        context = "where is the headquarter of ?".split()
+        best = suite.conceptualizer.best_concept(company, context)
+        assert best == "$company"

@@ -1,0 +1,85 @@
+"""Tests for deterministic RNG streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import SeedStream, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_part_boundaries_are_not_ambiguous(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert stable_hash("ab") != stable_hash("a", "b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+    @given(st.lists(st.text(), max_size=4))
+    def test_always_reproducible(self, parts):
+        assert stable_hash(*parts) == stable_hash(*parts)
+
+
+class TestSeedStream:
+    def test_same_path_same_randomness(self):
+        a = SeedStream(42).substream("x").rng().random()
+        b = SeedStream(42).substream("x").rng().random()
+        assert a == b
+
+    def test_different_names_are_independent(self):
+        a = SeedStream(42).substream("x").rng().random()
+        b = SeedStream(42).substream("y").rng().random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = SeedStream(1).substream("x").rng().random()
+        b = SeedStream(2).substream("x").rng().random()
+        assert a != b
+
+    def test_nested_substreams(self):
+        stream = SeedStream(7).substream("a").substream("b")
+        assert stream.path == ("a", "b")
+
+    def test_choice_is_deterministic(self):
+        stream = SeedStream(7).substream("pick")
+        assert stream.choice([1, 2, 3]) == stream.choice([1, 2, 3])
+
+    def test_choice_varies_with_salt(self):
+        stream = SeedStream(7).substream("pick")
+        values = {stream.choice(list(range(100)), salt=i) for i in range(30)}
+        assert len(values) > 5
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeedStream(7).choice([])
+
+    def test_shuffled_preserves_elements(self):
+        stream = SeedStream(7).substream("shuffle")
+        original = list(range(20))
+        shuffled = stream.shuffled(original)
+        assert sorted(shuffled) == original
+        assert shuffled != original  # overwhelmingly likely for 20 elements
+
+    def test_shuffled_does_not_mutate(self):
+        original = [3, 1, 2]
+        SeedStream(7).shuffled(original)
+        assert original == [3, 1, 2]
+
+    def test_ints_stream(self):
+        stream = SeedStream(7).substream("ints")
+        values = []
+        for value in stream.ints(0, 10):
+            values.append(value)
+            if len(values) == 50:
+                break
+        assert all(0 <= v <= 10 for v in values)
+        assert len(set(values)) > 3

@@ -1,0 +1,72 @@
+"""Tests for text helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.text import (
+    join_tokens,
+    ngrams,
+    normalize_space,
+    strip_punctuation,
+    token_spans,
+)
+
+
+class TestNormalizeSpace:
+    def test_collapses_runs(self):
+        assert normalize_space("a   b\t c") == "a b c"
+
+    def test_strips_ends(self):
+        assert normalize_space("  hello  ") == "hello"
+
+    def test_empty(self):
+        assert normalize_space("   ") == ""
+
+
+class TestStripPunctuation:
+    def test_removes_question_mark(self):
+        assert strip_punctuation("what is it?") == "what is it"
+
+    def test_keeps_hyphens_and_digits(self):
+        assert strip_punctuation("well-known 42.") == "well-known 42"
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_equal_length(self):
+        assert list(ngrams(["a", "b"], 2)) == [("a", "b")]
+
+    def test_n_longer_than_input(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestTokenSpans:
+    def test_all_spans_of_three_tokens(self):
+        spans = list(token_spans(["a", "b", "c"]))
+        assert len(spans) == 6  # 3 + 2 + 1
+
+    def test_shortest_first(self):
+        spans = list(token_spans(["a", "b", "c"]))
+        lengths = [end - start for start, end in spans]
+        assert lengths == sorted(lengths)
+
+    def test_max_len_limits(self):
+        spans = list(token_spans(["a", "b", "c"], max_len=1))
+        assert spans == [(0, 1), (1, 2), (2, 3)]
+
+    @given(st.integers(min_value=0, max_value=8))
+    def test_span_count_formula(self, n):
+        tokens = ["t"] * n
+        assert len(list(token_spans(tokens))) == n * (n + 1) // 2
+
+
+class TestJoinTokens:
+    def test_roundtrip_with_split(self):
+        assert join_tokens("a b c".split()) == "a b c"
