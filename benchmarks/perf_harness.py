@@ -1,0 +1,183 @@
+"""Perf harness: measures the hot paths and emits ``BENCH_perf.json``.
+
+Tracks the performance trajectory from this PR onward.  One run measures,
+on the same machine and the same inputs:
+
+* **expansion** — the Sec 6.2 scan, ID-native vs the string-level baseline,
+  plus materialization throughput (expanded triples/second);
+* **em** — one full estimation, array-based vs the dict-of-dict reference,
+  on the real encoded observations of the offline pipeline;
+* **online** — per-question latency (mean/p50) over the qald3 BFQ set,
+  before (no precompute, no caches) and after (ranked arrays + memoized
+  lookups), and a warm pass through the answer cache;
+* **offline_train_s** — end-to-end ``KBQA.train`` wall-clock.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_harness --scale default \
+        --output BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.em import EMConfig, run_em, run_em_reference
+from repro.core.learner import LearnerConfig, OfflineLearner
+from repro.core.online import OnlineAnswerer
+from repro.core.system import KBQA
+from repro.kb.expansion import expand_predicates, expand_predicates_baseline
+from repro.suite import build_suite
+
+
+def _best_of(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _latencies_ms(answer, questions) -> list[float]:
+    out = []
+    for question in questions:
+        start = time.perf_counter()
+        answer(question)
+        out.append((time.perf_counter() - start) * 1000.0)
+    return out
+
+
+def measure(scale: str, seed: int, repeats: int) -> dict:
+    """Run every measurement; returns the BENCH_perf payload."""
+    suite = build_suite(scale, seed=seed)
+    store = suite.freebase.store
+
+    # -- expansion: ID-native scan vs string-level baseline ------------------
+    seeds = [e.node for e in suite.world.of_type("person")]
+    seeds += [e.node for e in suite.world.of_type("city")]
+    after_s, expanded = _best_of(
+        lambda: expand_predicates(store, seeds, max_length=3), repeats
+    )
+    before_s, baseline = _best_of(
+        lambda: expand_predicates_baseline(store, seeds, max_length=3), repeats
+    )
+    assert len(expanded) == len(baseline), "equivalence violated"
+    expansion = {
+        "seeds": len(seeds),
+        "spo_triples": len(expanded),
+        "before_s": round(before_s, 4),
+        "after_s": round(after_s, 4),
+        "speedup": round(before_s / max(after_s, 1e-9), 2),
+        "triples_per_sec": round(len(expanded) / max(after_s, 1e-9)),
+    }
+
+    # -- EM: array-based vs dict-of-dict reference ---------------------------
+    learner = OfflineLearner(suite.freebase, suite.conceptualizer, LearnerConfig())
+    encoded, _templates, _paths = learner.encode_corpus(suite.corpus).encoded
+    config = EMConfig(max_iterations=25, tolerance=0.0)
+    em_after_s, em_fast = _best_of(lambda: run_em(encoded, config), repeats)
+    em_before_s, em_slow = _best_of(lambda: run_em_reference(encoded, config), repeats)
+    em = {
+        "observations": len(encoded),
+        "candidates": encoded.n_candidates,
+        "iterations": em_fast.iterations,
+        "before_s": round(em_before_s, 4),
+        "after_s": round(em_after_s, 4),
+        "speedup": round(em_before_s / max(em_after_s, 1e-9), 2),
+        "before_iter_ms": round(em_before_s * 1000 / max(em_slow.iterations, 1), 3),
+        "after_iter_ms": round(em_after_s * 1000 / max(em_fast.iterations, 1), 3),
+    }
+
+    # -- offline train + online serving --------------------------------------
+    train_start = time.perf_counter()
+    system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+    offline_train_s = time.perf_counter() - train_start
+
+    questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+    legacy = OnlineAnswerer(
+        system.learn_result.kbview,
+        system.learn_result.ner,
+        system.conceptualizer,
+        system.model,
+        max_concepts=system.config.max_concepts_online,
+        answer_cache_size=0,
+        lookup_cache_size=0,
+        precompute=False,
+    )
+    before_ms = _latencies_ms(legacy.answer, questions)
+    system.answerer.clear_caches()
+    cold_ms = _latencies_ms(system.answer, questions)
+    warm_ms = _latencies_ms(system.answer, questions)
+    assert system.answer_many(questions) == [system.answer(q) for q in questions]
+    online = {
+        "questions": len(questions),
+        "before_mean_ms": round(statistics.fmean(before_ms), 3),
+        "before_p50_ms": round(statistics.median(before_ms), 3),
+        "after_mean_ms": round(statistics.fmean(cold_ms), 3),
+        "after_p50_ms": round(statistics.median(cold_ms), 3),
+        "warm_mean_ms": round(statistics.fmean(warm_ms), 3),
+        "warm_p50_ms": round(statistics.median(warm_ms), 3),
+        "speedup_cold": round(
+            statistics.fmean(before_ms) / max(statistics.fmean(cold_ms), 1e-9), 2
+        ),
+        "speedup_warm": round(
+            statistics.fmean(before_ms) / max(statistics.fmean(warm_ms), 1e-9), 2
+        ),
+    }
+
+    return {
+        "benchmark": "BENCH_perf",
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kb_triples": len(store),
+        "offline_train_s": round(offline_train_s, 3),
+        "expansion": expansion,
+        "em": em,
+        "online": online,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; writes the JSON artifact and prints a summary."""
+    parser = argparse.ArgumentParser(description="KBQA perf harness")
+    parser.add_argument("--scale", default="default", choices=["small", "default"])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    payload = measure(args.scale, args.seed, args.repeats)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(
+        f"expansion: {payload['expansion']['before_s']}s -> "
+        f"{payload['expansion']['after_s']}s "
+        f"({payload['expansion']['speedup']}x, "
+        f"{payload['expansion']['triples_per_sec']:,} spo/s)"
+    )
+    print(
+        f"em:        {payload['em']['before_s']}s -> {payload['em']['after_s']}s "
+        f"({payload['em']['speedup']}x)"
+    )
+    print(
+        f"online:    {payload['online']['before_mean_ms']}ms -> "
+        f"{payload['online']['after_mean_ms']}ms cold / "
+        f"{payload['online']['warm_mean_ms']}ms warm per question "
+        f"({payload['online']['speedup_cold']}x cold, "
+        f"{payload['online']['speedup_warm']}x warm)"
+    )
+    print(f"train:     {payload['offline_train_s']}s offline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Benchmark entry point: perf harness (writes BENCH_perf.json) + timing
+# benchmarks.  Usage: scripts/bench.sh [--scale small|default]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+SCALE="${BENCH_SCALE:-default}"
+if [[ "${1:-}" == "--scale" && -n "${2:-}" ]]; then
+    SCALE="$2"
+    shift 2
+fi
+
+python -m benchmarks.perf_harness --scale "$SCALE" --output BENCH_perf.json
+python -m pytest tests/test_perf_speedups.py -m perf -q
+python -m pytest benchmarks/bench_offline_timecost.py benchmarks/bench_table14_timecost.py -q "$@"

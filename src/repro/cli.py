@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.system import KBQA
+from repro.core.system import KBQA, KBQAConfig
 from repro.eval.runner import evaluate_qald
 from repro.suite import build_suite
 from repro.utils.tables import Table
@@ -41,6 +41,21 @@ def _build_parser() -> argparse.ArgumentParser:
     _common_args(demo)
     demo.add_argument("questions", nargs="+", help="questions to answer")
     demo.set_defaults(handler=_cmd_demo)
+
+    answer = sub.add_parser(
+        "answer", help="batch-answer BFQs through the serving caches"
+    )
+    _common_args(answer)
+    answer.add_argument("questions", nargs="+", help="questions to answer")
+    answer.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the answer cache and lookup memoization",
+    )
+    answer.add_argument(
+        "--repeat", type=int, default=1,
+        help="answer the batch N times (cache warm-up demonstration)",
+    )
+    answer.set_defaults(handler=_cmd_answer)
 
     train = sub.add_parser("train", help="train and save a template model")
     _common_args(train)
@@ -81,10 +96,10 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--kb", default="freebase", choices=["freebase", "dbpedia"])
 
 
-def _train_system(args) -> tuple[KBQA, object]:
+def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]:
     suite = build_suite(scale=args.scale, seed=args.seed)
     kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
-    system = KBQA.train(kb, suite.corpus, suite.conceptualizer)
+    system = KBQA.train(kb, suite.corpus, suite.conceptualizer, config)
     return system, suite
 
 
@@ -98,6 +113,32 @@ def _cmd_demo(args) -> int:
         else:
             print(f"Q: {question}")
             print("A: (no answer)")
+    return 0
+
+
+def _cmd_answer(args) -> int:
+    import time
+
+    config = (
+        KBQAConfig(answer_cache_size=0, lookup_cache_size=0)
+        if args.no_cache
+        else None
+    )
+    system, _suite = _train_system(args, config)
+    results = []
+    start = time.perf_counter()
+    for _ in range(max(1, args.repeat)):
+        results = system.answer_many(args.questions)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    for result in results:
+        print(f"Q: {result.question}")
+        if result.answered:
+            print(f"A: {result.value}  (all: {', '.join(result.values)})")
+        else:
+            print("A: (no answer)")
+    n_answered = sum(1 for r in results if r.answered)
+    per_q = elapsed_ms / (max(1, args.repeat) * len(results))
+    print(f"-- answered {n_answered}/{len(results)}, {per_q:.2f}ms/question")
     return 0
 
 

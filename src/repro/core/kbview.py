@@ -29,20 +29,29 @@ class KBView:
 
     def paths_between(self, entity: str, value: str) -> set[PredicatePath]:
         """All predicate paths connecting (entity, value) — Eq 8's existence
-        test and the M-step pruning set of Eq 24."""
-        paths = {
-            PredicatePath.single(p)
-            for p in self.store.predicates_between(entity, value)
-        }
-        if self.expanded is not None:
-            for path in self.expanded.paths_between(entity, value):
-                paths.add(path)
+        test and the M-step pruning set of Eq 24.
+
+        Direct predicates are decoded fresh; the expanded contribution is a
+        shared frozen view, so when there are no direct hits it is returned
+        as-is without copying."""
+        direct = self.store.predicates_between(entity, value)
+        if self.expanded is None:
+            return {PredicatePath.single(p) for p in direct}
+        expanded = self.expanded.paths_between(entity, value)
+        if not direct:
+            return expanded
+        paths = {PredicatePath.single(p) for p in direct}
+        paths.update(expanded)
         return paths
 
     def values(self, entity: str, path: PredicatePath) -> set[str]:
         """``V(e, p+)``.  Expanded paths use the materialized store when the
         entity was a BFS seed and fall back to a graph traversal otherwise
-        (online questions may mention entities absent from the QA corpus)."""
+        (online questions may mention entities absent from the QA corpus).
+
+        May return a shared frozen view from :class:`ExpandedStore` — treat
+        the result as read-only (all in-tree callers do).
+        """
         if path.is_direct:
             return self.store.objects(entity, path.predicates[0])
         if self.expanded is not None:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.em import EMConfig, EMResult, run_em
+from repro.core.em import EMConfig, EMResult, EncodedObservations, run_em
 from repro.core.extraction import (
     ExtractionConfig,
     ExtractionStats,
@@ -53,6 +53,24 @@ class LearnResult:
     n_seed_entities: int
 
 
+@dataclass
+class PreparedCorpus:
+    """Everything the offline phase computes before EM runs.
+
+    ``encoded`` is ``(EncodedObservations, template_names, path_names)`` —
+    the flat candidate buffers EM consumes plus the id -> name tables used to
+    decode θ into the :class:`TemplateModel`.
+    """
+
+    kbview: KBView
+    ner: EntityRecognizer
+    expanded: ExpandedStore | None
+    extraction: ExtractionStats
+    encoded: tuple[EncodedObservations, list[str], list[str]]
+    n_observations: int
+    n_seed_entities: int
+
+
 class OfflineLearner:
     """Learns ``P(p|t)`` for one compiled knowledge base."""
 
@@ -68,6 +86,30 @@ class OfflineLearner:
 
     def learn(self, corpus: QACorpus) -> LearnResult:
         """Run the full offline pipeline over ``corpus``."""
+        prepared = self.encode_corpus(corpus)
+        encoded, template_names, path_names = prepared.encoded
+        em_result = run_em(encoded, self.config.em)
+        model = self._build_model(
+            em_result, template_names, path_names, prepared.n_observations
+        )
+
+        return LearnResult(
+            model=model,
+            kbview=prepared.kbview,
+            ner=prepared.ner,
+            expanded=prepared.expanded,
+            em=em_result,
+            extraction=prepared.extraction,
+            n_observations=prepared.n_observations,
+            n_seed_entities=prepared.n_seed_entities,
+        )
+
+    def encode_corpus(self, corpus: QACorpus) -> "PreparedCorpus":
+        """Run every offline stage up to (and including) candidate encoding.
+
+        Split out from :meth:`learn` so the perf harness can time the EM
+        stage in isolation on real encoded observations.
+        """
         ner = EntityRecognizer(self.kb.gazetteer)
         seeds = self._collect_seed_entities(corpus, ner)
 
@@ -88,17 +130,13 @@ class OfflineLearner:
             config=ExtractionConfig(use_refinement=self.config.use_refinement),
         )
 
-        encoded, template_names, path_names = self._encode_candidates(observations, kbview)
-        em_result = run_em(encoded, self.config.em)
-        model = self._build_model(em_result, template_names, path_names, len(observations))
-
-        return LearnResult(
-            model=model,
+        encoded = self._encode_candidates(observations, kbview)
+        return PreparedCorpus(
             kbview=kbview,
             ner=ner,
             expanded=expanded,
-            em=em_result,
             extraction=extraction_stats,
+            encoded=encoded,
             n_observations=len(observations),
             n_seed_entities=len(seeds),
         )
@@ -116,18 +154,20 @@ class OfflineLearner:
 
     def _encode_candidates(
         self, observations: list[Observation], kbview: KBView
-    ) -> tuple[list[list[tuple[int, int, float]]], list[str], list[str]]:
+    ) -> tuple[EncodedObservations, list[str], list[str]]:
         """Expand each observation into (template, path, f) candidates.
 
         Candidates realize the pruned enumeration of Algorithm 1 line 7-8:
         templates from conceptualizing ``e_i`` in ``q_i`` (``P(t|e,q) > 0``),
-        paths connecting ``(e_i, v_i)`` (``P(v|e,p) > 0``).
+        paths connecting ``(e_i, v_i)`` (``P(v|e,p) > 0``).  Candidates are
+        appended straight into the flat CSR buffers of
+        :class:`EncodedObservations` — EM never sees a nested python list.
         """
         template_ids: dict[str, int] = {}
         path_ids: dict[str, int] = {}
         template_names: list[str] = []
         path_names: list[str] = []
-        encoded: list[list[tuple[int, int, float]]] = []
+        encoded = EncodedObservations()
 
         for obs in observations:
             start, end = obs.mention_span
@@ -139,7 +179,6 @@ class OfflineLearner:
                 concept_distribution.items(), key=lambda kv: (-kv[1], kv[0])
             )[: self.config.max_concepts_per_mention]
 
-            candidates: list[tuple[int, int, float]] = []
             for concept, concept_prob in top_concepts:
                 template = Template.from_question(obs.question_tokens, obs.mention_span, concept)
                 t_id = template_ids.setdefault(template.text, len(template_ids))
@@ -153,9 +192,9 @@ class OfflineLearner:
                     p_id = path_ids.setdefault(str(path), len(path_ids))
                     if p_id == len(path_names):
                         path_names.append(str(path))
-                    candidates.append((t_id, p_id, f))
-            if candidates:
-                encoded.append(candidates)
+                    encoded.append_candidate(t_id, p_id, f)
+            if encoded.open_candidates:
+                encoded.close_observation()
         return encoded, template_names, path_names
 
     @staticmethod

@@ -10,6 +10,18 @@ predicate distribution ``P(p|t)``, and the value sets ``V(e,p)``.  The
 complexity is ``O(|P|)`` — linear in the candidate predicates per template —
 exactly the paper's analysis.
 
+Serving-layer hot paths (Table 14's 79 ms/question is a *systems* claim):
+
+* per-template predicate distributions are parsed from the model **once**
+  and cached as ranked ``(path_str, path, θ)`` arrays — no
+  ``PredicatePath.parse`` per question;
+* NER mention scans and conceptualizer posteriors are memoized behind
+  bounded LRUs (real traffic repeats entities and phrasings);
+* an optional answer cache keyed on *normalized* question text short-circuits
+  repeat questions entirely;
+* :meth:`OnlineAnswerer.answer_many` batches questions through the warm
+  caches and is equivalence-tested against per-question :meth:`answer`.
+
 The result distinguishes *found a predicate* (the ``#pro`` condition of
 Sec 7.3.1) from *produced values*: a question whose template is known but
 whose entity lacks the fact processes without an answer.
@@ -17,7 +29,10 @@ whose entity lacks the fact processes without an answer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Sequence
 
 from repro.core.kbview import KBView
 from repro.core.model import TemplateModel
@@ -49,7 +64,14 @@ class AnswerResult:
 
 
 class OnlineAnswerer:
-    """Evaluates Eq 7 against a knowledge base view and a template model."""
+    """Evaluates Eq 7 against a knowledge base view and a template model.
+
+    ``answer_cache_size`` bounds the normalized-question answer cache (0
+    disables it); ``lookup_cache_size`` bounds the NER/conceptualizer LRUs;
+    ``precompute`` toggles the per-template ranked predicate arrays (the
+    legacy per-call ``model.predicates_for`` path is kept for the perf
+    harness's before/after measurement).
+    """
 
     def __init__(
         self,
@@ -58,17 +80,95 @@ class OnlineAnswerer:
         conceptualizer: Conceptualizer,
         model: TemplateModel,
         max_concepts: int = 4,
+        answer_cache_size: int = 2048,
+        lookup_cache_size: int = 8192,
+        precompute: bool = True,
     ) -> None:
         self.kbview = kbview
         self.ner = ner
         self.conceptualizer = conceptualizer
         self.model = model
         self.max_concepts = max_concepts
+        self.precompute = precompute
+        # template text -> ranked ((path_str, path, θ), ...), parsed once
+        self._ranked: dict[str, tuple[tuple[str, PredicatePath, float], ...]] = {}
+        self.answer_cache_size = answer_cache_size
+        self._answer_cache: OrderedDict[str, AnswerResult] = OrderedDict()
+        if lookup_cache_size > 0:
+            self._find_mentions = lru_cache(maxsize=lookup_cache_size)(
+                self._find_mentions_uncached
+            )
+            self._top_concepts = lru_cache(maxsize=lookup_cache_size)(
+                self._top_concepts_uncached
+            )
+        else:
+            self._find_mentions = self._find_mentions_uncached
+            self._top_concepts = self._top_concepts_uncached
+
+    # -- Memoized lookups ---------------------------------------------------
+
+    def _find_mentions_uncached(self, tokens: tuple[str, ...]):
+        return tuple(self.ner.find_mentions(tokens))
+
+    def _top_concepts_uncached(
+        self, entity: str, context: tuple[str, ...]
+    ) -> tuple[tuple[str, float], ...]:
+        concepts = self.conceptualizer.conceptualize(entity, context)
+        return tuple(sorted(concepts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def _ranked_predicates(
+        self, template_text: str
+    ) -> tuple[tuple[str, PredicatePath, float], ...]:
+        """``P(p|t)`` as a ranked array of (path_str, path, θ)."""
+        if not self.precompute:
+            distribution = self.model.predicates_for(template_text)
+            return tuple(
+                (str(path), path, theta) for path, theta in distribution.items()
+            )
+        ranked = self._ranked.get(template_text)
+        if ranked is None:
+            distribution = self.model.predicates_for(template_text)
+            ranked = tuple(
+                sorted(
+                    ((str(path), path, theta) for path, theta in distribution.items()),
+                    key=lambda row: (-row[2], row[0]),
+                )
+            )
+            self._ranked[template_text] = ranked
+        return ranked
+
+    # -- Answering ----------------------------------------------------------
 
     def answer(self, question: str) -> AnswerResult:
         """Answer one BFQ by evaluating Eq 7 over all readings."""
         tokens = tuple(tokenize(question))
-        mentions = self.ner.find_mentions(tokens)
+        if self.answer_cache_size > 0:
+            key = " ".join(tokens)
+            cached = self._answer_cache.get(key)
+            if cached is not None:
+                self._answer_cache.move_to_end(key)
+                if cached.question != question:
+                    cached = replace(cached, question=question)
+                return cached
+            result = self._answer_tokens(question, tokens)
+            self._answer_cache[key] = result
+            if len(self._answer_cache) > self.answer_cache_size:
+                self._answer_cache.popitem(last=False)
+            return result
+        return self._answer_tokens(question, tokens)
+
+    def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
+        """Batch API: answer every question through the warm caches.
+
+        Returns results in input order, identical to calling :meth:`answer`
+        per question (regression-tested) — the batch form simply amortizes
+        cache warm-up across the request set.
+        """
+        return [self.answer(question) for question in questions]
+
+    def _answer_tokens(self, question: str, tokens: tuple[str, ...]) -> AnswerResult:
+        """Eq 7 evaluation over one tokenized question (cache miss path)."""
+        mentions = self._find_mentions(tokens)
         candidate_entities = [
             (mention, entity) for mention in mentions for entity in mention.candidates
         ]
@@ -84,16 +184,15 @@ class OnlineAnswerer:
         for mention, entity in candidate_entities:
             span = (mention.start, mention.end)
             context = tokens[: mention.start] + tokens[mention.end :]
-            concepts = self.conceptualizer.conceptualize(entity, context)
-            top_concepts = sorted(concepts.items(), key=lambda kv: (-kv[1], kv[0]))
+            top_concepts = self._top_concepts(entity, context)
             for concept, concept_prob in top_concepts[: self.max_concepts]:
                 template = Template.from_question(tokens, span, concept)
-                distribution = self.model.predicates_for(template.text)
-                if not distribution:
+                ranked = self._ranked_predicates(template.text)
+                if not ranked:
                     continue
                 found_predicate = True
-                for path, theta in distribution.items():
-                    key = (entity, str(path))
+                for path_str, path, theta in ranked:
+                    key = (entity, path_str)
                     score = entity_prob * concept_prob * theta
                     reading_scores[key] = reading_scores.get(key, 0.0) + score
                     if key not in reading_info:
@@ -103,8 +202,8 @@ class OnlineAnswerer:
             return self._no_answer(question, found_predicate)
 
         # Rank readings, keep the best one that yields values.
-        ranked = sorted(reading_scores.items(), key=lambda kv: (-kv[1], kv[0]))
-        for (entity, _path_key), score in ranked:
+        ranked_readings = sorted(reading_scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        for (entity, _path_key), score in ranked_readings:
             template_text, path = reading_info[(entity, _path_key)]
             values = self.kbview.values(entity, path)
             if not values:
@@ -124,6 +223,29 @@ class OnlineAnswerer:
                 candidates=candidates,
             )
         return self._no_answer(question, found_predicate)
+
+    def clear_caches(self) -> None:
+        """Drop the answer cache and the NER/conceptualizer memos (the
+        ranked-predicate arrays stay: they mirror the immutable model)."""
+        self._answer_cache.clear()
+        for memo in (self._find_mentions, self._top_concepts):
+            cache_clear = getattr(memo, "cache_clear", None)
+            if cache_clear is not None:
+                cache_clear()
+
+    def cache_info(self) -> dict[str, object]:
+        """Serving-cache occupancy/hit counters for ops dashboards."""
+        info: dict[str, object] = {
+            "answer_cache_entries": len(self._answer_cache),
+            "ranked_templates": len(self._ranked),
+        }
+        for name, memo in (("ner", self._find_mentions), ("concepts", self._top_concepts)):
+            stats = getattr(memo, "cache_info", None)
+            if stats is not None:
+                counters = stats()
+                info[f"{name}_hits"] = counters.hits
+                info[f"{name}_misses"] = counters.misses
+        return info
 
     @staticmethod
     def _no_answer(question: str, found_predicate: bool = False) -> AnswerResult:

@@ -9,6 +9,7 @@ needs: :meth:`KBQA.train` and :meth:`KBQA.answer` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.core.decompose import (
     ENTITY_VARIABLE,
@@ -25,12 +26,19 @@ from repro.taxonomy.conceptualizer import Conceptualizer
 
 @dataclass(frozen=True, slots=True)
 class KBQAConfig:
-    """End-to-end configuration (learner + decomposition + online)."""
+    """End-to-end configuration (learner + decomposition + online).
+
+    ``answer_cache_size`` bounds the online answer cache keyed on normalized
+    question text (0 disables it); ``lookup_cache_size`` bounds the
+    NER/conceptualizer memoization LRUs of the serving layer.
+    """
 
     learner: LearnerConfig = field(default_factory=LearnerConfig)
     max_concepts_online: int = 4
     pattern_max_questions: int | None = 25_000
     pattern_max_tokens: int = 23
+    answer_cache_size: int = 2048
+    lookup_cache_size: int = 8192
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +85,8 @@ class KBQA:
             conceptualizer,
             learn_result.model,
             max_concepts=config.max_concepts_online,
+            answer_cache_size=config.answer_cache_size,
+            lookup_cache_size=config.lookup_cache_size,
         )
         self.decomposer = Decomposer(
             pattern_statistics,
@@ -113,6 +123,11 @@ class KBQA:
     def answer(self, question: str) -> AnswerResult:
         """Answer a binary factoid question (Sec 3.3)."""
         return self.answerer.answer(question)
+
+    def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
+        """Batch-answer BFQs through the serving caches (input order kept;
+        results identical to per-question :meth:`answer`)."""
+        return self.answerer.answer_many(questions)
 
     def decompose(self, question: str) -> Decomposition:
         """Optimal decomposition of a (possibly) complex question (Sec 5)."""

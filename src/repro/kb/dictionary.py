@@ -9,7 +9,7 @@ indexes.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 
 class Dictionary:
@@ -56,6 +56,20 @@ class Dictionary:
             return self._id_to_term[term_id]
         raise KeyError(f"unknown term id {term_id}")
 
+    def decode_many(self, term_ids: Iterable[int]) -> list[str]:
+        """Decode a batch of ids in one call (hot-path convenience)."""
+        table = self._id_to_term
+        return [table[term_id] for term_id in term_ids]
+
     def terms(self) -> Iterator[str]:
         """Iterate all interned terms in id order."""
         return iter(self._id_to_term)
+
+    def terms_from(self, start: int) -> Iterator[str]:
+        """Iterate terms with id >= ``start`` in id order.
+
+        Ids are dense and append-only, so derived statistics (e.g. the
+        store's resource count) can be kept current by scanning only the
+        tail added since the last visit.
+        """
+        return iter(self._id_to_term[start:])

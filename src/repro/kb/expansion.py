@@ -4,9 +4,18 @@ The paper generates all ``(s, p+, o)`` triples with ``|p+| <= k`` whose
 subject occurs in the QA corpus, by ``k`` rounds of *index + scan + join*
 over the disk-resident knowledge base: build a hash index on the current
 frontier, scan every triple once, and join triple subjects against the
-frontier.  We follow exactly that structure (a full :meth:`TripleStore.triples`
-scan per round, never a per-node graph walk), which keeps the cost
-``O(k * |K| + #spo)`` as analysed in the paper.
+frontier.  We follow exactly that structure (a full id-keyed scan per round,
+never a per-node graph walk), which keeps the cost ``O(k * |K| + #spo)`` as
+analysed in the paper.
+
+The scan and join are *ID-native*: the frontier, the prefix paths and the
+materialized ``(s, p+, o)`` triples are all dictionary-encoded integers, so
+no term string or :class:`~repro.kb.triple.Triple` object is built per row.
+Strings appear only at the :class:`ExpandedStore` public boundary, where
+decoded results are cached as frozen views (one decode per key, shared across
+calls).  ``expand_predicates_baseline`` preserves the original string-level
+implementation as the reference for equivalence tests and the before/after
+benchmark.
 
 Two paper-mandated restrictions are honoured:
 
@@ -19,57 +28,168 @@ Two paper-mandated restrictions are honoured:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.kb.dictionary import Dictionary
 from repro.kb.paths import PredicatePath
 from repro.kb.store import TripleStore
 
 DEFAULT_TAIL_PREDICATES = frozenset({"name", "alias"})
 
+_EMPTY_FROZEN: frozenset = frozenset()
 
-@dataclass
+
 class ExpandedStore:
     """Materialized ``(s, p+, o)`` triples produced by :func:`expand_predicates`.
 
     Provides the two lookups the KBQA pipeline needs — ``V(e, p+)`` and
     ``paths_between(e, v)`` — over the *expanded* predicate space, with the
     same hash-probe complexity the base store offers for direct predicates.
+
+    Storage is id-encoded: subjects/objects are dictionary ids and each
+    distinct predicate path is interned to a dense path id.  Public lookups
+    return decoded **frozen views**: the decode happens at most once per key
+    and the resulting frozenset is shared by every subsequent call (callers
+    must not mutate results — they never did; see ``core/kbview.py`` and
+    ``core/extraction.py``, which build their own sets).
     """
 
-    max_length: int
-    _by_subject: dict[str, dict[PredicatePath, set[str]]] = field(
-        default_factory=lambda: defaultdict(dict)
-    )
-    _by_pair: dict[tuple[str, str], set[PredicatePath]] = field(
-        default_factory=lambda: defaultdict(set)
-    )
-    _triple_count: int = 0
+    def __init__(self, max_length: int, dictionary: Dictionary | None = None) -> None:
+        self.max_length = max_length
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        # s_id -> path_id -> {o_id}
+        self._by_subject: dict[int, dict[int, set[int]]] = defaultdict(dict)
+        # (s_id, o_id) -> {path_id}
+        self._by_pair: dict[tuple[int, int], set[int]] = defaultdict(set)
+        # path interning: tuple of predicate ids <-> dense path id
+        self._path_key_to_id: dict[tuple[int, ...], int] = {}
+        self._path_keys: list[tuple[int, ...]] = []
+        self._triple_count = 0
+        # decoded frozen views, built lazily, one per key
+        self._decoded_paths: dict[int, PredicatePath] = {}
+        self._objects_cache: dict[tuple[int, int], frozenset[str]] = {}
+        self._pairs_cache: dict[tuple[int, int], frozenset[PredicatePath]] = {}
+        self._paths_of_cache: dict[int, frozenset[PredicatePath]] = {}
+
+    # -- Id-level mutation / lookup ----------------------------------------
+
+    def path_id(self, path_key: tuple[int, ...]) -> int:
+        """Intern a tuple of predicate ids; returns its dense path id."""
+        existing = self._path_key_to_id.get(path_key)
+        if existing is not None:
+            return existing
+        new_id = len(self._path_keys)
+        self._path_key_to_id[path_key] = new_id
+        self._path_keys.append(path_key)
+        return new_id
+
+    def record_encoded(self, subject_id: int, path_key: tuple[int, ...], object_id: int) -> bool:
+        """Insert one id-encoded (s, p+, o) triple (idempotent)."""
+        p_id = self.path_id(path_key)
+        objects = self._by_subject[subject_id].setdefault(p_id, set())
+        if object_id in objects:
+            return False
+        objects.add(object_id)
+        self._by_pair[(subject_id, object_id)].add(p_id)
+        self._triple_count += 1
+        # invalidate any frozen views covering this key
+        self._objects_cache.pop((subject_id, p_id), None)
+        self._pairs_cache.pop((subject_id, object_id), None)
+        self._paths_of_cache.pop(subject_id, None)
+        return True
+
+    def objects_ids(self, subject_id: int, path_id: int) -> set[int] | frozenset[int]:
+        """Id-level ``V(e, p+)`` (read-only view; empty is a frozenset)."""
+        return self._by_subject.get(subject_id, {}).get(path_id, _EMPTY_FROZEN)
+
+    # -- String-boundary mutation ------------------------------------------
 
     def record(self, subject: str, path: PredicatePath, obj: str) -> None:
-        """Insert one (s, p+, o) triple (idempotent)."""
-        objects = self._by_subject[subject].setdefault(path, set())
-        if obj not in objects:
-            objects.add(obj)
-            self._by_pair[(subject, obj)].add(path)
-            self._triple_count += 1
+        """Insert one (s, p+, o) triple given as strings (idempotent)."""
+        encode = self.dictionary.encode
+        path_key = tuple(encode(p) for p in path.predicates)
+        self.record_encoded(encode(subject), path_key, encode(obj))
+
+    # -- Decoding helpers ----------------------------------------------------
+
+    def _decode_path(self, path_id: int) -> PredicatePath:
+        path = self._decoded_paths.get(path_id)
+        if path is None:
+            decode = self.dictionary.decode
+            path = PredicatePath(tuple(decode(p) for p in self._path_keys[path_id]))
+            self._decoded_paths[path_id] = path
+        return path
+
+    def _lookup_path_id(self, path: PredicatePath) -> int | None:
+        lookup = self.dictionary.lookup
+        key: list[int] = []
+        for predicate in path.predicates:
+            p = lookup(predicate)
+            if p is None:
+                return None
+            key.append(p)
+        return self._path_key_to_id.get(tuple(key))
 
     # -- Lookups ----------------------------------------------------------
 
-    def objects(self, subject: str, path: PredicatePath) -> set[str]:
-        """``V(e, p+)`` over expanded predicates."""
-        return set(self._by_subject.get(subject, {}).get(path, ()))
+    def objects(self, subject: str, path: PredicatePath) -> frozenset[str]:
+        """``V(e, p+)`` over expanded predicates (shared frozen view)."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return _EMPTY_FROZEN
+        p = self._lookup_path_id(path)
+        if p is None:
+            return _EMPTY_FROZEN
+        key = (s, p)
+        cached = self._objects_cache.get(key)
+        if cached is None:
+            object_ids = self._by_subject.get(s, {}).get(p)
+            if not object_ids:
+                return _EMPTY_FROZEN
+            cached = frozenset(self.dictionary.decode_many(object_ids))
+            self._objects_cache[key] = cached
+        return cached
 
-    def paths_between(self, subject: str, obj: str) -> set[PredicatePath]:
-        """All expanded predicates connecting (subject, obj)."""
-        return set(self._by_pair.get((subject, obj), ()))
+    def paths_between(self, subject: str, obj: str) -> frozenset[PredicatePath]:
+        """All expanded predicates connecting (subject, obj) (frozen view)."""
+        lookup = self.dictionary.lookup
+        s = lookup(subject)
+        o = lookup(obj)
+        if s is None or o is None:
+            return _EMPTY_FROZEN
+        key = (s, o)
+        cached = self._pairs_cache.get(key)
+        if cached is None:
+            path_ids = self._by_pair.get(key)
+            if not path_ids:
+                return _EMPTY_FROZEN
+            cached = frozenset(self._decode_path(p) for p in path_ids)
+            self._pairs_cache[key] = cached
+        return cached
 
-    def paths_of(self, subject: str) -> set[PredicatePath]:
-        """All expanded predicates leaving ``subject``."""
-        return set(self._by_subject.get(subject, ()))
+    def paths_of(self, subject: str) -> frozenset[PredicatePath]:
+        """All expanded predicates leaving ``subject`` (frozen view)."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return _EMPTY_FROZEN
+        cached = self._paths_of_cache.get(s)
+        if cached is None:
+            by_path = self._by_subject.get(s)
+            if not by_path:
+                return _EMPTY_FROZEN
+            cached = frozenset(self._decode_path(p) for p in by_path)
+            self._paths_of_cache[s] = cached
+        return cached
 
     def value_count(self, subject: str, path: PredicatePath) -> int:
-        return len(self._by_subject.get(subject, {}).get(path, ()))
+        """``|V(e, p+)|`` without decoding a single object."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return 0
+        p = self._lookup_path_id(path)
+        if p is None:
+            return 0
+        return len(self._by_subject.get(s, {}).get(p, ()))
 
     # -- Inventory ----------------------------------------------------------
 
@@ -78,31 +198,40 @@ class ExpandedStore:
         return self._triple_count
 
     def subjects(self) -> Iterator[str]:
-        return iter(self._by_subject)
+        """All subjects with at least one expanded triple."""
+        decode = self.dictionary.decode
+        return (decode(s) for s in self._by_subject)
 
     def distinct_paths(self) -> set[PredicatePath]:
         """All expanded predicates materialized for any subject."""
-        paths: set[PredicatePath] = set()
-        for by_path in self._by_subject.values():
-            paths.update(by_path)
-        return paths
+        return {self._decode_path(p) for p in range(len(self._path_keys))}
 
     def triples(self) -> Iterator[tuple[str, PredicatePath, str]]:
-        """Scan every materialized (s, p+, o)."""
-        for subject, by_path in self._by_subject.items():
-            for path, objects in by_path.items():
-                for obj in objects:
-                    yield subject, path, obj
+        """Scan every materialized (s, p+, o), decoded."""
+        decode = self.dictionary.decode
+        for s, by_path in self._by_subject.items():
+            subject = decode(s)
+            for p, object_ids in by_path.items():
+                path = self._decode_path(p)
+                for o in object_ids:
+                    yield subject, path, decode(o)
+
+    def triples_ids(self) -> Iterator[tuple[int, int, int]]:
+        """Id-native scan: ``(s_id, path_id, o_id)`` per materialized triple."""
+        for s, by_path in self._by_subject.items():
+            for p, object_ids in by_path.items():
+                for o in object_ids:
+                    yield s, p, o
 
     def stats(self) -> dict[str, int]:
         """Triple/subject/path counts split by direct vs expanded."""
-        paths = self.distinct_paths()
+        n_direct = sum(1 for key in self._path_keys if len(key) == 1)
         return {
             "spo_triples": self._triple_count,
             "subjects": len(self._by_subject),
-            "paths": len(paths),
-            "direct_paths": sum(1 for p in paths if p.is_direct),
-            "expanded_paths": sum(1 for p in paths if not p.is_direct),
+            "paths": len(self._path_keys),
+            "direct_paths": n_direct,
+            "expanded_paths": len(self._path_keys) - n_direct,
         }
 
 
@@ -114,10 +243,13 @@ def expand_predicates(
 ) -> ExpandedStore:
     """Generate all ``(s, p+, o)`` with ``s`` in ``seeds``, ``|p+| <= max_length``.
 
-    Implements Algorithm of Sec 6.2: round ``i`` joins a full scan of the
-    store against the frontier produced by round ``i-1``.  ``frontier`` maps
-    an intermediate node to the set of ``(seed, prefix-path)`` ways it was
-    reached; joining a triple ``(node, p, o)`` extends each way by ``p``.
+    Implements the algorithm of Sec 6.2 entirely over dictionary ids: round
+    ``i`` joins an id-keyed scan of the store (:meth:`TripleStore.spo_items_ids`)
+    against the frontier produced by round ``i-1``.  ``frontier`` maps an
+    intermediate node id to the set of ``(seed_id, prefix-key)`` ways it was
+    reached; joining a subject group extends each way by the group's
+    predicates.  The grouped scan probes the frontier once per *subject*, not
+    once per triple, and no string leaves the dictionary during expansion.
 
     Length-1 paths are recorded unconditionally (they are ordinary KB
     predicates); longer paths are recorded only when their final predicate is
@@ -128,13 +260,75 @@ def expand_predicates(
     if max_length < 1:
         raise ValueError(f"max_length must be >= 1, got {max_length}")
 
+    dictionary = store.dictionary
+    expanded = ExpandedStore(max_length=max_length, dictionary=dictionary)
+
+    seed_ids: set[int] = set()
+    for seed in seeds:
+        seed_id = dictionary.lookup(seed)
+        if seed_id is not None and store.has_subject_id(seed_id):
+            seed_ids.add(seed_id)
+    if not seed_ids:
+        return expanded
+
+    tail_ids = {
+        tail_id
+        for tail in tail_predicates
+        if (tail_id := dictionary.lookup(tail)) is not None
+    }
+
+    # frontier: node id -> set of (seed_id, prefix-key) provenance entries;
+    # the empty tuple marks a seed node at round 0.
+    frontier: dict[int, set[tuple[int, tuple[int, ...]]]] = {
+        seed_id: {(seed_id, ())} for seed_id in seed_ids
+    }
+    record = expanded.record_encoded
+
+    for round_index in range(1, max_length + 1):
+        is_last_round = round_index == max_length
+        next_frontier: dict[int, set[tuple[int, tuple[int, ...]]]] = defaultdict(set)
+        for s_id, by_predicate in store.spo_items_ids():
+            provenance = frontier.get(s_id)
+            if not provenance:
+                continue
+            for p_id, object_ids in by_predicate.items():
+                is_tail = p_id in tail_ids
+                for seed_id, prefix in provenance:
+                    path_key = prefix + (p_id,)
+                    if len(path_key) == 1 or is_tail:
+                        for o_id in object_ids:
+                            record(seed_id, path_key, o_id)
+                    if not is_last_round:
+                        extended = (seed_id, path_key)
+                        for o_id in object_ids:
+                            next_frontier[o_id].add(extended)
+        frontier = next_frontier
+
+    return expanded
+
+
+def expand_predicates_baseline(
+    store: TripleStore,
+    seeds: Iterable[str],
+    max_length: int = 3,
+    tail_predicates: frozenset[str] = DEFAULT_TAIL_PREDICATES,
+) -> ExpandedStore:
+    """The original string-level expansion, kept as the reference.
+
+    Scans :meth:`TripleStore.triples` (materializing a :class:`Triple` and
+    three term strings per row) and joins on decoded subjects.  Equivalence
+    tests assert :func:`expand_predicates` produces the identical triple set;
+    ``benchmarks/bench_offline_timecost.py`` and the perf harness report the
+    before/after wall-clock.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+
     expanded = ExpandedStore(max_length=max_length)
     seed_set = {s for s in seeds if store.has_subject(s)}
     if not seed_set:
         return expanded
 
-    # frontier: node -> set of (seed, prefix) provenance entries; a ``None``
-    # prefix marks a seed node at round 0 (PredicatePath cannot be empty).
     frontier: dict[str, set[tuple[str, PredicatePath | None]]] = {
         seed: {(seed, None)} for seed in seed_set
     }

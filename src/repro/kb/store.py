@@ -9,7 +9,11 @@ pipeline performs is a hash probe:
 * ``OSP`` — ``object -> subject -> {predicates}`` for
   ``predicates_between(e, v)``, the pruning step of the EM M-step (Eq 24).
 
-The public API speaks term strings; ids stay internal.
+The public API speaks term strings.  The hot paths (the Sec 6.2 expansion
+scan, the benchmark harness) additionally get an *id-level* API —
+``objects_ids``, ``triples_ids``, ``spo_items_ids`` — that exposes the
+dictionary-encoded indexes directly so per-row string materialization can be
+skipped entirely; callers treat the returned containers as read-only views.
 """
 
 from __future__ import annotations
@@ -37,14 +41,32 @@ class TripleStore:
         self._pos: dict[int, dict[int, set[int]]] = defaultdict(dict)
         self._osp: dict[int, dict[int, set[int]]] = defaultdict(dict)
         self._size = 0
+        # Resource count, kept current by scanning only the dictionary tail
+        # added since the last reconcile — dictionary ids are dense and
+        # append-only, so this is O(1) amortized per add and correct even
+        # when terms are interned through a shared dictionary (e.g. by an
+        # ExpandedStore) rather than through ``add``.
+        self._n_resources = 0
+        self._n_terms_counted = 0
 
     # -- Mutation ----------------------------------------------------------
 
+    def _reconcile_resources(self) -> None:
+        """Fold dictionary terms added since the last call into the count."""
+        n_terms = len(self.dictionary)
+        if n_terms == self._n_terms_counted:
+            return
+        for term in self.dictionary.terms_from(self._n_terms_counted):
+            if not is_literal(term):
+                self._n_resources += 1
+        self._n_terms_counted = n_terms
+
     def add(self, subject: str, predicate: str, obj: str) -> bool:
         """Insert a triple; returns False if it was already present."""
-        s = self.dictionary.encode(subject)
-        p = self.dictionary.encode(predicate)
-        o = self.dictionary.encode(obj)
+        encode = self.dictionary.encode
+        s = encode(subject)
+        p = encode(predicate)
+        o = encode(obj)
         objects = self._spo[s].setdefault(p, set())
         if o in objects:
             return False
@@ -125,6 +147,49 @@ class TripleStore:
         s = self.dictionary.lookup(subject)
         return s is not None and s in self._spo
 
+    # -- Id-level API (hot paths) ------------------------------------------
+    #
+    # These methods hand out the dictionary-encoded indexes without decoding
+    # a single term.  Returned dicts/sets are the live internal structures:
+    # callers must treat them as read-only views.
+
+    def lookup_id(self, term: str) -> int | None:
+        """Dictionary id of ``term`` (None when never interned)."""
+        return self.dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> str:
+        """Term string for a dictionary id."""
+        return self.dictionary.decode(term_id)
+
+    def has_subject_id(self, subject_id: int) -> bool:
+        """True when ``subject_id`` occurs in subject position."""
+        return subject_id in self._spo
+
+    def objects_ids(self, subject_id: int, predicate_id: int) -> set[int] | frozenset[int]:
+        """``V(e, p)`` as object ids (read-only view; empty on absence is a
+        frozenset so accidental mutation raises instead of corrupting)."""
+        return self._spo.get(subject_id, {}).get(predicate_id, _EMPTY_ID_SET)
+
+    def predicates_ids_of(self, subject_id: int):
+        """Ids of predicates leaving ``subject_id`` (read-only view)."""
+        return self._spo.get(subject_id, {}).keys()
+
+    def triples_ids(self) -> Iterator[tuple[int, int, int]]:
+        """Scan all triples as ``(s_id, p_id, o_id)`` — the id-native
+        analogue of :meth:`triples`, with zero string materialization."""
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield s, p, o
+
+    def spo_items_ids(self) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan: ``(s_id, {p_id: {o_id}})`` per subject.
+
+        This is the shape the Sec 6.2 index+scan+join wants: one frontier
+        probe per *subject group* instead of one per triple.
+        """
+        return iter(self._spo.items())
+
     # -- Scans ---------------------------------------------------------------
 
     def triples(self) -> Iterator[Triple]:
@@ -151,14 +216,20 @@ class TripleStore:
     # -- Statistics ------------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
-        """Store-level counts used by benchmark headers and DESIGN checks."""
-        n_entities = sum(
-            1 for term in self.dictionary.terms() if not is_literal(term)
-        )
+        """Store-level counts used by benchmark headers and DESIGN checks.
+
+        ``resources`` is maintained incrementally (only dictionary terms
+        added since the previous call are visited), so this is O(1)
+        amortized rather than a full dictionary scan per call.
+        """
+        self._reconcile_resources()
         return {
             "triples": self._size,
             "terms": len(self.dictionary),
-            "resources": n_entities,
+            "resources": self._n_resources,
             "predicates": len(self._pos),
             "subjects": len(self._spo),
         }
+
+
+_EMPTY_ID_SET: frozenset[int] = frozenset()
