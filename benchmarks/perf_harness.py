@@ -10,12 +10,16 @@ on the same machine and the same inputs:
 * **online** — per-question latency (mean/p50) over the qald3 BFQ set,
   before (no precompute, no caches) and after (ranked arrays + memoized
   lookups), and a warm pass through the answer cache;
-* **offline_train_s** — end-to-end ``KBQA.train`` wall-clock.
+* **offline_train_s** — end-to-end ``KBQA.train`` wall-clock;
+* **shard_sweep** — the Sec 6.2 expansion scan and ``answer_many`` against
+  the same KB compiled into 1/2/4 subject shards
+  (:class:`~repro.kb.sharded.ShardedTripleStore`), so the perf trajectory
+  records *scaling*, not just single-store speedups.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_harness --scale default \
-        --output BENCH_perf.json
+        --shards 1 2 4 --output BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ import time
 from pathlib import Path
 
 from repro.core.em import EMConfig, run_em, run_em_reference
+from repro.core.kbview import KBView
 from repro.core.learner import LearnerConfig, OfflineLearner
 from repro.core.online import OnlineAnswerer
 from repro.core.system import KBQA
+from repro.data.compile import compile_freebase_like
 from repro.kb.expansion import expand_predicates, expand_predicates_baseline
 from repro.suite import build_suite
 
@@ -53,7 +59,49 @@ def _latencies_ms(answer, questions) -> list[float]:
     return out
 
 
-def measure(scale: str, seed: int, repeats: int) -> dict:
+def _shard_sweep(suite, system, seeds, questions, shard_counts, repeats) -> dict:
+    """Expansion-scan and ``answer_many`` wall-clock per shard count.
+
+    Each step recompiles the same world into N subject shards, re-runs the
+    Sec 6.2 scan (asserting the materialized triple count matches the
+    single-store run) and serves the qald3 BFQ set through a fresh answerer
+    whose KB lookups fan out per shard.
+    """
+    sweep: dict[str, dict] = {}
+    reference_spo: int | None = None
+    for n in shard_counts:
+        kb = compile_freebase_like(suite.world, shards=n)
+        expand_s, expanded = _best_of(
+            lambda: expand_predicates(kb.store, seeds, max_length=3), repeats
+        )
+        if reference_spo is None:
+            reference_spo = len(expanded)
+        assert len(expanded) == reference_spo, "shard equivalence violated"
+        answerer = OnlineAnswerer(
+            KBView(kb.store, expanded),
+            system.learn_result.ner,
+            system.conceptualizer,
+            system.model,
+            max_concepts=system.config.max_concepts_online,
+        )
+        start = time.perf_counter()
+        answerer.answer_many(questions)
+        cold_ms = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        answerer.answer_many(questions)
+        warm_ms = (time.perf_counter() - start) * 1000.0
+        sweep[str(n)] = {
+            "shards": n,
+            "expand_s": round(expand_s, 4),
+            "spo_triples": len(expanded),
+            "answer_many_cold_ms": round(cold_ms, 3),
+            "answer_many_warm_ms": round(warm_ms, 3),
+            "cold_ms_per_q": round(cold_ms / max(len(questions), 1), 3),
+        }
+    return sweep
+
+
+def measure(scale: str, seed: int, repeats: int, shard_counts: list[int]) -> dict:
     """Run every measurement; returns the BENCH_perf payload."""
     suite = build_suite(scale, seed=seed)
     store = suite.freebase.store
@@ -131,6 +179,8 @@ def measure(scale: str, seed: int, repeats: int) -> dict:
         ),
     }
 
+    shard_sweep = _shard_sweep(suite, system, seeds, questions, shard_counts, repeats)
+
     return {
         "benchmark": "BENCH_perf",
         "scale": scale,
@@ -143,6 +193,7 @@ def measure(scale: str, seed: int, repeats: int) -> dict:
         "expansion": expansion,
         "em": em,
         "online": online,
+        "shard_sweep": shard_sweep,
     }
 
 
@@ -152,10 +203,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default="default", choices=["small", "default"])
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts for the scaling sweep (default: 1 2 4)",
+    )
     parser.add_argument("--output", default="BENCH_perf.json")
     args = parser.parse_args(argv)
 
-    payload = measure(args.scale, args.seed, args.repeats)
+    payload = measure(args.scale, args.seed, args.repeats, args.shards)
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
     print(
@@ -176,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{payload['online']['speedup_warm']}x warm)"
     )
     print(f"train:     {payload['offline_train_s']}s offline")
+    for key, row in payload["shard_sweep"].items():
+        print(
+            f"shards={key}:  expand {row['expand_s']}s, "
+            f"answer_many {row['answer_many_cold_ms']}ms cold / "
+            f"{row['answer_many_warm_ms']}ms warm"
+        )
     return 0
 
 

@@ -11,6 +11,10 @@ if [[ "${1:-}" == "--scale" && -n "${2:-}" ]]; then
     shift 2
 fi
 
-python -m benchmarks.perf_harness --scale "$SCALE" --output BENCH_perf.json
+# Shard counts for the scaling sweep (expansion scan + answer_many per count).
+SHARDS="${BENCH_SHARDS:-1 2 4}"
+
+# shellcheck disable=SC2086  # SHARDS is a deliberate word-split list
+python -m benchmarks.perf_harness --scale "$SCALE" --shards $SHARDS --output BENCH_perf.json
 python -m pytest tests/test_perf_speedups.py -m perf -q
 python -m pytest benchmarks/bench_offline_timecost.py benchmarks/bench_table14_timecost.py -q "$@"

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from repro.core.online import AnswerResult, render_term
 from repro.data.compile import CompiledKB
-from repro.data.world import SCHEMA_BY_INTENT
 from repro.kb.paths import PredicatePath, follow
 from repro.nlp.ner import EntityRecognizer
 from repro.nlp.question_class import answer_types_compatible, classify_question

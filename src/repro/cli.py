@@ -6,6 +6,12 @@ shell::
     kbqa demo --scale small "what is the population of mapleton?"
     kbqa train --scale small --kb freebase --model /tmp/model.json
     kbqa eval --scale small --benchmark qald3
+    kbqa expand --scale small --save /tmp/expansion.kbqa
+    kbqa answer --scale small --expansion /tmp/expansion.kbqa "..."
+
+Every training command accepts ``--shards N`` (compile the KB into a
+subject-sharded backend) and ``--expansion PATH`` (resume from a persisted
+predicate expansion instead of re-running the Sec 6.2 scan).
 """
 
 from __future__ import annotations
@@ -15,18 +21,29 @@ import sys
 
 from repro.core.system import KBQA, KBQAConfig
 from repro.eval.runner import evaluate_qald
+from repro.kb.expansion import ExpandedStore
 from repro.suite import build_suite
 from repro.utils.tables import Table
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Real failures (an unreadable ``--expansion`` artifact, a config/artifact
+    mismatch) exit 1 with a deterministic one-line message on stderr for
+    *every* subcommand; unknown entities / empty answers are normal outcomes
+    and exit 0.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
         parser.print_help()
         return 1
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as error:
+        print(f"kbqa {args.command}: error: {error}", file=sys.stderr)
+        return 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,6 +91,25 @@ def _build_parser() -> argparse.ArgumentParser:
     _common_args(stats)
     stats.set_defaults(handler=_cmd_stats)
 
+    expand = sub.add_parser(
+        "expand",
+        help="materialize the Sec 6.2 predicate expansion and save/load it",
+    )
+    _common_args(expand)
+    expand.add_argument(
+        "--save", metavar="PATH",
+        help="run the expansion scan and persist the ExpandedStore to PATH",
+    )
+    expand.add_argument(
+        "--load", metavar="PATH",
+        help="reload a persisted ExpandedStore and print its inventory",
+    )
+    expand.add_argument(
+        "--max-length", type=int, default=3,
+        help="maximum expanded-predicate length k (paper default: 3)",
+    )
+    expand.set_defaults(handler=_cmd_expand)
+
     decompose = sub.add_parser(
         "decompose", help="show a question's optimal decomposition (Sec 5)"
     )
@@ -94,12 +130,25 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--scale", default="small", choices=["small", "default"])
     sub.add_argument("--seed", type=int, default=7)
     sub.add_argument("--kb", default="freebase", choices=["freebase", "dbpedia"])
+    sub.add_argument(
+        "--shards", type=int, default=1,
+        help="number of subject shards for the KB backend (default: 1)",
+    )
+    sub.add_argument(
+        "--expansion", metavar="PATH", default=None,
+        help="resume from a persisted expansion (kbqa expand --save) "
+             "instead of re-running the Sec 6.2 scan",
+    )
 
 
 def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]:
-    suite = build_suite(scale=args.scale, seed=args.seed)
+    suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
     kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
-    system = KBQA.train(kb, suite.corpus, suite.conceptualizer, config)
+    expanded = None
+    expansion_path = getattr(args, "expansion", None)
+    if expansion_path:
+        expanded = ExpandedStore.load(expansion_path)
+    system = KBQA.train(kb, suite.corpus, suite.conceptualizer, config, expanded=expanded)
     return system, suite
 
 
@@ -117,6 +166,13 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_answer(args) -> int:
+    """Batch answering with deterministic non-crash handling.
+
+    An unknown entity or an empty answer set is a *normal* outcome — it
+    prints ``A: (no answer)`` and the command still exits 0.  Only real
+    failures (an unreadable ``--expansion`` file, an internal error) exit
+    nonzero, with the message on stderr.
+    """
     import time
 
     config = (
@@ -124,12 +180,16 @@ def _cmd_answer(args) -> int:
         if args.no_cache
         else None
     )
-    system, _suite = _train_system(args, config)
-    results = []
-    start = time.perf_counter()
-    for _ in range(max(1, args.repeat)):
-        results = system.answer_many(args.questions)
-    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    try:
+        system, _suite = _train_system(args, config)
+        results = []
+        start = time.perf_counter()
+        for _ in range(max(1, args.repeat)):
+            results = system.answer_many(args.questions)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+    except (OSError, ValueError) as error:
+        print(f"kbqa answer: error: {error}", file=sys.stderr)
+        return 1
     for result in results:
         print(f"Q: {result.question}")
         if result.answered:
@@ -194,8 +254,41 @@ def _cmd_variants(args) -> int:
     return 0
 
 
+def _cmd_expand(args) -> int:
+    """Materialize (``--save``) or reload (``--load``) a predicate expansion."""
+    if bool(args.save) == bool(args.load):
+        print("kbqa expand: error: pass exactly one of --save/--load", file=sys.stderr)
+        return 1
+    try:
+        if args.save:
+            from repro.core.learner import collect_seed_entities
+            from repro.kb.expansion import expand_predicates
+            from repro.nlp.ner import EntityRecognizer
+
+            suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
+            kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
+            ner = EntityRecognizer(kb.gazetteer)
+            seeds = collect_seed_entities(suite.corpus, ner)
+            # record reach so the saved artifact supports live updates on
+            # reload without a rebuild at maintainer attach
+            expanded = expand_predicates(
+                kb.store, seeds, max_length=args.max_length, record_reach=True
+            )
+            expanded.save(args.save)
+            print(f"saved expansion to {args.save}")
+        else:
+            expanded = ExpandedStore.load(args.load)
+            print(f"loaded expansion from {args.load}")
+    except (OSError, ValueError) as error:
+        print(f"kbqa expand: error: {error}", file=sys.stderr)
+        return 1
+    for key, value in expanded.stats().items():
+        print(f"{key}={value}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
-    suite = build_suite(scale=args.scale, seed=args.seed)
+    suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
     table = Table(["component", "stat", "value"], title=f"suite ({args.scale}, seed {args.seed})")
     for key, value in suite.world.stats().items():
         table.add_row(["world", key, value])

@@ -18,12 +18,12 @@ EM algorithm's M-step (Eq 24).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.kbview import KBView
 from repro.kb.paths import PredicatePath
-from repro.kb.store import TripleStore
+from repro.kb.backend import KBBackend
 from repro.kb.triple import is_literal
 from repro.nlp.ner import EntityRecognizer
 from repro.nlp.question_class import (
@@ -74,7 +74,7 @@ class ValueIndex:
     same convention as the entity gazetteer.
     """
 
-    def __init__(self, store: TripleStore) -> None:
+    def __init__(self, store: KBBackend) -> None:
         self._by_tokens: dict[tuple[str, ...], str] = {}
         by_first: dict[str, int] = defaultdict(int)
         for term in store.dictionary.terms():

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 from repro.kb.expansion import ExpandedStore
 from repro.kb.paths import PredicatePath, follow
-from repro.kb.store import TripleStore
+from repro.kb.backend import KBBackend
 
 
 class KBView:
     """Direct + expanded predicate lookups against one knowledge base."""
 
-    def __init__(self, store: TripleStore, expanded: ExpandedStore | None = None) -> None:
+    def __init__(self, store: KBBackend, expanded: ExpandedStore | None = None) -> None:
         self.store = store
         self.expanded = expanded
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from repro.data.infobox import Infobox
 from repro.kb.expansion import expand_predicates
-from repro.kb.store import TripleStore
+from repro.kb.backend import KBBackend
 from repro.kb.triple import is_literal, literal_value
 
 
-def top_entities_by_frequency(store: TripleStore, count: int) -> list[str]:
+def top_entities_by_frequency(store: KBBackend, count: int) -> list[str]:
     """Entities ordered by triple frequency (the paper samples the top
     17,000 'because they have richer facts')."""
     subjects = [
@@ -28,7 +28,7 @@ def top_entities_by_frequency(store: TripleStore, count: int) -> list[str]:
 
 
 def valid_k(
-    store: TripleStore,
+    store: KBBackend,
     infobox: Infobox,
     max_length: int = 3,
     sample_entities: int = 500,

@@ -51,6 +51,7 @@ class LearnResult:
     extraction: ExtractionStats
     n_observations: int
     n_seed_entities: int
+    seed_entities: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -69,6 +70,21 @@ class PreparedCorpus:
     encoded: tuple[EncodedObservations, list[str], list[str]]
     n_observations: int
     n_seed_entities: int
+    seed_entities: frozenset[str] = frozenset()
+
+
+def collect_seed_entities(corpus: QACorpus, ner: EntityRecognizer) -> set[str]:
+    """Entities mentioned in corpus questions — the BFS seed reduction of
+    Sec 6.2 ('we only use subjects occurring in the questions').
+
+    Module-level so the CLI's ``kbqa expand`` can materialize the same seed
+    set the offline learner would use, without running the full pipeline.
+    """
+    seeds: set[str] = set()
+    for question in corpus.questions():
+        for mention in ner.find_mentions(tokenize(question)):
+            seeds.update(mention.candidates)
+    return seeds
 
 
 class OfflineLearner:
@@ -79,10 +95,15 @@ class OfflineLearner:
         kb: CompiledKB,
         conceptualizer: Conceptualizer,
         config: LearnerConfig | None = None,
+        *,
+        precomputed_expansion: ExpandedStore | None = None,
     ) -> None:
         self.kb = kb
         self.conceptualizer = conceptualizer
         self.config = config or LearnerConfig()
+        # a persisted ExpandedStore (ExpandedStore.load) skips the Sec 6.2
+        # scan entirely — offline training resumes from the saved artifact
+        self.precomputed_expansion = precomputed_expansion
 
     def learn(self, corpus: QACorpus) -> LearnResult:
         """Run the full offline pipeline over ``corpus``."""
@@ -102,6 +123,7 @@ class OfflineLearner:
             extraction=prepared.extraction,
             n_observations=prepared.n_observations,
             n_seed_entities=prepared.n_seed_entities,
+            seed_entities=prepared.seed_entities,
         )
 
     def encode_corpus(self, corpus: QACorpus) -> "PreparedCorpus":
@@ -115,9 +137,19 @@ class OfflineLearner:
 
         expanded: ExpandedStore | None = None
         if self.config.use_expansion and self.config.max_path_length > 1:
-            expanded = expand_predicates(
-                self.kb.store, seeds, max_length=self.config.max_path_length
-            )
+            if self.precomputed_expansion is not None:
+                expanded = self.precomputed_expansion
+                if expanded.max_length != self.config.max_path_length:
+                    raise ValueError(
+                        f"precomputed expansion has max_length="
+                        f"{expanded.max_length}, but the learner is configured "
+                        f"for max_path_length={self.config.max_path_length} — "
+                        "re-run `kbqa expand --save` with the matching k"
+                    )
+            else:
+                expanded = expand_predicates(
+                    self.kb.store, seeds, max_length=self.config.max_path_length
+                )
         kbview = KBView(self.kb.store, expanded)
 
         value_index = ValueIndex(self.kb.store)
@@ -139,6 +171,7 @@ class OfflineLearner:
             encoded=encoded,
             n_observations=len(observations),
             n_seed_entities=len(seeds),
+            seed_entities=frozenset(seeds),
         )
 
     # -- Stages -----------------------------------------------------------
@@ -146,11 +179,7 @@ class OfflineLearner:
     def _collect_seed_entities(self, corpus: QACorpus, ner: EntityRecognizer) -> set[str]:
         """Entities mentioned in corpus questions — the BFS seed reduction of
         Sec 6.2 ('we only use subjects occurring in the questions')."""
-        seeds: set[str] = set()
-        for question in corpus.questions():
-            for mention in ner.find_mentions(tokenize(question)):
-                seeds.update(mention.candidates)
-        return seeds
+        return collect_seed_entities(corpus, ner)
 
     def _encode_candidates(
         self, observations: list[Observation], kbview: KBView

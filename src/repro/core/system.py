@@ -4,6 +4,15 @@ Wires the offline procedure (learner), the online procedure (answerer) and
 the decomposition machinery (Sec 5) into the two-call API a downstream user
 needs: :meth:`KBQA.train` and :meth:`KBQA.answer` /
 :meth:`KBQA.answer_complex`.
+
+The facade is also where live KB updates come together: a trained system
+subscribes to its backend's change stream, so :meth:`KBQA.add_fact` /
+:meth:`KBQA.delete_fact` (or any direct backend mutation) flow through
+per-seed expansion refresh (`repro.kb.live`) and answer-cache invalidation —
+answers reflect the edit with no retraining and no full re-expansion.
+Training can also resume from a persisted expansion
+(``KBQA.train(..., expanded=ExpandedStore.load(path))``), skipping the
+Sec 6.2 scan.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from repro.core.learner import LearnerConfig, LearnResult, OfflineLearner
 from repro.core.online import AnswerResult, OnlineAnswerer
 from repro.corpus.qa import QACorpus
 from repro.data.compile import CompiledKB
+from repro.kb.expansion import ExpandedStore
+from repro.kb.live import LiveExpansionMaintainer
 from repro.taxonomy.conceptualizer import Conceptualizer
 
 
@@ -95,6 +106,17 @@ class KBQA:
             conceptualizer,
             max_concepts=config.max_concepts_online,
         )
+        # Live-update wiring: any backend mutation invalidates the answer
+        # cache, and (when an expansion exists) refreshes exactly the
+        # affected seeds instead of re-running the Sec 6.2 scan.
+        self.maintainer: LiveExpansionMaintainer | None = None
+        if learn_result.expanded is not None:
+            self.maintainer = LiveExpansionMaintainer(
+                kb.store,
+                learn_result.expanded,
+                learn_result.seed_entities,
+            )
+        self._kb_unsubscribe = kb.store.subscribe(self._on_kb_change)
 
     # -- Training -------------------------------------------------------------
 
@@ -105,10 +127,19 @@ class KBQA:
         corpus: QACorpus,
         conceptualizer: Conceptualizer,
         config: KBQAConfig | None = None,
+        *,
+        expanded: ExpandedStore | None = None,
     ) -> "KBQA":
-        """Run the full offline procedure of Figure 3 and return the system."""
+        """Run the full offline procedure of Figure 3 and return the system.
+
+        Pass ``expanded`` (typically ``ExpandedStore.load(path)``) to resume
+        from a persisted predicate expansion: the learner then skips the
+        Sec 6.2 scan and trains directly against the loaded store.
+        """
         config = config or KBQAConfig()
-        learner = OfflineLearner(kb, conceptualizer, config.learner)
+        learner = OfflineLearner(
+            kb, conceptualizer, config.learner, precomputed_expansion=expanded
+        )
         learn_result = learner.learn(corpus)
         statistics = PatternStatistics.from_corpus(
             corpus.questions(),
@@ -128,6 +159,54 @@ class KBQA:
         """Batch-answer BFQs through the serving caches (input order kept;
         results identical to per-question :meth:`answer`)."""
         return self.answerer.answer_many(questions)
+
+    # -- Live KB updates -------------------------------------------------------
+
+    def _on_kb_change(self, _change) -> None:
+        """Backend change listener: a mutated KB can invalidate any cached
+        answer (the subscription order puts the expansion maintainer first,
+        so the expanded store is already refreshed when this fires)."""
+        self.answerer.clear_caches()
+
+    def add_fact(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert one triple into the live KB; returns True if new.
+
+        The change flows through every layer without retraining: the backend
+        notifies the expansion maintainer (per-seed refresh, no full
+        re-expansion) and the answer caches are dropped, so the next
+        :meth:`answer` sees the new fact.
+        """
+        return self.kb.store.add(subject, predicate, obj)
+
+    def delete_fact(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove one triple from the live KB; returns True if it existed.
+
+        Same propagation as :meth:`add_fact` — expanded triples derived from
+        the deleted edge disappear from subsequent answers immediately.
+        """
+        return self.kb.store.delete(subject, predicate, obj)
+
+    def close(self) -> None:
+        """Detach the system's change listeners from the KB backend.
+
+        A trained system holds two subscriptions on its backend (expansion
+        maintainer + answer-cache invalidation); the backend in turn keeps
+        the system reachable through them.  Call this (or use the system as
+        a context manager) when training several transient systems against
+        one shared store, so discarded systems neither leak nor burn
+        per-seed refreshes on later live edits.
+        """
+        if self.maintainer is not None:
+            self.maintainer.close()
+        self._kb_unsubscribe()
+
+    def __enter__(self) -> "KBQA":
+        """Context-manager form: ``with KBQA.train(...) as system:``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Detach from the backend on context exit."""
+        self.close()
 
     def decompose(self, question: str) -> Decomposition:
         """Optimal decomposition of a (possibly) complex question (Sec 5)."""

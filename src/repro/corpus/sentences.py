@@ -10,7 +10,7 @@ baseline covers fewer predicates than template learning.
 
 from __future__ import annotations
 
-from repro.data.world import SCHEMA_BY_INTENT, World
+from repro.data.world import World
 from repro.utils.rng import SeedStream
 
 SENTENCE_TEMPLATES: dict[str, tuple[str, ...]] = {

@@ -23,13 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.world import (
-    ENTITY,
     INTENT_CATALOG,
     LITERAL,
     SCHEMA_BY_INTENT,
     World,
 )
+from repro.kb.backend import KBBackend
 from repro.kb.paths import PredicatePath
+from repro.kb.sharded import ShardedTripleStore
 from repro.kb.store import TripleStore
 from repro.kb.triple import make_literal
 from repro.nlp.question_class import AnswerType
@@ -55,7 +56,7 @@ class CompiledKB:
     """
 
     kind: str
-    store: TripleStore
+    store: KBBackend
     world: World | None
     path_for_intent: dict[str, PredicatePath]
     intent_for_path: dict[str, str]
@@ -92,7 +93,14 @@ def _schema_paths(kind: str) -> tuple[dict[str, PredicatePath], dict[str, str]]:
     return path_for_intent, intent_for_path
 
 
-def _base_entity_triples(store: TripleStore, world: World, with_alias: bool) -> None:
+def _new_store(shards: int) -> KBBackend:
+    """One subject shard -> plain store; more -> subject-sharded backend."""
+    if shards <= 1:
+        return TripleStore()
+    return ShardedTripleStore(shards=shards)
+
+
+def _base_entity_triples(store: KBBackend, world: World, with_alias: bool) -> None:
     for node, entity in world.entities.items():
         store.add(node, "name", make_literal(entity.name))
         # A quarter of persons carry an alias edge (Freebase-style sparse
@@ -108,9 +116,14 @@ def _gazetteer(world: World) -> dict[str, list[str]]:
     return {name: list(nodes) for name, nodes in world.by_name.items()}
 
 
-def compile_freebase_like(world: World) -> CompiledKB:
-    """World -> Freebase-like store (CVT mediators for compound relations)."""
-    store = TripleStore()
+def compile_freebase_like(world: World, shards: int = 1) -> CompiledKB:
+    """World -> Freebase-like store (CVT mediators for compound relations).
+
+    ``shards > 1`` compiles into a :class:`ShardedTripleStore`; the add
+    sequence is identical either way, so the sharded build assigns the same
+    dictionary ids as the single-store build (equivalence-tested).
+    """
+    store = _new_store(shards)
     _base_entity_triples(store, world, with_alias=True)
     cvt_counter = 0
     for node, intent, value in world.iter_facts():
@@ -140,9 +153,13 @@ def compile_freebase_like(world: World) -> CompiledKB:
     )
 
 
-def compile_dbpedia_like(world: World) -> CompiledKB:
-    """World -> DBpedia-like store (direct predicates, no mediators)."""
-    store = TripleStore()
+def compile_dbpedia_like(world: World, shards: int = 1) -> CompiledKB:
+    """World -> DBpedia-like store (direct predicates, no mediators).
+
+    ``shards > 1`` compiles into a :class:`ShardedTripleStore` (see
+    :func:`compile_freebase_like`).
+    """
+    store = _new_store(shards)
     _base_entity_triples(store, world, with_alias=False)
     for node, intent, value in world.iter_facts():
         schema = SCHEMA_BY_INTENT[intent]

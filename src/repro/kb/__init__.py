@@ -8,16 +8,23 @@ mirrors the memory-efficient generation of Sec 6.2, and a plain-text
 serialization format.
 """
 
+from repro.kb.backend import KBBackend, KBChange
 from repro.kb.dictionary import Dictionary
 from repro.kb.triple import Triple, is_literal, make_literal, literal_value
 from repro.kb.store import TripleStore
+from repro.kb.sharded import ShardedTripleStore
 from repro.kb.paths import PredicatePath
 from repro.kb.expansion import ExpandedStore, expand_predicates
+from repro.kb.live import LiveExpansionMaintainer
 from repro.kb.query import select, solve
 from repro.kb.rdf_io import load_ntriples, save_ntriples
 
 __all__ = [
     "Dictionary",
+    "KBBackend",
+    "KBChange",
+    "LiveExpansionMaintainer",
+    "ShardedTripleStore",
     "Triple",
     "TripleStore",
     "PredicatePath",

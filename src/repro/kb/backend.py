@@ -1,0 +1,222 @@
+"""The pluggable KB backend seam.
+
+The paper's systems story (Sec 6.2, Table 14) assumes the billion-scale KB
+is *partitioned* and queried through a uniform interface (Trinity.RDF).  At
+library scale the same shape is the :class:`KBBackend` protocol: everything
+above the KB layer — predicate expansion, :class:`~repro.core.kbview.KBView`,
+the online answerer, the CLI and the benchmark harness — depends on this
+protocol, never on a concrete store class.  Two implementations ship in-tree:
+
+* :class:`~repro.kb.store.TripleStore` — the single in-memory store;
+* :class:`~repro.kb.sharded.ShardedTripleStore` — the same index structure
+  partitioned by subject id across N shards, with shard-parallel scans.
+
+Backends are *live*: ``add``/``delete`` mutate the indexes in place and fan
+out a :class:`KBChange` to every subscribed listener, which is how the
+expansion layer (`repro.kb.live`) and the serving caches invalidate
+incrementally instead of rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+from repro.kb.dictionary import Dictionary
+from repro.kb.triple import Triple, is_literal
+
+ADD = "add"
+DELETE = "delete"
+
+
+@dataclass(frozen=True, slots=True)
+class KBChange:
+    """One applied mutation, in dictionary-id space.
+
+    ``action`` is :data:`ADD` or :data:`DELETE`.  Listeners receive a change
+    only after the indexes already reflect it, so they may re-query the
+    backend synchronously.
+    """
+
+    action: str
+    subject_id: int
+    predicate_id: int
+    object_id: int
+
+
+ChangeListener = Callable[[KBChange], None]
+
+
+class BackendBase:
+    """Shared plumbing for concrete backends: change listeners + the
+    incremental resource count.
+
+    Both in-tree backends mix this in so listener semantics and literal
+    counting are written exactly once.  ``_init_backend_state`` must run in
+    the subclass ``__init__`` after ``self.dictionary`` exists.
+    """
+
+    dictionary: "Dictionary"
+
+    def _init_backend_state(self) -> None:
+        """Initialize listener and resource-count state."""
+        self._listeners: list[ChangeListener] = []
+        # Resource count, kept current by scanning only the dictionary tail
+        # added since the last reconcile — dictionary ids are dense and
+        # append-only, so this is O(1) amortized per add and correct even
+        # when terms are interned through a shared dictionary (e.g. by an
+        # ExpandedStore) rather than through ``add``.
+        self._n_resources = 0
+        self._n_terms_counted = 0
+
+    def subscribe(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable.
+
+        Listeners fire synchronously after every successful ``add`` /
+        ``delete``, with the indexes already reflecting the change.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, change: KBChange) -> None:
+        for listener in self._listeners:
+            listener(change)
+
+    def _reconcile_resources(self) -> None:
+        """Fold dictionary terms added since the last call into the count."""
+        n_terms = len(self.dictionary)
+        if n_terms == self._n_terms_counted:
+            return
+        for term in self.dictionary.terms_from(self._n_terms_counted):
+            if not is_literal(term):
+                self._n_resources += 1
+        self._n_terms_counted = n_terms
+
+
+@runtime_checkable
+class KBBackend(Protocol):
+    """What every knowledge-base backend must provide.
+
+    The protocol has four faces:
+
+    * **string reads** — the public boundary the NLP/eval layers use;
+    * **id-level reads** — the hot-path API (``objects_ids``,
+      ``triples_ids``, the grouped ``spo_items_ids`` scan) that hands out
+      dictionary-encoded views with zero per-row string materialization;
+    * **writes** — ``add``/``delete`` with :class:`KBChange` notification;
+    * **sharding** — ``n_shards`` and the per-shard ``shard_spo_items_ids``
+      scan so the Sec 6.2 expansion can fan out shard-parallel.
+
+    A single-store backend reports ``n_shards == 1`` and serves shard 0.
+    """
+
+    dictionary: Dictionary
+
+    # -- Writes (with change notification) ---------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple; True if new.  Notifies listeners on success."""
+        ...
+
+    def delete(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple; True if present.  Notifies listeners on success."""
+        ...
+
+    def subscribe(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable."""
+        ...
+
+    # -- String-level reads ------------------------------------------------
+
+    def __len__(self) -> int:
+        ...
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        """Point membership test for one triple."""
+        ...
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """``V(e, p)`` — all objects for a (subject, predicate) pair."""
+        ...
+
+    def subjects(self, predicate: str, obj: str) -> set[str]:
+        """All subjects s with (s, predicate, obj) in the store."""
+        ...
+
+    def predicates_between(self, subject: str, obj: str) -> set[str]:
+        """All direct predicates p with (subject, p, obj) in the store."""
+        ...
+
+    def predicates_of(self, subject: str) -> set[str]:
+        """All predicates leaving ``subject``."""
+        ...
+
+    def out_degree(self, subject: str) -> int:
+        """Number of triples with ``subject`` in subject position."""
+        ...
+
+    def has_subject(self, subject: str) -> bool:
+        """True when ``subject`` occurs in subject position."""
+        ...
+
+    def triples(self) -> Iterator[Triple]:
+        """Scan all triples, decoded."""
+        ...
+
+    def subjects_iter(self) -> Iterator[str]:
+        """All distinct subjects, decoded."""
+        ...
+
+    def predicates(self) -> set[str]:
+        """All distinct predicates in the store."""
+        ...
+
+    def stats(self) -> dict[str, int]:
+        """Store-level counts (triples/terms/resources/predicates/subjects)."""
+        ...
+
+    # -- Id-level reads (hot paths) ----------------------------------------
+
+    def lookup_id(self, term: str) -> int | None:
+        """Dictionary id of ``term`` (None when never interned)."""
+        ...
+
+    def decode_id(self, term_id: int) -> str:
+        """Term string for a dictionary id."""
+        ...
+
+    def has_subject_id(self, subject_id: int) -> bool:
+        """True when ``subject_id`` occurs in subject position."""
+        ...
+
+    def objects_ids(self, subject_id: int, predicate_id: int) -> set[int] | frozenset[int]:
+        """``V(e, p)`` as object ids (read-only view)."""
+        ...
+
+    def predicates_ids_of(self, subject_id: int):
+        """Ids of predicates leaving ``subject_id`` (read-only view)."""
+        ...
+
+    def triples_ids(self) -> Iterator[tuple[int, int, int]]:
+        """Scan all triples as ``(s_id, p_id, o_id)``."""
+        ...
+
+    def spo_items_ids(self) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan: ``(s_id, {p_id: {o_id}})`` per subject."""
+        ...
+
+    # -- Sharding ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of subject partitions (1 for a single store)."""
+        ...
+
+    def shard_spo_items_ids(self, shard: int) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan restricted to one subject shard."""
+        ...

@@ -17,6 +17,18 @@ calls).  ``expand_predicates_baseline`` preserves the original string-level
 implementation as the reference for equivalence tests and the before/after
 benchmark.
 
+The scan consumes any :class:`~repro.kb.backend.KBBackend`.  On a sharded
+backend (``n_shards > 1``) each round fans the scan out shard-parallel over a
+thread pool and merges the per-shard results in shard order, so the output is
+identical to the single-store scan.  :class:`ExpandedStore` additionally:
+
+* records *reach provenance* (which seeds' BFS scanned which nodes), the
+  index that lets live KB ``add``/``delete`` invalidate exactly the affected
+  seeds (`repro.kb.live`) instead of re-expanding everything;
+* serializes its id-encoded buffers together with the dictionary
+  (:meth:`ExpandedStore.save` / :meth:`ExpandedStore.load`) in a canonical,
+  versioned format so offline training resumes without re-scanning.
+
 Two paper-mandated restrictions are honoured:
 
 * only subjects from the seed set (QA-corpus entities) start paths — the
@@ -27,16 +39,26 @@ Two paper-mandated restrictions are honoured:
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.kb.backend import KBBackend
 from repro.kb.dictionary import Dictionary
 from repro.kb.paths import PredicatePath
-from repro.kb.store import TripleStore
 
 DEFAULT_TAIL_PREDICATES = frozenset({"name", "alias"})
 
 _EMPTY_FROZEN: frozenset = frozenset()
+
+EXPANSION_MAGIC = "KBQA-EXPANDED"
+EXPANSION_FORMAT_VERSION = 1
+
+# frontier: node id -> set of (seed_id, prefix-key) provenance entries;
+# the empty prefix marks a seed node at round 0.
+_Frontier = dict[int, set[tuple[int, tuple[int, ...]]]]
 
 
 class ExpandedStore:
@@ -52,11 +74,25 @@ class ExpandedStore:
     and the resulting frozenset is shared by every subsequent call (callers
     must not mutate results — they never did; see ``core/kbview.py`` and
     ``core/extraction.py``, which build their own sets).
+
+    Beyond the triples the store carries the expansion's *provenance*: the
+    seed ids it was built from, the tail-predicate whitelist, and a
+    node -> seeds reach index — everything `repro.kb.live` needs to refresh
+    one seed at a time after a live KB edit, and everything
+    :meth:`save`/:meth:`load` need to round-trip a resumable artifact.
     """
 
-    def __init__(self, max_length: int, dictionary: Dictionary | None = None) -> None:
+    def __init__(
+        self,
+        max_length: int,
+        dictionary: Dictionary | None = None,
+        tail_predicates: frozenset[str] = DEFAULT_TAIL_PREDICATES,
+    ) -> None:
         self.max_length = max_length
         self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self.tail_predicates = frozenset(tail_predicates)
+        # seeds this store was expanded from (dictionary ids)
+        self.seed_ids: set[int] = set()
         # s_id -> path_id -> {o_id}
         self._by_subject: dict[int, dict[int, set[int]]] = defaultdict(dict)
         # (s_id, o_id) -> {path_id}
@@ -65,6 +101,12 @@ class ExpandedStore:
         self._path_key_to_id: dict[tuple[int, ...], int] = {}
         self._path_keys: list[tuple[int, ...]] = []
         self._triple_count = 0
+        # reach provenance: node -> seeds whose BFS scanned the node.  Most
+        # nodes are scanned on behalf of a single seed, so the common case
+        # stores a bare int and only promotes to a set on the second seed —
+        # this keeps the number of GC-tracked containers (and therefore the
+        # collector's mid-scan pauses) near the pre-reach-index level.
+        self._reached_from: dict[int, int | set[int]] = {}
         # decoded frozen views, built lazily, one per key
         self._decoded_paths: dict[int, PredicatePath] = {}
         self._objects_cache: dict[tuple[int, int], frozenset[str]] = {}
@@ -102,13 +144,252 @@ class ExpandedStore:
         """Id-level ``V(e, p+)`` (read-only view; empty is a frozenset)."""
         return self._by_subject.get(subject_id, {}).get(path_id, _EMPTY_FROZEN)
 
+    # -- Reach provenance --------------------------------------------------
+
+    def note_reach(self, node_id: int, seed_id: int) -> None:
+        """Record that ``seed_id``'s BFS scanned ``node_id``'s out-edges."""
+        existing = self._reached_from.get(node_id)
+        if existing is None:
+            self._reached_from[node_id] = seed_id
+        elif isinstance(existing, int):
+            if existing != seed_id:
+                self._reached_from[node_id] = {existing, seed_id}
+        else:
+            existing.add(seed_id)
+
+    def seeds_through(self, node_id: int) -> tuple[int, ...] | set[int]:
+        """Seeds whose expansion scanned ``node_id`` (read-only view).
+
+        This is the invalidation index: a base-KB edge change under subject
+        ``node_id`` can only affect expanded triples of these seeds.
+        """
+        existing = self._reached_from.get(node_id)
+        if existing is None:
+            return ()
+        if isinstance(existing, int):
+            return (existing,)
+        return existing
+
+    def reach_items(self) -> Iterator[tuple[int, frozenset[int]]]:
+        """Normalized scan of the reach index: ``(node_id, {seed_ids})``."""
+        for node_id, seeds in self._reached_from.items():
+            if isinstance(seeds, int):
+                yield node_id, frozenset((seeds,))
+            else:
+                yield node_id, frozenset(seeds)
+
     # -- String-boundary mutation ------------------------------------------
 
-    def record(self, subject: str, path: PredicatePath, obj: str) -> None:
+    def record(self, subject: str, path: PredicatePath, obj: str) -> bool:
         """Insert one (s, p+, o) triple given as strings (idempotent)."""
         encode = self.dictionary.encode
         path_key = tuple(encode(p) for p in path.predicates)
-        self.record_encoded(encode(subject), path_key, encode(obj))
+        return self.record_encoded(encode(subject), path_key, encode(obj))
+
+    def invalidate_seed(self, seed: str) -> bool:
+        """Drop every expanded triple and reach entry of one seed.
+
+        Per-key invalidation for live KB updates: all of the seed's
+        materialized ``(s, p+, o)`` rows, its pair index entries, its frozen
+        views, and its reach provenance are removed so a targeted single-seed
+        re-expansion (see :class:`repro.kb.live.LiveExpansionMaintainer`)
+        can rebuild them.  Returns True when anything was dropped.
+        """
+        s = self.dictionary.lookup(seed)
+        if s is None:
+            return False
+        removed = False
+        by_path = self._by_subject.pop(s, None)
+        if by_path:
+            removed = True
+            for p_id, object_ids in by_path.items():
+                self._triple_count -= len(object_ids)
+                self._objects_cache.pop((s, p_id), None)
+                for o_id in object_ids:
+                    pair = (s, o_id)
+                    paths = self._by_pair.get(pair)
+                    if paths is not None:
+                        paths.discard(p_id)
+                        if not paths:
+                            del self._by_pair[pair]
+                    self._pairs_cache.pop(pair, None)
+        self._paths_of_cache.pop(s, None)
+        # the reach index has no inverse (it would double the GC-tracked
+        # containers on the expansion hot path); a linear sweep is fine for
+        # this rare operation
+        orphaned = []
+        for node_id, seeds in self._reached_from.items():
+            if isinstance(seeds, int):
+                if seeds == s:
+                    orphaned.append(node_id)
+            else:
+                seeds.discard(s)
+                if not seeds:
+                    orphaned.append(node_id)
+                elif len(seeds) == 1:
+                    self._reached_from[node_id] = next(iter(seeds))
+        for node_id in orphaned:
+            del self._reached_from[node_id]
+        if s in self.seed_ids:
+            self.seed_ids.discard(s)
+            removed = True
+        return removed
+
+    def merge_from(self, other: "ExpandedStore") -> int:
+        """Fold another store's triples, seeds and reach into this one.
+
+        The merge is string-level, so it is correct whether or not the two
+        stores share a dictionary (a freshly loaded artifact has its own).
+        Returns the number of newly inserted triples.
+        """
+        added = 0
+        for subject, path, obj in other.triples():
+            if self.record(subject, path, obj):
+                added += 1
+        encode = self.dictionary.encode
+        decode = other.dictionary.decode
+        for seed_id in other.seed_ids:
+            self.seed_ids.add(encode(decode(seed_id)))
+        for node_id, seeds in other.reach_items():
+            node = encode(decode(node_id))
+            for seed_id in seeds:
+                self.note_reach(node, encode(decode(seed_id)))
+        return added
+
+    # -- Persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the id-encoded buffers together with the dictionary.
+
+        The format is canonical: paths are written in sorted key order,
+        subjects in id order, object sets sorted — so two stores whose
+        dictionaries assign the same term ids (e.g. a single-store and a
+        sharded expansion over KBs built by the same add sequence)
+        serialize to byte-identical files regardless of internal path/set
+        interning order.  Stores with *differently ordered* dictionaries
+        hold different ids and produce different bytes even for equal
+        content.
+
+        Layout (UTF-8, line-oriented, JSON-encoded payloads)::
+
+            KBQA-EXPANDED 1                     # magic + format version
+            {...header: counts, max_length...}  # one JSON object
+            "<term>"        x terms             # dictionary, id order
+            [seed ids]                          # one sorted JSON array
+            [p_id, ...]     x paths             # path keys, canonical order
+            [s, [[p, [o...]], ...]] x subjects  # triples, grouped + sorted
+            [node, [seed...]] x reach           # reach index, sorted
+        """
+        # canonical path order: sort interned keys, remap to file-local ids
+        sorted_keys = sorted(self._path_keys)
+        file_path_id = {key: i for i, key in enumerate(sorted_keys)}
+        remap = [file_path_id[key] for key in self._path_keys]
+
+        lines: list[str] = [
+            f"{EXPANSION_MAGIC} {EXPANSION_FORMAT_VERSION}",
+            json.dumps(
+                {
+                    "max_length": self.max_length,
+                    "tail_predicates": sorted(self.tail_predicates),
+                    "terms": len(self.dictionary),
+                    "paths": len(sorted_keys),
+                    "subjects": len(self._by_subject),
+                    "triples": self._triple_count,
+                    "reach_nodes": len(self._reached_from),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        ]
+        dumps = json.dumps
+        for term in self.dictionary.terms():
+            lines.append(dumps(term, ensure_ascii=False))
+        lines.append(dumps(sorted(self.seed_ids), separators=(",", ":")))
+        for key in sorted_keys:
+            lines.append(dumps(list(key), separators=(",", ":")))
+        for s_id in sorted(self._by_subject):
+            groups = sorted(
+                (remap[p_id], sorted(object_ids))
+                for p_id, object_ids in self._by_subject[s_id].items()
+            )
+            lines.append(dumps([s_id, groups], separators=(",", ":")))
+        for node_id, seeds in sorted(self.reach_items()):
+            lines.append(dumps([node_id, sorted(seeds)], separators=(",", ":")))
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExpandedStore":
+        """Reload a store saved by :meth:`save` (with its own dictionary).
+
+        The loaded store answers ``objects``/``paths_between``/``paths_of``
+        without any re-expansion; offline training passes it straight to the
+        learner (``KBQA.train(..., expanded=...)``) to skip the Sec 6.2 scan
+        entirely.  Raises :class:`ValueError` on a bad magic, an unsupported
+        version, or count mismatches.
+        """
+        text = Path(path).read_text(encoding="utf-8")
+        lines = text.splitlines()
+        if not lines:
+            raise ValueError(f"{path}: empty expansion file")
+        magic = lines[0].split()
+        if len(magic) != 2 or magic[0] != EXPANSION_MAGIC:
+            raise ValueError(f"{path}: not a {EXPANSION_MAGIC} file")
+        if int(magic[1]) != EXPANSION_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {magic[1]} "
+                f"(supported: {EXPANSION_FORMAT_VERSION})"
+            )
+        header = json.loads(lines[1])
+        store = cls(
+            max_length=header["max_length"],
+            tail_predicates=frozenset(header["tail_predicates"]),
+        )
+        cursor = 2
+        try:
+            encode = store.dictionary.encode
+            for line in lines[cursor : cursor + header["terms"]]:
+                encode(json.loads(line))
+            if len(store.dictionary) != header["terms"]:
+                raise ValueError(f"{path}: dictionary count mismatch")
+            cursor += header["terms"]
+            n_terms = header["terms"]
+
+            def check_term_id(term_id: int) -> int:
+                # catch out-of-range ids at load time (the documented
+                # ValueError) rather than as a KeyError at first decode
+                if not (isinstance(term_id, int) and 0 <= term_id < n_terms):
+                    raise ValueError(f"term id {term_id} out of range")
+                return term_id
+
+            store.seed_ids = {check_term_id(s) for s in json.loads(lines[cursor])}
+            cursor += 1
+            for line in lines[cursor : cursor + header["paths"]]:
+                store.path_id(tuple(check_term_id(p) for p in json.loads(line)))
+            cursor += header["paths"]
+            n_paths = header["paths"]
+            for line in lines[cursor : cursor + header["subjects"]]:
+                s_id, groups = json.loads(line)
+                check_term_id(s_id)
+                for p_idx, object_ids in groups:
+                    if not (isinstance(p_idx, int) and 0 <= p_idx < n_paths):
+                        raise ValueError(f"path id {p_idx} out of range")
+                    key = store._path_keys[p_idx]
+                    for o_id in object_ids:
+                        store.record_encoded(s_id, key, check_term_id(o_id))
+            cursor += header["subjects"]
+            for line in lines[cursor : cursor + header["reach_nodes"]]:
+                node_id, seeds = json.loads(line)
+                check_term_id(node_id)
+                for seed_id in seeds:
+                    store.note_reach(node_id, check_term_id(seed_id))
+        except (TypeError, KeyError, IndexError, json.JSONDecodeError) as error:
+            raise ValueError(f"{path}: malformed expansion file ({error})") from error
+        if store._triple_count != header["triples"]:
+            raise ValueError(
+                f"{path}: triple count mismatch "
+                f"(header {header['triples']}, loaded {store._triple_count})"
+            )
+        return store
 
     # -- Decoding helpers ----------------------------------------------------
 
@@ -235,21 +516,69 @@ class ExpandedStore:
         }
 
 
+def _scan_shard_round(
+    store: KBBackend,
+    shard: int,
+    frontier: _Frontier,
+    tail_ids: set[int],
+    is_last_round: bool,
+) -> tuple[list, list]:
+    """Scan one shard against the frontier (one thread-pool task per shard).
+
+    Returns the shard-local ``(records, frontier_additions)`` buffers; the
+    caller merges them in shard order so the result is deterministic and
+    identical to the single-store scan.
+    """
+    records: list[tuple[int, tuple[int, ...], int]] = []
+    additions: list[tuple[int, tuple[int, tuple[int, ...]]]] = []
+    for s_id, by_predicate in store.shard_spo_items_ids(shard):
+        provenance = frontier.get(s_id)
+        if not provenance:
+            continue
+        for p_id, object_ids in by_predicate.items():
+            is_tail = p_id in tail_ids
+            for seed_id, prefix in provenance:
+                path_key = prefix + (p_id,)
+                if len(path_key) == 1 or is_tail:
+                    for o_id in object_ids:
+                        records.append((seed_id, path_key, o_id))
+                if not is_last_round:
+                    extended = (seed_id, path_key)
+                    for o_id in object_ids:
+                        additions.append((o_id, extended))
+    return records, additions
+
+
 def expand_predicates(
-    store: TripleStore,
+    store: KBBackend,
     seeds: Iterable[str],
     max_length: int = 3,
     tail_predicates: frozenset[str] = DEFAULT_TAIL_PREDICATES,
+    *,
+    into: ExpandedStore | None = None,
+    record_reach: bool = False,
 ) -> ExpandedStore:
     """Generate all ``(s, p+, o)`` with ``s`` in ``seeds``, ``|p+| <= max_length``.
 
     Implements the algorithm of Sec 6.2 entirely over dictionary ids: round
-    ``i`` joins an id-keyed scan of the store (:meth:`TripleStore.spo_items_ids`)
-    against the frontier produced by round ``i-1``.  ``frontier`` maps an
-    intermediate node id to the set of ``(seed_id, prefix-key)`` ways it was
-    reached; joining a subject group extends each way by the group's
-    predicates.  The grouped scan probes the frontier once per *subject*, not
-    once per triple, and no string leaves the dictionary during expansion.
+    ``i`` joins an id-keyed scan of the store (``spo_items_ids``) against the
+    frontier produced by round ``i-1``.  ``frontier`` maps an intermediate
+    node id to the set of ``(seed_id, prefix-key)`` ways it was reached;
+    joining a subject group extends each way by the group's predicates.  The
+    grouped scan probes the frontier once per *subject*, not once per triple,
+    and no string leaves the dictionary during expansion.
+
+    On a sharded backend the per-round scan runs one task per shard in a
+    thread pool (:func:`_scan_shard_round`) and merges the buffers in shard
+    order — the produced triple set is identical to the single-store scan.
+
+    Passing ``into=`` appends to an existing :class:`ExpandedStore` sharing
+    the backend's dictionary (used by the live maintainer for single-seed
+    refreshes) instead of building a fresh one.  ``record_reach=True``
+    additionally fills the reach-provenance index from the frontier as it
+    goes; the default leaves the offline hot path free of that bookkeeping
+    (its extra allocations provoke full GC passes mid-scan) — live systems
+    build reach once at maintainer attach via :func:`compute_reach`.
 
     Length-1 paths are recorded unconditionally (they are ordinary KB
     predicates); longer paths are recorded only when their final predicate is
@@ -261,7 +590,14 @@ def expand_predicates(
         raise ValueError(f"max_length must be >= 1, got {max_length}")
 
     dictionary = store.dictionary
-    expanded = ExpandedStore(max_length=max_length, dictionary=dictionary)
+    if into is None:
+        expanded = ExpandedStore(
+            max_length=max_length, dictionary=dictionary, tail_predicates=tail_predicates
+        )
+    else:
+        if into.dictionary is not dictionary:
+            raise ValueError("`into` must share the backend's dictionary")
+        expanded = into
 
     seed_ids: set[int] = set()
     for seed in seeds:
@@ -270,6 +606,7 @@ def expand_predicates(
             seed_ids.add(seed_id)
     if not seed_ids:
         return expanded
+    expanded.seed_ids.update(seed_ids)
 
     tail_ids = {
         tail_id
@@ -277,46 +614,136 @@ def expand_predicates(
         if (tail_id := dictionary.lookup(tail)) is not None
     }
 
-    # frontier: node id -> set of (seed_id, prefix-key) provenance entries;
-    # the empty tuple marks a seed node at round 0.
-    frontier: dict[int, set[tuple[int, tuple[int, ...]]]] = {
-        seed_id: {(seed_id, ())} for seed_id in seed_ids
-    }
+    frontier: _Frontier = {seed_id: {(seed_id, ())} for seed_id in seed_ids}
     record = expanded.record_encoded
+    note_reach = expanded.note_reach
+    n_shards = store.n_shards
+    # one pool for all rounds (created lazily on the first sharded round)
+    pool: ThreadPoolExecutor | None = None
 
     for round_index in range(1, max_length + 1):
+        if record_reach:
+            # this round scans the out-edges of every frontier node on
+            # behalf of the seeds that reached it
+            for node_id, provenance in frontier.items():
+                for seed_id, _prefix in provenance:
+                    note_reach(node_id, seed_id)
+
         is_last_round = round_index == max_length
-        next_frontier: dict[int, set[tuple[int, tuple[int, ...]]]] = defaultdict(set)
-        for s_id, by_predicate in store.spo_items_ids():
-            provenance = frontier.get(s_id)
-            if not provenance:
-                continue
-            for p_id, object_ids in by_predicate.items():
-                is_tail = p_id in tail_ids
-                for seed_id, prefix in provenance:
-                    path_key = prefix + (p_id,)
-                    if len(path_key) == 1 or is_tail:
-                        for o_id in object_ids:
-                            record(seed_id, path_key, o_id)
-                    if not is_last_round:
-                        extended = (seed_id, path_key)
-                        for o_id in object_ids:
-                            next_frontier[o_id].add(extended)
+        next_frontier: _Frontier = defaultdict(set)
+        if n_shards > 1:
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=n_shards)
+            shard_results = list(
+                pool.map(
+                    lambda i: _scan_shard_round(
+                        store, i, frontier, tail_ids, is_last_round
+                    ),
+                    range(n_shards),
+                )
+            )
+            for records, additions in shard_results:  # merged in shard order
+                for seed_id, path_key, o_id in records:
+                    record(seed_id, path_key, o_id)
+                for o_id, extended in additions:
+                    next_frontier[o_id].add(extended)
+        else:
+            for s_id, by_predicate in store.spo_items_ids():
+                provenance = frontier.get(s_id)
+                if not provenance:
+                    continue
+                for p_id, object_ids in by_predicate.items():
+                    is_tail = p_id in tail_ids
+                    for seed_id, prefix in provenance:
+                        path_key = prefix + (p_id,)
+                        if len(path_key) == 1 or is_tail:
+                            for o_id in object_ids:
+                                record(seed_id, path_key, o_id)
+                        if not is_last_round:
+                            extended = (seed_id, path_key)
+                            for o_id in object_ids:
+                                next_frontier[o_id].add(extended)
         frontier = next_frontier
 
+    if pool is not None:
+        pool.shutdown()
     return expanded
 
 
+def compute_reach(
+    store: KBBackend,
+    expanded: ExpandedStore,
+    seeds: Iterable[str],
+    max_length: int | None = None,
+) -> int:
+    """(Re)build ``expanded``'s reach-provenance index from the backend.
+
+    A seeds-only multi-source BFS: the frontier maps a node to the set of
+    seeds that reached it — no path prefixes, no triple recording — so one
+    pass costs a fraction of the full expansion and allocates almost
+    nothing.  Reach ids are recorded in ``expanded``'s dictionary (which may
+    be a loaded artifact's own dictionary, distinct from the backend's).
+    Returns the number of (node, seed) reach facts recorded.
+
+    The live maintainer calls this once at attach time, *before* any
+    mutation arrives — a delete's affected seeds must be resolved against
+    pre-change reachability.
+    """
+    if max_length is None:
+        max_length = expanded.max_length
+    dictionary = store.dictionary
+    seed_ids = {
+        seed_id
+        for seed in seeds
+        if (seed_id := dictionary.lookup(seed)) is not None
+        and store.has_subject_id(seed_id)
+    }
+    if not seed_ids:
+        return 0
+
+    shared = expanded.dictionary is dictionary
+    note_reach = expanded.note_reach
+    decode = dictionary.decode
+    encode = expanded.dictionary.encode
+    recorded = 0
+    # node -> frozenset of seed ids that reached it (store-id space)
+    frontier: dict[int, frozenset[int]] = {
+        seed_id: frozenset((seed_id,)) for seed_id in seed_ids
+    }
+    for round_index in range(1, max_length + 1):
+        for node_id, node_seeds in frontier.items():
+            node = node_id if shared else encode(decode(node_id))
+            for seed_id in node_seeds:
+                note_reach(node, seed_id if shared else encode(decode(seed_id)))
+                recorded += 1
+        if round_index == max_length:
+            break
+        next_frontier: dict[int, frozenset[int]] = {}
+        for s_id, by_predicate in store.spo_items_ids():
+            node_seeds = frontier.get(s_id)
+            if not node_seeds:
+                continue
+            for object_ids in by_predicate.values():
+                for o_id in object_ids:
+                    existing = next_frontier.get(o_id)
+                    if existing is None:
+                        next_frontier[o_id] = node_seeds
+                    elif not (existing >= node_seeds):
+                        next_frontier[o_id] = existing | node_seeds
+        frontier = next_frontier
+    return recorded
+
+
 def expand_predicates_baseline(
-    store: TripleStore,
+    store: KBBackend,
     seeds: Iterable[str],
     max_length: int = 3,
     tail_predicates: frozenset[str] = DEFAULT_TAIL_PREDICATES,
 ) -> ExpandedStore:
     """The original string-level expansion, kept as the reference.
 
-    Scans :meth:`TripleStore.triples` (materializing a :class:`Triple` and
-    three term strings per row) and joins on decoded subjects.  Equivalence
+    Scans ``store.triples()`` (materializing a :class:`~repro.kb.triple.Triple`
+    and three term strings per row) and joins on decoded subjects.  Equivalence
     tests assert :func:`expand_predicates` produces the identical triple set;
     ``benchmarks/bench_offline_timecost.py`` and the perf harness report the
     before/after wall-clock.
@@ -324,7 +751,7 @@ def expand_predicates_baseline(
     if max_length < 1:
         raise ValueError(f"max_length must be >= 1, got {max_length}")
 
-    expanded = ExpandedStore(max_length=max_length)
+    expanded = ExpandedStore(max_length=max_length, tail_predicates=tail_predicates)
     seed_set = {s for s in seeds if store.has_subject(s)}
     if not seed_set:
         return expanded

@@ -1,0 +1,127 @@
+"""Live KB updates — incremental expansion maintenance.
+
+The ROADMAP's incremental-update item: a live ``add``/``delete`` on the KB
+backend must flow into the expansion layer as *per-seed invalidation plus a
+targeted single-seed re-expansion*, never a full re-run of the Sec 6.2 scan.
+
+The mechanism is the reach-provenance index :class:`ExpandedStore` records
+during expansion (node -> seeds whose BFS scanned that node): an edge change
+under subject ``s`` can only alter expanded triples of (a) seeds whose BFS
+scanned ``s`` and (b) ``s`` itself when it is a seed.  The maintainer
+subscribes to the backend's :class:`~repro.kb.backend.KBChange` stream,
+resolves that affected-seed set per change, invalidates exactly those seeds'
+materialized rows (:meth:`ExpandedStore.invalidate_seed`) and re-expands each
+one alone — cost ``O(k * |K|)`` per affected seed versus ``O(k * |K|)``
+times *all* seeds for a full rebuild, and zero when the edit touches no
+seed's reach (the common case for feed-style inserts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.kb.backend import KBBackend, KBChange
+from repro.kb.expansion import ExpandedStore, compute_reach, expand_predicates
+
+
+class LiveExpansionMaintainer:
+    """Keeps an :class:`ExpandedStore` consistent under live KB edits.
+
+    Subscribe-and-forget: construction registers a change listener on the
+    backend; every subsequent ``add``/``delete`` triggers the minimal set of
+    single-seed refreshes.  ``on_invalidate`` (when given) fires once per
+    change that actually invalidated something — the serving layer hooks its
+    answer-cache clear there.
+    """
+
+    def __init__(
+        self,
+        backend: KBBackend,
+        expanded: ExpandedStore,
+        seeds: Iterable[str],
+        on_invalidate: Callable[[], None] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.expanded = expanded
+        self.seeds = frozenset(seeds)
+        self.on_invalidate = on_invalidate
+        self.events_seen = 0
+        self.seeds_refreshed = 0
+        # The reach index must reflect *pre-change* reachability (a delete's
+        # affected seeds are found through edges that may no longer exist),
+        # so build it now — before the first mutation can arrive.  Expansions
+        # built with record_reach=True (or loaded artifacts carrying reach)
+        # skip this.
+        if not expanded._reached_from:
+            decode = expanded.dictionary.decode
+            reach_seeds = self.seeds | {decode(s) for s in expanded.seed_ids}
+            compute_reach(backend, expanded, reach_seeds)
+        self._unsubscribe = backend.subscribe(self._on_change)
+
+    def close(self) -> None:
+        """Detach from the backend's change stream."""
+        self._unsubscribe()
+
+    # -- Change handling ---------------------------------------------------
+
+    def affected_seeds(self, change: KBChange) -> list[str]:
+        """Seed terms whose expansion the change can influence, sorted.
+
+        An edge mutation only matters through its *subject*: expansion
+        traverses out-edges, so the affected seeds are those whose BFS
+        scanned the subject node (reach provenance), plus the subject itself
+        when it is a registered seed (it may gain its first triples from an
+        ``add``, or lose its last from a ``delete``).
+        """
+        subject = self.backend.decode_id(change.subject_id)
+        affected: set[str] = set()
+        node_id = self.expanded.dictionary.lookup(subject)
+        if node_id is not None:
+            decode = self.expanded.dictionary.decode
+            for seed_id in self.expanded.seeds_through(node_id):
+                affected.add(decode(seed_id))
+        if subject in self.seeds:
+            affected.add(subject)
+        return sorted(affected)
+
+    def _on_change(self, change: KBChange) -> None:
+        """Backend listener: refresh every affected seed, then notify."""
+        self.events_seen += 1
+        affected = self.affected_seeds(change)
+        if not affected:
+            return
+        for seed in affected:
+            self.refresh_seed(seed)
+        if self.on_invalidate is not None:
+            self.on_invalidate()
+
+    def refresh_seed(self, seed: str) -> None:
+        """Invalidate and rebuild one seed's expanded triples in place.
+
+        The rebuild is a single-seed Sec 6.2 expansion over the backend.
+        When the expanded store shares the backend's dictionary (the
+        trained-in-process case) it expands directly ``into=`` the store —
+        pure id-level writes, zero string materialization.  A loaded
+        artifact carries its own dictionary, so that case expands into a
+        fresh store and merges back string-level.
+        """
+        self.expanded.invalidate_seed(seed)
+        if self.expanded.dictionary is self.backend.dictionary:
+            expand_predicates(
+                self.backend,
+                [seed],
+                max_length=self.expanded.max_length,
+                tail_predicates=self.expanded.tail_predicates,
+                into=self.expanded,
+                record_reach=True,
+            )
+        else:
+            fresh = expand_predicates(
+                self.backend,
+                [seed],
+                max_length=self.expanded.max_length,
+                tail_predicates=self.expanded.tail_predicates,
+                record_reach=True,
+            )
+            self.expanded.merge_from(fresh)
+        self.seeds_refreshed += 1

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.kb.store import TripleStore
+from repro.kb.backend import KBBackend
 
 PATH_SEPARATOR = "->"
 
@@ -61,7 +61,7 @@ class PredicatePath:
         return PredicatePath(self.predicates + (predicate,))
 
 
-def follow(store: TripleStore, subject: str, path: PredicatePath) -> set[str]:
+def follow(store: KBBackend, subject: str, path: PredicatePath) -> set[str]:
     """``V(e, p+)`` — all objects reached from ``subject`` through ``path``.
 
     This is the online-procedure traversal of Sec 6.1 (start from the entity
@@ -79,7 +79,7 @@ def follow(store: TripleStore, subject: str, path: PredicatePath) -> set[str]:
 
 
 def paths_between(
-    store: TripleStore, subject: str, obj: str, max_length: int
+    store: KBBackend, subject: str, obj: str, max_length: int
 ) -> set[PredicatePath]:
     """All predicate paths of length <= ``max_length`` from subject to obj.
 
@@ -95,7 +95,7 @@ def paths_between(
 
 
 def _dfs_paths(
-    store: TripleStore,
+    store: KBBackend,
     node: str,
     target: str,
     budget: int,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.kb.store import TripleStore
+from repro.kb.backend import KBBackend
 
 Pattern = tuple[str, str, str]
 Binding = dict[str, str]
@@ -37,7 +37,7 @@ def _bound_count(pattern: Pattern, binding: Binding) -> int:
     return sum(1 for t in _substitute(pattern, binding) if not is_variable(t))
 
 
-def _match_pattern(store: TripleStore, pattern: Pattern) -> Iterable[Binding]:
+def _match_pattern(store: KBBackend, pattern: Pattern) -> Iterable[Binding]:
     """All bindings satisfying a single (possibly variable-free) pattern."""
     s, p, o = pattern
     s_var, p_var, o_var = is_variable(s), is_variable(p), is_variable(o)
@@ -88,7 +88,7 @@ def _match_pattern(store: TripleStore, pattern: Pattern) -> Iterable[Binding]:
 
 
 def solve(
-    store: TripleStore,
+    store: KBBackend,
     patterns: Sequence[Pattern],
     limit: int | None = None,
 ) -> list[Binding]:
@@ -108,7 +108,7 @@ def solve(
 
 
 def _extend(
-    store: TripleStore,
+    store: KBBackend,
     remaining: list[Pattern],
     binding: Binding,
     results: list[Binding],
@@ -134,7 +134,7 @@ def _extend(
 
 
 def select(
-    store: TripleStore,
+    store: KBBackend,
     patterns: Sequence[Pattern],
     variables: Sequence[str],
     limit: int | None = None,

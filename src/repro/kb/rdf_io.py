@@ -10,6 +10,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from repro.kb.backend import KBBackend
 from repro.kb.store import TripleStore
 from repro.kb.triple import Triple
 
@@ -40,7 +41,7 @@ def _unescape(term: str) -> str:
     return "".join(out)
 
 
-def save_ntriples(store: TripleStore, path: str | Path) -> int:
+def save_ntriples(store: KBBackend, path: str | Path) -> int:
     """Write every triple of ``store`` to ``path``; returns the count."""
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
@@ -52,9 +53,14 @@ def save_ntriples(store: TripleStore, path: str | Path) -> int:
     return count
 
 
-def load_ntriples(path: str | Path) -> TripleStore:
-    """Load a store previously written by :func:`save_ntriples`."""
-    store = TripleStore()
+def load_ntriples(path: str | Path, into: KBBackend | None = None) -> KBBackend:
+    """Load a store previously written by :func:`save_ntriples`.
+
+    Loads into a fresh single :class:`TripleStore` by default; pass ``into``
+    (e.g. a :class:`~repro.kb.sharded.ShardedTripleStore`) to fill any other
+    backend instead.
+    """
+    store = into if into is not None else TripleStore()
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.rstrip("\n")

@@ -1,0 +1,245 @@
+"""Subject-sharded triple store — the partitioned KB backend.
+
+Partitions the id-keyed SPO/POS/OSP indexes by ``subject_id % n_shards``,
+the encode-partition-scan layout of the graph engines the paper builds on
+(Trinity.RDF partitions by vertex id).  All shards share one
+:class:`~repro.kb.dictionary.Dictionary`, so a :class:`ShardedTripleStore`
+built by the same ``add`` sequence as a :class:`~repro.kb.store.TripleStore`
+assigns *identical* term ids — which is what makes sharded-vs-single
+equivalence byte-testable end to end.
+
+Routing rules:
+
+* subject-keyed operations (``objects``, ``predicates_between``,
+  ``out_degree``, the id-level probes) go to exactly one shard — still a
+  single hash probe;
+* ``subjects(p, o)`` and ``predicates()`` fan out and union across shards;
+* full scans chain the shards in shard order;
+* the Sec 6.2 expansion scan uses ``shard_spo_items_ids`` to run one scan
+  task per shard (see ``expand_predicates``), and online per-shard lookups
+  fan out the same way.
+
+Each shard is internally a plain :class:`TripleStore` sharing the global
+dictionary, so the per-shard index discipline (three orderings, empty-map
+pruning on delete) is written exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.kb.backend import ADD, DELETE, BackendBase, KBChange
+from repro.kb.dictionary import Dictionary
+from repro.kb.store import TripleStore
+from repro.kb.triple import Triple
+
+
+class ShardedTripleStore(BackendBase):
+    """N subject-partitioned :class:`TripleStore` shards behind one facade.
+
+    Change-listener and resource-count plumbing comes from
+    :class:`~repro.kb.backend.BackendBase`; the ``resources`` stat lives at
+    the facade because all shards share one dictionary (per-shard counts
+    would multiply-count terms).
+
+    >>> kb = ShardedTripleStore(shards=2)
+    >>> kb.add("m.obama", "dob", '"1961"')
+    True
+    >>> sorted(kb.objects("m.obama", "dob"))
+    ['"1961"']
+    """
+
+    def __init__(self, shards: int = 4, dictionary: Dictionary | None = None) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self._shards: list[TripleStore] = []
+        for _ in range(shards):
+            shard = TripleStore()
+            shard.dictionary = self.dictionary
+            self._shards.append(shard)
+        self._init_backend_state()
+
+    @property
+    def n_shards(self) -> int:
+        """Number of subject partitions."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> Sequence[TripleStore]:
+        """The shard stores, in shard order (read-only view)."""
+        return self._shards
+
+    def shard_of(self, subject_id: int) -> int:
+        """Shard index owning ``subject_id`` (``subject_id % n_shards``)."""
+        return subject_id % len(self._shards)
+
+    def _shard_for_term(self, subject: str) -> TripleStore | None:
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return None
+        return self._shards[s % len(self._shards)]
+
+    def _notify_terms(self, action: str, subject: str, predicate: str, obj: str) -> None:
+        lookup = self.dictionary.lookup
+        self._notify(KBChange(action, lookup(subject), lookup(predicate), lookup(obj)))
+
+    # -- Mutation ----------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple into its subject's shard; returns False if present."""
+        s = self.dictionary.encode(subject)
+        added = self._shards[s % len(self._shards)].add(subject, predicate, obj)
+        if added and self._listeners:
+            self._notify_terms(ADD, subject, predicate, obj)
+        return added
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add_triple(t))
+
+    def delete(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple from its subject's shard; False if not present."""
+        shard = self._shard_for_term(subject)
+        if shard is None:
+            return False
+        deleted = shard.delete(subject, predicate, obj)
+        if deleted and self._listeners:
+            self._notify_terms(DELETE, subject, predicate, obj)
+        return deleted
+
+    # -- Point lookups -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.has(triple.subject, triple.predicate, triple.object)
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        """Point membership test for one triple (single-shard probe)."""
+        shard = self._shard_for_term(subject)
+        return shard is not None and shard.has(subject, predicate, obj)
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """``V(e, p)`` — routed to the subject's shard."""
+        shard = self._shard_for_term(subject)
+        if shard is None:
+            return set()
+        return shard.objects(subject, predicate)
+
+    def subjects(self, predicate: str, obj: str) -> set[str]:
+        """All subjects with (s, predicate, obj) — fans out across shards."""
+        out: set[str] = set()
+        for shard in self._shards:
+            out |= shard.subjects(predicate, obj)
+        return out
+
+    def predicates_between(self, subject: str, obj: str) -> set[str]:
+        """Direct predicates from subject to obj — single-shard probe."""
+        shard = self._shard_for_term(subject)
+        if shard is None:
+            return set()
+        return shard.predicates_between(subject, obj)
+
+    def predicates_of(self, subject: str) -> set[str]:
+        """All predicates leaving ``subject`` — single-shard probe."""
+        shard = self._shard_for_term(subject)
+        if shard is None:
+            return set()
+        return shard.predicates_of(subject)
+
+    def out_degree(self, subject: str) -> int:
+        """Triples with ``subject`` in subject position — single-shard probe."""
+        shard = self._shard_for_term(subject)
+        if shard is None:
+            return 0
+        return shard.out_degree(subject)
+
+    def has_subject(self, subject: str) -> bool:
+        shard = self._shard_for_term(subject)
+        return shard is not None and shard.has_subject(subject)
+
+    # -- Id-level API (hot paths) ------------------------------------------
+
+    def lookup_id(self, term: str) -> int | None:
+        """Dictionary id of ``term`` (None when never interned)."""
+        return self.dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> str:
+        """Term string for a dictionary id."""
+        return self.dictionary.decode(term_id)
+
+    def has_subject_id(self, subject_id: int) -> bool:
+        """True when ``subject_id`` occurs in subject position."""
+        return self._shards[subject_id % len(self._shards)].has_subject_id(subject_id)
+
+    def objects_ids(self, subject_id: int, predicate_id: int) -> set[int] | frozenset[int]:
+        """``V(e, p)`` as object ids (read-only view) — single-shard probe."""
+        return self._shards[subject_id % len(self._shards)].objects_ids(
+            subject_id, predicate_id
+        )
+
+    def predicates_ids_of(self, subject_id: int):
+        """Ids of predicates leaving ``subject_id`` (read-only view)."""
+        return self._shards[subject_id % len(self._shards)].predicates_ids_of(subject_id)
+
+    def triples_ids(self) -> Iterator[tuple[int, int, int]]:
+        """Scan all triples as ids, shard by shard in shard order."""
+        for shard in self._shards:
+            yield from shard.triples_ids()
+
+    def spo_items_ids(self) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan over every shard in shard order."""
+        for shard in self._shards:
+            yield from shard.spo_items_ids()
+
+    def shard_spo_items_ids(self, shard: int) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan restricted to one subject shard."""
+        return self._shards[shard].spo_items_ids()
+
+    # -- Scans -------------------------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        """Scan all triples decoded, shard by shard in shard order."""
+        for shard in self._shards:
+            yield from shard.triples()
+
+    def subjects_iter(self) -> Iterator[str]:
+        """All distinct subjects (each subject lives in exactly one shard)."""
+        for shard in self._shards:
+            yield from shard.subjects_iter()
+
+    def predicates(self) -> set[str]:
+        """All distinct predicates — union across shards."""
+        out: set[str] = set()
+        for shard in self._shards:
+            out |= shard.predicates()
+        return out
+
+    # -- Statistics --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate store-level counts across all shards.
+
+        Same keys as :meth:`TripleStore.stats`, plus ``shards``.  The
+        ``resources`` count is maintained at the facade (the shards share
+        one dictionary, so per-shard counts would multiply-count terms).
+        """
+        self._reconcile_resources()
+        distinct_predicates: set[int] = set()
+        n_subjects = 0
+        for shard in self._shards:
+            n_subjects += len(shard._spo)
+            distinct_predicates |= shard._pos.keys()
+        return {
+            "triples": len(self),
+            "terms": len(self.dictionary),
+            "resources": self._n_resources,
+            "predicates": len(distinct_predicates),
+            "subjects": n_subjects,
+            "shards": len(self._shards),
+        }

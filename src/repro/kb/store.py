@@ -14,6 +14,11 @@ scan, the benchmark harness) additionally get an *id-level* API —
 ``objects_ids``, ``triples_ids``, ``spo_items_ids`` — that exposes the
 dictionary-encoded indexes directly so per-row string materialization can be
 skipped entirely; callers treat the returned containers as read-only views.
+
+:class:`TripleStore` is the single-store implementation of the
+:class:`~repro.kb.backend.KBBackend` protocol: it supports live ``add`` /
+``delete`` with :class:`~repro.kb.backend.KBChange` notification and serves
+the sharding face as one shard (``n_shards == 1``).
 """
 
 from __future__ import annotations
@@ -21,12 +26,16 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from repro.kb.backend import ADD, DELETE, BackendBase, KBChange
 from repro.kb.dictionary import Dictionary
-from repro.kb.triple import Triple, is_literal
+from repro.kb.triple import Triple
 
 
-class TripleStore:
+class TripleStore(BackendBase):
     """A set of RDF triples with SPO/POS/OSP hash indexes.
+
+    Change-listener and resource-count plumbing comes from
+    :class:`~repro.kb.backend.BackendBase` (shared with the sharded store).
 
     >>> kb = TripleStore()
     >>> kb.add("m.obama", "dob", '"1961"')
@@ -41,25 +50,9 @@ class TripleStore:
         self._pos: dict[int, dict[int, set[int]]] = defaultdict(dict)
         self._osp: dict[int, dict[int, set[int]]] = defaultdict(dict)
         self._size = 0
-        # Resource count, kept current by scanning only the dictionary tail
-        # added since the last reconcile — dictionary ids are dense and
-        # append-only, so this is O(1) amortized per add and correct even
-        # when terms are interned through a shared dictionary (e.g. by an
-        # ExpandedStore) rather than through ``add``.
-        self._n_resources = 0
-        self._n_terms_counted = 0
+        self._init_backend_state()
 
     # -- Mutation ----------------------------------------------------------
-
-    def _reconcile_resources(self) -> None:
-        """Fold dictionary terms added since the last call into the count."""
-        n_terms = len(self.dictionary)
-        if n_terms == self._n_terms_counted:
-            return
-        for term in self.dictionary.terms_from(self._n_terms_counted):
-            if not is_literal(term):
-                self._n_resources += 1
-        self._n_terms_counted = n_terms
 
     def add(self, subject: str, predicate: str, obj: str) -> bool:
         """Insert a triple; returns False if it was already present."""
@@ -74,6 +67,8 @@ class TripleStore:
         self._pos[p].setdefault(o, set()).add(s)
         self._osp[o].setdefault(s, set()).add(p)
         self._size += 1
+        if self._listeners:
+            self._notify(KBChange(ADD, s, p, o))
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -82,6 +77,45 @@ class TripleStore:
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns how many were new."""
         return sum(1 for t in triples if self.add_triple(t))
+
+    def delete(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple; returns False if it was not present.
+
+        Empty index sub-maps are pruned so ``has_subject`` and the scan
+        methods never see ghost subjects.  Dictionary ids are never reclaimed
+        (ids are dense and append-only), so the ``resources`` stat does not
+        decrease on delete.
+        """
+        s = self.dictionary.lookup(subject)
+        p = self.dictionary.lookup(predicate)
+        o = self.dictionary.lookup(obj)
+        if s is None or p is None or o is None:
+            return False
+        by_predicate = self._spo.get(s)
+        objects = by_predicate.get(p) if by_predicate else None
+        if not objects or o not in objects:
+            return False
+        objects.remove(o)
+        if not objects:
+            del by_predicate[p]
+            if not by_predicate:
+                del self._spo[s]
+        subjects = self._pos[p][o]
+        subjects.remove(s)
+        if not subjects:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        predicates = self._osp[o][s]
+        predicates.remove(p)
+        if not predicates:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        if self._listeners:
+            self._notify(KBChange(DELETE, s, p, o))
+        return True
 
     # -- Point lookups -------------------------------------------------------
 
@@ -188,6 +222,19 @@ class TripleStore:
         This is the shape the Sec 6.2 index+scan+join wants: one frontier
         probe per *subject group* instead of one per triple.
         """
+        return iter(self._spo.items())
+
+    # -- Sharding face (a single store is one shard) -----------------------
+
+    @property
+    def n_shards(self) -> int:
+        """A plain :class:`TripleStore` is a single subject partition."""
+        return 1
+
+    def shard_spo_items_ids(self, shard: int) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan of one shard (shard 0 is the whole store)."""
+        if shard != 0:
+            raise IndexError(f"TripleStore has 1 shard, got shard index {shard}")
         return iter(self._spo.items())
 
     # -- Scans ---------------------------------------------------------------

@@ -56,10 +56,13 @@ class Suite:
         return self.benchmarks[name]
 
 
-def build_suite(scale: str = "small", seed: int = 7) -> Suite:
+def build_suite(scale: str = "small", seed: int = 7, shards: int = 1) -> Suite:
     """Build the full setup at ``scale`` in {"small", "default"}.
 
     *small* is test-sized (seconds); *default* is benchmark-sized.
+    ``shards > 1`` compiles both KBs into subject-sharded backends
+    (:class:`~repro.kb.sharded.ShardedTripleStore`) — everything downstream
+    is behaviour-identical, only the KB partitioning changes.
     """
     if scale == "small":
         world_config = WorldConfig.small(seed=seed)
@@ -75,8 +78,8 @@ def build_suite(scale: str = "small", seed: int = 7) -> Suite:
         raise ValueError(f"unknown scale {scale!r} (expected 'small' or 'default')")
 
     world = build_world(world_config)
-    freebase = compile_freebase_like(world)
-    dbpedia = compile_dbpedia_like(world)
+    freebase = compile_freebase_like(world, shards=shards)
+    dbpedia = compile_dbpedia_like(world, shards=shards)
     taxonomy = build_taxonomy(world)
     conceptualizer = build_conceptualizer(world, extra_contexts=surface_context_sources())
     corpus = generate_corpus(world, corpus_config)

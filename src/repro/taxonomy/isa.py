@@ -9,7 +9,6 @@ that conceptualization starts from.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
 
 
 def is_concept(term: str) -> bool:

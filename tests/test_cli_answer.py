@@ -1,0 +1,73 @@
+"""``kbqa answer`` CLI contract: deterministic non-crash output for unknown
+entities / empty answers (exit 0), nonzero exit only on real failures."""
+
+from repro.cli import main
+
+
+class TestAnswerErrorHandling:
+    def test_unknown_entity_is_not_a_failure(self, capsys):
+        code = main(
+            ["answer", "--scale", "small",
+             "who is the spouse of zorblax the unknowable?"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A: (no answer)" in out
+        assert "answered 0/1" in out
+
+    def test_mixed_batch_reports_deterministically(self, capsys, suite):
+        city = next(e for e in suite.world.of_type("city"))
+        code = main(
+            ["answer", "--scale", "small",
+             f"what is the population of {city.name}?",
+             "gibberish question about nothing"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Q: ") == 2
+        assert "answered 1/2" in out
+
+    def test_missing_expansion_file_is_a_real_failure(self, capsys, tmp_path):
+        code = main(
+            ["answer", "--scale", "small",
+             "--expansion", str(tmp_path / "missing.kbqa"), "any question"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "kbqa answer: error:" in err
+
+    def test_corrupt_expansion_file_is_a_real_failure(self, capsys, tmp_path):
+        bad = tmp_path / "bad.kbqa"
+        bad.write_text("this is not an expansion artifact\n")
+        code = main(
+            ["answer", "--scale", "small", "--expansion", str(bad), "any question"]
+        )
+        assert code == 1
+        assert "kbqa answer: error:" in capsys.readouterr().err
+
+    def test_missing_expansion_fails_cleanly_on_every_training_command(
+        self, capsys, tmp_path
+    ):
+        """--expansion is advertised on all training commands; each must
+        fail deterministically, not with a traceback."""
+        missing = str(tmp_path / "missing.kbqa")
+        for command in (["train", "--model", str(tmp_path / "m.json")],
+                        ["demo"], ["decompose"]):
+            argv = [command[0], "--scale", "small", "--expansion", missing]
+            argv += command[1:]
+            if command[0] in ("demo", "decompose"):
+                argv.append("any question")
+            assert main(argv) == 1, command[0]
+            assert f"kbqa {command[0]}: error:" in capsys.readouterr().err
+
+    def test_answer_with_loaded_expansion(self, capsys, tmp_path, suite):
+        path = tmp_path / "expansion.kbqa"
+        assert main(["expand", "--scale", "small", "--save", str(path)]) == 0
+        capsys.readouterr()
+        city = next(e for e in suite.world.of_type("city"))
+        code = main(
+            ["answer", "--scale", "small", "--expansion", str(path),
+             f"what is the population of {city.name}?"]
+        )
+        assert code == 0
+        assert "answered 1/1" in capsys.readouterr().out

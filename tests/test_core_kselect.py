@@ -1,6 +1,5 @@
 """Tests for valid(k) and the expansion-length selection (Sec 6.3)."""
 
-import pytest
 
 from repro.core.kselect import choose_k, top_entities_by_frequency, valid_k
 

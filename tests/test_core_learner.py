@@ -1,6 +1,5 @@
 """Tests for the offline learner (Figure 3's right column)."""
 
-import pytest
 
 from repro.core.learner import LearnerConfig, OfflineLearner
 from repro.core.em import EMConfig

@@ -1,6 +1,5 @@
 """Tests for the online answering procedure (Sec 3.3)."""
 
-import pytest
 
 from repro.kb.paths import PredicatePath
 

@@ -1,6 +1,5 @@
 """Tests for benchmark construction and the sentence corpus."""
 
-import pytest
 
 from repro.corpus.benchmark import (
     build_complex_benchmark,
@@ -108,8 +107,6 @@ class TestSentences:
         assert len(suite.sentences) == 4000
 
     def test_sentences_mention_entity_and_value(self, suite, world):
-        import re
-
         for sentence in suite.sentences[:50]:
             # every sentence comes from a template with both slots filled
             assert len(sentence.split()) >= 4

@@ -1,8 +1,7 @@
 """Tests for compiling the world into Freebase-like / DBpedia-like stores."""
 
-import pytest
 
-from repro.data.world import ENTITY, LITERAL, SCHEMA_BY_INTENT
+from repro.data.world import LITERAL, SCHEMA_BY_INTENT
 from repro.kb.paths import PredicatePath, follow
 from repro.kb.triple import make_literal
 from repro.nlp.question_class import AnswerType

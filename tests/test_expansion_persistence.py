@@ -1,0 +1,217 @@
+"""ExpandedStore persistence: save -> load round trip, format guards, and
+training resumption (``KBQA.train(..., expanded=...)`` must answer without
+re-running ``expand_predicates``)."""
+
+import pytest
+
+import repro.core.learner as learner_module
+from repro.core.system import KBQA
+from repro.kb.expansion import (
+    EXPANSION_FORMAT_VERSION,
+    EXPANSION_MAGIC,
+    ExpandedStore,
+    expand_predicates,
+)
+from repro.kb.paths import PredicatePath
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+
+
+@pytest.fixture()
+def expanded(suite):
+    seeds = [e.node for e in suite.world.of_type("person")[:12]]
+    seeds += [e.node for e in suite.world.of_type("city")[:6]]
+    return expand_predicates(
+        suite.freebase.store, seeds, max_length=3, record_reach=True
+    )
+
+
+class TestRoundTrip:
+    def test_triples_stats_and_inventory_survive(self, expanded, tmp_path):
+        path = tmp_path / "expansion.kbqa"
+        expanded.save(path)
+        loaded = ExpandedStore.load(path)
+        assert len(loaded) == len(expanded) > 0
+        assert loaded.stats() == expanded.stats()
+        assert loaded.max_length == expanded.max_length
+        assert loaded.tail_predicates == expanded.tail_predicates
+        assert {(s, str(p), o) for s, p, o in loaded.triples()} == {
+            (s, str(p), o) for s, p, o in expanded.triples()
+        }
+        assert loaded.distinct_paths() == expanded.distinct_paths()
+        assert set(loaded.subjects()) == set(expanded.subjects())
+
+    def test_frozen_views_equal_after_reload(self, expanded, tmp_path):
+        path = tmp_path / "expansion.kbqa"
+        expanded.save(path)
+        loaded = ExpandedStore.load(path)
+        subject, p_plus, obj = next(expanded.triples())
+        assert loaded.objects(subject, p_plus) == expanded.objects(subject, p_plus)
+        assert loaded.paths_between(subject, obj) == expanded.paths_between(subject, obj)
+        assert loaded.paths_of(subject) == expanded.paths_of(subject)
+        # the reloaded store serves shared frozen views exactly like the original
+        assert loaded.objects(subject, p_plus) is loaded.objects(subject, p_plus)
+
+    def test_seed_and_reach_provenance_survive(self, expanded, tmp_path):
+        path = tmp_path / "expansion.kbqa"
+        expanded.save(path)
+        loaded = ExpandedStore.load(path)
+        decode_old = expanded.dictionary.decode
+        decode_new = loaded.dictionary.decode
+        assert {decode_new(s) for s in loaded.seed_ids} == {
+            decode_old(s) for s in expanded.seed_ids
+        }
+        old_reach = {
+            decode_old(node): {decode_old(s) for s in seeds}
+            for node, seeds in expanded.reach_items()
+        }
+        new_reach = {
+            decode_new(node): {decode_new(s) for s in seeds}
+            for node, seeds in loaded.reach_items()
+        }
+        assert new_reach == old_reach
+
+    def test_save_is_deterministic(self, expanded, tmp_path):
+        first = tmp_path / "first.kbqa"
+        second = tmp_path / "second.kbqa"
+        expanded.save(first)
+        expanded.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_reload_of_reload_is_byte_identical(self, expanded, tmp_path):
+        original = tmp_path / "original.kbqa"
+        again = tmp_path / "again.kbqa"
+        expanded.save(original)
+        ExpandedStore.load(original).save(again)
+        assert original.read_bytes() == again.read_bytes()
+
+
+class TestFormatGuards:
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.kbqa"
+        path.write_text("NOT-AN-EXPANSION 1\n{}\n")
+        with pytest.raises(ValueError, match=EXPANSION_MAGIC):
+            ExpandedStore.load(path)
+
+    def test_rejects_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.kbqa"
+        path.write_text(f"{EXPANSION_MAGIC} {EXPANSION_FORMAT_VERSION + 1}\n{{}}\n")
+        with pytest.raises(ValueError, match="version"):
+            ExpandedStore.load(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.kbqa"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            ExpandedStore.load(path)
+
+    def test_rejects_truncated_triples(self, expanded, tmp_path):
+        path = tmp_path / "truncated.kbqa"
+        expanded.save(path)
+        lines = path.read_text().splitlines()
+        # drop the final subject group line but keep the header counts
+        n_reach = sum(1 for _ in expanded.reach_items())
+        del lines[-1 - n_reach]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises((ValueError, IndexError)):
+            ExpandedStore.load(path)
+
+    def test_rejects_out_of_range_ids_at_load_time(self, tmp_path):
+        """Corrupt ids must fail the documented load-time ValueError, not a
+        KeyError at first decode."""
+        kb = TripleStore()
+        kb.add("s", "name", make_literal("x"))
+        expanded = expand_predicates(kb, ["s"], max_length=1)
+        path = tmp_path / "corrupt.kbqa"
+        expanded.save(path)
+        lines = path.read_text().splitlines()
+        # the last line is the single subject group: [s, [[p, [o]]]] — point
+        # its object id far past the dictionary
+        import json
+
+        s_id, groups = json.loads(lines[-1])
+        groups[0][1] = [9999]
+        lines[-1] = json.dumps([s_id, groups])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="out of range"):
+            ExpandedStore.load(path)
+
+    def test_mismatched_max_length_rejected_at_train(self, suite, tmp_path):
+        """A k=2 artifact must not silently override a k=3 learner config."""
+        seeds = [e.node for e in suite.world.of_type("person")[:4]]
+        short = expand_predicates(suite.freebase.store, seeds, max_length=2)
+        path = tmp_path / "short.kbqa"
+        short.save(path)
+        with pytest.raises(ValueError, match="max_length"):
+            KBQA.train(
+                suite.freebase,
+                suite.corpus,
+                suite.conceptualizer,
+                expanded=ExpandedStore.load(path),
+            )
+
+    def test_special_characters_round_trip(self, tmp_path):
+        kb = TripleStore()
+        tricky = make_literal('line\nbreak "and\ttab"')
+        kb.add("s", "name", tricky)
+        expanded = expand_predicates(kb, ["s"], max_length=1)
+        path = tmp_path / "tricky.kbqa"
+        expanded.save(path)
+        loaded = ExpandedStore.load(path)
+        assert loaded.objects("s", PredicatePath.single("name")) == {tricky}
+
+
+class TestTrainingResumption:
+    def test_train_from_saved_expansion_skips_the_scan(
+        self, suite, kbqa_fb, tmp_path, monkeypatch
+    ):
+        """Acceptance: a saved expansion reloads and answers without
+        re-running ``expand_predicates``."""
+        expanded = kbqa_fb.learn_result.expanded
+        path = tmp_path / "expansion.kbqa"
+        expanded.save(path)
+        loaded = ExpandedStore.load(path)
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("expand_predicates must not run on resume")
+
+        monkeypatch.setattr(learner_module, "expand_predicates", _forbidden)
+        resumed = KBQA.train(
+            suite.freebase, suite.corpus, suite.conceptualizer, expanded=loaded
+        )
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+        assert resumed.answer_many(questions) == kbqa_fb.answer_many(questions)
+        assert resumed.model.n_templates == kbqa_fb.model.n_templates
+
+
+class TestExpandCli:
+    def test_save_then_load(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "expansion.kbqa"
+        assert main(["expand", "--scale", "small", "--save", str(path)]) == 0
+        assert path.is_file()
+        saved = capsys.readouterr().out
+        assert "saved expansion" in saved and "spo_triples=" in saved
+        assert main(["expand", "--load", str(path)]) == 0
+        loaded = capsys.readouterr().out
+        assert "loaded expansion" in loaded
+        # identical inventory lines after the save/load banner
+        assert saved.splitlines()[1:] == loaded.splitlines()[1:]
+
+    def test_requires_exactly_one_of_save_load(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["expand", "--scale", "small"]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+        path = tmp_path / "x.kbqa"
+        code = main(
+            ["expand", "--save", str(path), "--load", str(path), "--scale", "small"]
+        )
+        assert code == 1
+
+    def test_load_missing_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["expand", "--load", str(tmp_path / "missing.kbqa")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,211 @@
+"""The KB backend seam: protocol conformance, the sharded store, and
+live add/delete with change notification.
+
+The acceptance bar for the sharded backend is *equivalence*: built by the
+same add sequence, ``ShardedTripleStore(shards=4)`` must assign identical
+dictionary ids, answer every lookup identically, produce an identical
+(byte-identical once serialized) predicate expansion, and yield identical
+``answer_many`` output to the single store.
+"""
+
+import pytest
+
+from repro.core.system import KBQA
+from repro.data.compile import compile_freebase_like
+from repro.kb.backend import ADD, DELETE, KBBackend, KBChange
+from repro.kb.expansion import expand_predicates
+from repro.kb.sharded import ShardedTripleStore
+from repro.kb.store import TripleStore
+from repro.kb.triple import Triple, make_literal
+
+
+def _toy(kb):
+    kb.add("a", "name", make_literal("alice"))
+    kb.add("a", "marriage", "cvt1")
+    kb.add("cvt1", "person", "b")
+    kb.add("cvt1", "date", make_literal("1990"))
+    kb.add("b", "name", make_literal("bob"))
+    kb.add("a", "pob", "city")
+    kb.add("city", "name", make_literal("springfield"))
+    kb.add("city", "mayor", "m")
+    kb.add("m", "name", make_literal("mel"))
+    return kb
+
+
+class TestProtocolConformance:
+    def test_both_implementations_satisfy_the_protocol(self):
+        assert isinstance(TripleStore(), KBBackend)
+        assert isinstance(ShardedTripleStore(shards=2), KBBackend)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedTripleStore(shards=0)
+
+    def test_single_store_sharding_face(self):
+        kb = _toy(TripleStore())
+        assert kb.n_shards == 1
+        assert dict(kb.shard_spo_items_ids(0)) == dict(kb.spo_items_ids())
+        with pytest.raises(IndexError):
+            kb.shard_spo_items_ids(1)
+
+
+class TestShardedEquivalence:
+    @pytest.fixture()
+    def pair(self):
+        return _toy(TripleStore()), _toy(ShardedTripleStore(shards=3))
+
+    def test_identical_dictionary_ids(self, pair):
+        single, sharded = pair
+        assert list(single.dictionary.terms()) == list(sharded.dictionary.terms())
+
+    def test_identical_lookups(self, pair):
+        single, sharded = pair
+        assert len(single) == len(sharded)
+        assert set(single.triples()) == set(sharded.triples())
+        assert set(single.subjects_iter()) == set(sharded.subjects_iter())
+        assert single.predicates() == sharded.predicates()
+        for subject in single.subjects_iter():
+            assert single.predicates_of(subject) == sharded.predicates_of(subject)
+            assert single.out_degree(subject) == sharded.out_degree(subject)
+            for predicate in single.predicates_of(subject):
+                assert single.objects(subject, predicate) == sharded.objects(
+                    subject, predicate
+                )
+        assert single.subjects("name", make_literal("bob")) == sharded.subjects(
+            "name", make_literal("bob")
+        )
+        assert single.predicates_between("a", "cvt1") == sharded.predicates_between(
+            "a", "cvt1"
+        )
+
+    def test_identical_id_scan(self, pair):
+        single, sharded = pair
+        assert set(single.triples_ids()) == set(sharded.triples_ids())
+        per_shard = set()
+        for i in range(sharded.n_shards):
+            for s_id, by_predicate in sharded.shard_spo_items_ids(i):
+                assert sharded.shard_of(s_id) == i
+                for p_id, object_ids in by_predicate.items():
+                    per_shard.update((s_id, p_id, o) for o in object_ids)
+        assert per_shard == set(single.triples_ids())
+
+    def test_stats_aggregate(self, pair):
+        single, sharded = pair
+        expected = dict(single.stats())
+        got = dict(sharded.stats())
+        assert got.pop("shards") == 3
+        assert got == expected
+
+    def test_compiled_kb_equivalence(self, suite):
+        sharded_kb = compile_freebase_like(suite.world, shards=4)
+        single_store = suite.freebase.store
+        assert list(single_store.dictionary.terms()) == list(
+            sharded_kb.store.dictionary.terms()
+        )
+        assert len(single_store) == len(sharded_kb.store)
+        assert set(single_store.triples_ids()) == set(sharded_kb.store.triples_ids())
+
+
+class TestShardedExpansionEquivalence:
+    def test_expansion_identical_and_bytes_identical(self, suite, tmp_path):
+        """Acceptance: ShardedTripleStore(shards=4) produces byte-identical
+        ExpandedStore contents to the single store."""
+        sharded_kb = compile_freebase_like(suite.world, shards=4)
+        seeds = [e.node for e in suite.world.of_type("person")[:12]]
+        seeds += [e.node for e in suite.world.of_type("city")[:6]]
+        single = expand_predicates(
+            suite.freebase.store, seeds, max_length=3, record_reach=True
+        )
+        sharded = expand_predicates(
+            sharded_kb.store, seeds, max_length=3, record_reach=True
+        )
+        assert len(single) == len(sharded) > 0
+        assert {(s, str(p), o) for s, p, o in single.triples()} == {
+            (s, str(p), o) for s, p, o in sharded.triples()
+        }
+        assert single.seed_ids == sharded.seed_ids
+        single_path = tmp_path / "single.kbqa"
+        sharded_path = tmp_path / "sharded.kbqa"
+        single.save(single_path)
+        sharded.save(sharded_path)
+        assert single_path.read_bytes() == sharded_path.read_bytes()
+
+
+class TestShardedAnswerEquivalence:
+    def test_answer_many_identical(self, suite, kbqa_fb):
+        """Acceptance: identical answer_many output on a 4-shard backend."""
+        sharded_kb = compile_freebase_like(suite.world, shards=4)
+        sharded_system = KBQA.train(sharded_kb, suite.corpus, suite.conceptualizer)
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+        questions.append("what should i eat tonight?")
+        assert sharded_system.answer_many(questions) == kbqa_fb.answer_many(questions)
+
+
+class TestDelete:
+    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    def test_delete_removes_from_all_indexes(self, factory):
+        kb = _toy(factory())
+        n = len(kb)
+        assert kb.delete("cvt1", "person", "b")
+        assert len(kb) == n - 1
+        assert not kb.has("cvt1", "person", "b")
+        assert kb.objects("cvt1", "person") == set()
+        assert kb.subjects("person", "b") == set()
+        assert kb.predicates_between("cvt1", "b") == set()
+        assert "person" not in kb.predicates()
+
+    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    def test_delete_prunes_ghost_subjects(self, factory):
+        kb = _toy(factory())
+        assert kb.delete("m", "name", make_literal("mel"))
+        assert not kb.has_subject("m")
+        assert Triple("m", "name", make_literal("mel")) not in kb
+
+    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    def test_delete_absent_returns_false(self, factory):
+        kb = _toy(factory())
+        n = len(kb)
+        assert not kb.delete("a", "name", make_literal("nobody"))
+        assert not kb.delete("ghost", "name", make_literal("alice"))
+        assert len(kb) == n
+
+    def test_add_after_delete_round_trips(self):
+        kb = _toy(TripleStore())
+        assert kb.delete("a", "pob", "city")
+        assert kb.add("a", "pob", "city")
+        assert kb.objects("a", "pob") == {"city"}
+
+
+class TestChangeNotification:
+    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=2)])
+    def test_add_and_delete_notify(self, factory):
+        kb = factory()
+        changes: list[KBChange] = []
+        kb.subscribe(changes.append)
+        kb.add("s", "p", "o")
+        assert [c.action for c in changes] == [ADD]
+        s, p, o = changes[0].subject_id, changes[0].predicate_id, changes[0].object_id
+        assert (kb.decode_id(s), kb.decode_id(p), kb.decode_id(o)) == ("s", "p", "o")
+        kb.delete("s", "p", "o")
+        assert [c.action for c in changes] == [ADD, DELETE]
+        assert changes[1] == KBChange(DELETE, s, p, o)
+
+    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=2)])
+    def test_no_notification_on_noop(self, factory):
+        kb = factory()
+        kb.add("s", "p", "o")
+        changes: list[KBChange] = []
+        kb.subscribe(changes.append)
+        kb.add("s", "p", "o")  # duplicate
+        kb.delete("s", "p", "missing")  # absent
+        assert changes == []
+
+    def test_unsubscribe(self):
+        kb = TripleStore()
+        changes: list[KBChange] = []
+        unsubscribe = kb.subscribe(changes.append)
+        kb.add("s", "p", "o")
+        unsubscribe()
+        kb.add("s", "p", "o2")
+        assert len(changes) == 1
+        unsubscribe()  # idempotent

@@ -1,0 +1,205 @@
+"""Live KB add/delete flowing through every layer.
+
+The chain under test: backend mutation -> KBChange notification ->
+per-seed ExpandedStore invalidation + targeted single-seed re-expansion
+(`repro.kb.live`) -> answer-cache invalidation -> a *different answer*,
+with no retraining and no full re-expansion.
+"""
+
+import pytest
+
+import repro.kb.live as live_module
+from repro.core.system import KBQA
+from repro.data.compile import compile_freebase_like
+from repro.kb.expansion import expand_predicates
+from repro.kb.live import LiveExpansionMaintainer
+from repro.kb.paths import PredicatePath
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+
+SPOUSE_PATH = PredicatePath(("marriage", "person", "name"))
+
+
+def _toy_kb():
+    kb = TripleStore()
+    kb.add("a", "name", make_literal("alice"))
+    kb.add("a", "marriage", "cvt1")
+    kb.add("cvt1", "person", "b")
+    kb.add("b", "name", make_literal("bob"))
+    kb.add("c", "name", make_literal("carol"))
+    kb.add("c", "dob", make_literal("1970"))
+    return kb
+
+
+class TestMaintainer:
+    def test_add_through_intermediate_node_updates_expansion(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+        LiveExpansionMaintainer(kb, expanded, ["a", "c"])
+        assert expanded.objects("a", SPOUSE_PATH) == {make_literal("bob")}
+        kb.add("b", "alias", make_literal("bobby"))
+        alias_path = PredicatePath(("marriage", "person", "alias"))
+        assert expanded.objects("a", alias_path) == {make_literal("bobby")}
+
+    def test_delete_removes_expanded_triples(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+        LiveExpansionMaintainer(kb, expanded, ["a", "c"])
+        kb.delete("cvt1", "person", "b")
+        assert expanded.objects("a", SPOUSE_PATH) == frozenset()
+        assert expanded.paths_between("a", make_literal("bob")) == frozenset()
+        # unrelated seed untouched
+        assert expanded.objects("c", PredicatePath.single("dob")) == {
+            make_literal("1970")
+        }
+
+    def test_only_affected_seeds_refresh(self, monkeypatch):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+        maintainer = LiveExpansionMaintainer(kb, expanded, ["a", "c"])
+        calls = []
+        real_expand = live_module.expand_predicates
+
+        def _counting(store, seeds, **kwargs):
+            seeds = list(seeds)
+            calls.append(seeds)
+            return real_expand(store, seeds, **kwargs)
+
+        monkeypatch.setattr(live_module, "expand_predicates", _counting)
+        kb.add("b", "alias", make_literal("bobby"))
+        # edge under 'b' is reached only from seed 'a': exactly one
+        # single-seed refresh, never a full re-expansion
+        assert calls == [["a"]]
+        assert maintainer.seeds_refreshed == 1
+        calls.clear()
+        kb.add("unrelated", "name", make_literal("nobody"))
+        assert calls == []
+        assert maintainer.events_seen == 2
+
+    def test_seed_gaining_its_first_triples(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "ghost"], max_length=3)
+        LiveExpansionMaintainer(kb, expanded, ["a", "ghost"])
+        assert expanded.paths_of("ghost") == frozenset()
+        kb.add("ghost", "name", make_literal("the ghost"))
+        assert expanded.objects("ghost", PredicatePath.single("name")) == {
+            make_literal("the ghost")
+        }
+
+    def test_loaded_artifact_with_own_dictionary(self, tmp_path):
+        """A reloaded expansion (own dictionary) still tracks live edits —
+        the maintainer's string-level merge branch."""
+        from repro.kb.expansion import ExpandedStore
+
+        kb = _toy_kb()
+        built = expand_predicates(kb, ["a", "c"], max_length=3, record_reach=True)
+        path = tmp_path / "expansion.kbqa"
+        built.save(path)
+        loaded = ExpandedStore.load(path)
+        assert loaded.dictionary is not kb.dictionary
+        LiveExpansionMaintainer(kb, loaded, ["a", "c"])
+        kb.add("b", "alias", make_literal("bobby"))
+        alias_path = PredicatePath(("marriage", "person", "alias"))
+        assert loaded.objects("a", alias_path) == {make_literal("bobby")}
+        kb.delete("cvt1", "person", "b")
+        assert loaded.objects("a", SPOUSE_PATH) == frozenset()
+
+    def test_close_detaches(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a"], max_length=3)
+        maintainer = LiveExpansionMaintainer(kb, expanded, ["a"])
+        maintainer.close()
+        kb.add("b", "alias", make_literal("bobby"))
+        assert maintainer.events_seen == 0
+
+
+class TestInvalidateSeed:
+    def test_invalidate_then_reexpand_matches_fresh(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+        before = {(s, str(p), o) for s, p, o in expanded.triples()}
+        assert expanded.invalidate_seed("a")
+        assert expanded.paths_of("a") == frozenset()
+        expand_predicates(kb, ["a"], max_length=3, into=expanded)
+        assert {(s, str(p), o) for s, p, o in expanded.triples()} == before
+
+    def test_invalidate_unknown_seed_is_a_noop(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a"], max_length=3)
+        n = len(expanded)
+        assert not expanded.invalidate_seed("never-seen")
+        assert len(expanded) == n
+
+    def test_into_requires_shared_dictionary(self):
+        kb = _toy_kb()
+        foreign = expand_predicates(_toy_kb(), ["a"], max_length=3)
+        with pytest.raises(ValueError, match="dictionary"):
+            expand_predicates(kb, ["a"], max_length=3, into=foreign)
+
+
+@pytest.fixture(scope="module")
+def live_system(suite):
+    """A fresh trained system over a private KB copy (safe to mutate)."""
+    kb = compile_freebase_like(suite.world)
+    return KBQA.train(kb, suite.corpus, suite.conceptualizer)
+
+
+class TestSystemLevelLiveEdits:
+    def _spouse_case(self, suite, system):
+        for entity in suite.world.of_type("person"):
+            spouses = system.kb.store.objects(entity.node, "marriage")
+            if spouses:
+                cvt = next(iter(spouses))
+                partner = next(iter(system.kb.store.objects(cvt, "person")))
+                question = f"who is the spouse of {entity.name}?"
+                if system.answer(question).answered:
+                    return question, cvt, partner
+        raise AssertionError("no answerable spouse question in the suite")
+
+    def test_answer_changes_after_delete_without_reexpansion(
+        self, suite, live_system, monkeypatch
+    ):
+        question, cvt, partner = self._spouse_case(suite, live_system)
+        before = live_system.answer(question)
+        assert before.answered
+
+        calls = []
+        real_expand = live_module.expand_predicates
+
+        def _counting(store, seeds, **kwargs):
+            seeds = list(seeds)
+            calls.append(seeds)
+            return real_expand(store, seeds, **kwargs)
+
+        monkeypatch.setattr(live_module, "expand_predicates", _counting)
+
+        assert live_system.delete_fact(cvt, "person", partner)
+        after = live_system.answer(question)
+        assert after != before
+        assert before.value not in after.values
+        # every refresh was a targeted single-seed expansion
+        assert calls and all(len(seeds) == 1 for seeds in calls)
+
+        # restore: the answer comes back, again via per-seed refresh only
+        assert live_system.add_fact(cvt, "person", partner)
+        restored = live_system.answer(question)
+        assert restored.answered
+        assert restored.value == before.value
+
+    def test_added_fact_is_served(self, live_system):
+        entity = "m.live_new_entity"
+        assert live_system.add_fact(entity, "name", make_literal("zanzibar mcgee"))
+        assert live_system.kb.store.has_subject(entity)
+        # direct KB lookups see it immediately through the same view
+        assert live_system.learn_result.kbview.values(
+            entity, PredicatePath.single("name")
+        ) == {make_literal("zanzibar mcgee")}
+        assert live_system.delete_fact(entity, "name", make_literal("zanzibar mcgee"))
+
+    def test_duplicate_add_is_inert(self, live_system):
+        stats_before = live_system.kb.store.stats()
+        refreshed_before = live_system.maintainer.seeds_refreshed
+        triple = next(iter(live_system.kb.store.triples()))
+        assert not live_system.add_fact(triple.subject, triple.predicate, triple.object)
+        assert live_system.kb.store.stats() == stats_before
+        assert live_system.maintainer.seeds_refreshed == refreshed_before

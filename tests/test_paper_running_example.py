@@ -25,7 +25,6 @@ from repro.core.learner import LearnerConfig
 from repro.core.system import KBQA, KBQAConfig
 from repro.corpus.qa import QACorpus, QAPair
 from repro.data.compile import CompiledKB
-from repro.data.world import SCHEMA_BY_INTENT
 from repro.kb.paths import PredicatePath
 from repro.kb.store import TripleStore
 from repro.kb.triple import make_literal
