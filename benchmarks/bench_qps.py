@@ -1,0 +1,212 @@
+"""QPS load benchmark: serving throughput under concurrency x duplicate rate.
+
+Measures the serving layer the ROADMAP asks for: a closed-loop load
+generator (``repro.serve.loadgen``) drives :class:`AsyncAnswerer` over the
+qald3 BFQ question pool, sweeping
+
+* **concurrency** — outstanding closed-loop clients,
+* **duplicate_rate** — fraction of requests drawn from an 8-question hot
+  set (head-heavy traffic), and
+* **coalescing on/off** — the A/B that isolates what in-flight coalescing
+  buys.
+
+Every cell uses a *fresh* ``OnlineAnswerer`` with the answer cache disabled,
+so duplicate work is real and the measured difference is the serving
+layer's coalescing + micro-batching, not the target's own memoization (the
+lookup LRUs stay on: entity/concept reuse is part of serving, coalescing
+dedups whole evaluations).  The on/off runs of a cell replay the *same*
+seeded request stream.
+
+The ``qps`` payload lands in ``BENCH_perf.json`` via the perf harness
+(``scripts/bench.sh``); standalone::
+
+    PYTHONPATH=src python -m benchmarks.bench_qps --scale default \
+        --merge BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.online import OnlineAnswerer
+from repro.core.system import KBQA
+from repro.serve.loadgen import LoadSpec, run_load_cell
+from repro.suite import build_suite
+
+DEFAULT_CONCURRENCY = [4, 16, 64]
+DEFAULT_DUP_RATES = [0.0, 0.5, 0.9]
+HIGH_DUP = 0.9
+
+
+def _fresh_target(system: KBQA) -> OnlineAnswerer:
+    """A serving target with the answer cache off (duplicate work is real)."""
+    return OnlineAnswerer(
+        system.learn_result.kbview,
+        system.learn_result.ner,
+        system.conceptualizer,
+        system.model,
+        max_concepts=system.config.max_concepts_online,
+        answer_cache_size=0,
+    )
+
+
+def measure_qps(
+    system: KBQA,
+    questions: list[str],
+    *,
+    concurrency_levels: list[int] | None = None,
+    duplicate_rates: list[float] | None = None,
+    requests: int = 512,
+    max_batch: int = 16,
+    workers: int = 2,
+    seed: int = 7,
+) -> dict:
+    """The ``qps`` section: one sweep cell per (concurrency, dup-rate),
+    each with a coalescing-on and a coalescing-off run over the same
+    request stream."""
+    concurrency_levels = concurrency_levels or DEFAULT_CONCURRENCY
+    duplicate_rates = duplicate_rates or DEFAULT_DUP_RATES
+
+    sweep: list[dict] = []
+    for concurrency in concurrency_levels:
+        for dup_rate in duplicate_rates:
+            spec = LoadSpec(
+                requests=requests,
+                concurrency=concurrency,
+                duplicate_rate=dup_rate,
+                seed=seed,
+            )
+            cells = {}
+            for coalesce in (True, False):
+                cells[coalesce] = run_load_cell(
+                    _fresh_target(system),
+                    questions,
+                    spec,
+                    coalesce=coalesce,
+                    max_batch=max_batch,
+                    workers=workers,
+                )
+            on, off = cells[True], cells[False]
+            sweep.append(
+                {
+                    "concurrency": concurrency,
+                    "duplicate_rate": dup_rate,
+                    "qps_coalesce_on": on["qps"],
+                    "qps_coalesce_off": off["qps"],
+                    "coalesce_speedup": round(on["qps"] / max(off["qps"], 1e-9), 2),
+                    "evaluated_on": on["evaluated"],
+                    "evaluated_off": off["evaluated"],
+                    "coalesced_on": on["coalesced"],
+                    "rejected_on": on["rejected"],
+                    "rejected_off": off["rejected"],
+                }
+            )
+
+    # Coalescing dedups across the whole in-flight window; with
+    # concurrency <= max_batch one dispatched batch *is* the window and
+    # answer_many's own in-batch dedup already covers it, so the headline
+    # number is taken where the window spans multiple batches.
+    high_dup = [
+        c
+        for c in sweep
+        if c["duplicate_rate"] >= HIGH_DUP and c["concurrency"] > max_batch
+    ]
+    advantage = (
+        round(
+            sum(c["coalesce_speedup"] for c in high_dup) / len(high_dup), 2
+        )
+        if high_dup
+        else None
+    )
+    return {
+        "requests_per_cell": requests,
+        "question_pool": len(questions),
+        "hot_set": LoadSpec().hot_set,
+        "max_batch": max_batch,
+        "workers": workers,
+        "seed": seed,
+        "note": (
+            "closed-loop load; target answer cache disabled so coalescing "
+            "dedups real evaluations; on/off runs replay the same stream; "
+            "advantage is averaged over cells with duplicate_rate >= "
+            f"{HIGH_DUP} and concurrency > max_batch (where the in-flight "
+            "window spans multiple micro-batches)"
+        ),
+        "sweep": sweep,
+        "coalescing_advantage_at_high_dup": advantage,
+    }
+
+
+def print_qps(payload: dict) -> None:
+    """Human-readable sweep table."""
+    print(
+        f"qps sweep ({payload['requests_per_cell']} req/cell, "
+        f"pool {payload['question_pool']}, hot set {payload['hot_set']}, "
+        f"max_batch {payload['max_batch']}, workers {payload['workers']})"
+    )
+    header = f"{'conc':>5} {'dup':>5} {'qps on':>10} {'qps off':>10} {'x':>6} {'evald on/off':>14}"
+    print(header)
+    for cell in payload["sweep"]:
+        print(
+            f"{cell['concurrency']:>5} {cell['duplicate_rate']:>5} "
+            f"{cell['qps_coalesce_on']:>10} {cell['qps_coalesce_off']:>10} "
+            f"{cell['coalesce_speedup']:>6} "
+            f"{str(cell['evaluated_on']) + '/' + str(cell['evaluated_off']):>14}"
+        )
+    print(
+        f"coalescing advantage at dup>={HIGH_DUP}, conc>max_batch: "
+        f"{payload['coalescing_advantage_at_high_dup']}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="KBQA serving QPS benchmark")
+    parser.add_argument("--scale", default="default", choices=["small", "default"])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--requests", type=int, default=512)
+    parser.add_argument(
+        "--concurrency", type=int, nargs="+", default=DEFAULT_CONCURRENCY
+    )
+    parser.add_argument(
+        "--dup-rates", type=float, nargs="+", default=DEFAULT_DUP_RATES
+    )
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--merge", metavar="PATH", default=None,
+        help="merge the qps section into an existing BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    suite = build_suite(args.scale, seed=args.seed)
+    system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+    questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+    payload = measure_qps(
+        system,
+        questions,
+        concurrency_levels=args.concurrency,
+        duplicate_rates=args.dup_rates,
+        requests=args.requests,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print_qps(payload)
+    if args.merge:
+        path = Path(args.merge)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_qps: cannot merge into {path}: {error}", file=sys.stderr)
+            return 1
+        doc["qps"] = payload
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"merged qps section into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

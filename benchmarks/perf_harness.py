@@ -14,7 +14,11 @@ on the same machine and the same inputs:
 * **shard_sweep** — the Sec 6.2 expansion scan and ``answer_many`` against
   the same KB compiled into 1/2/4 subject shards
   (:class:`~repro.kb.sharded.ShardedTripleStore`), so the perf trajectory
-  records *scaling*, not just single-store speedups.
+  records *scaling*, not just single-store speedups;
+* **qps** — serving throughput through the async front
+  (:mod:`repro.serve`): closed-loop load over concurrency x duplicate-rate,
+  coalescing on vs off on identical request streams
+  (``benchmarks/bench_qps.py``).
 
 Usage::
 
@@ -101,7 +105,15 @@ def _shard_sweep(suite, system, seeds, questions, shard_counts, repeats) -> dict
     return sweep
 
 
-def measure(scale: str, seed: int, repeats: int, shard_counts: list[int]) -> dict:
+def measure(
+    scale: str,
+    seed: int,
+    repeats: int,
+    shard_counts: list[int],
+    qps_requests: int = 512,
+    qps_concurrency: list[int] | None = None,
+    qps_dup_rates: list[float] | None = None,
+) -> dict:
     """Run every measurement; returns the BENCH_perf payload."""
     suite = build_suite(scale, seed=seed)
     store = suite.freebase.store
@@ -181,6 +193,18 @@ def measure(scale: str, seed: int, repeats: int, shard_counts: list[int]) -> dic
 
     shard_sweep = _shard_sweep(suite, system, seeds, questions, shard_counts, repeats)
 
+    # -- serving QPS: coalescing A/B under concurrency x duplicate rate ------
+    from benchmarks.bench_qps import measure_qps
+
+    qps = measure_qps(
+        system,
+        questions,
+        concurrency_levels=qps_concurrency,
+        duplicate_rates=qps_dup_rates,
+        requests=qps_requests,
+        seed=seed,
+    )
+
     return {
         "benchmark": "BENCH_perf",
         "scale": scale,
@@ -194,6 +218,7 @@ def measure(scale: str, seed: int, repeats: int, shard_counts: list[int]) -> dic
         "em": em,
         "online": online,
         "shard_sweep": shard_sweep,
+        "qps": qps,
     }
 
 
@@ -207,10 +232,30 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, nargs="+", default=[1, 2, 4],
         help="shard counts for the scaling sweep (default: 1 2 4)",
     )
+    parser.add_argument(
+        "--qps-requests", type=int, default=512,
+        help="requests per QPS sweep cell (default: 512)",
+    )
+    parser.add_argument(
+        "--qps-concurrency", type=int, nargs="+", default=None,
+        help="closed-loop client counts for the QPS sweep (default: 4 16 64)",
+    )
+    parser.add_argument(
+        "--qps-dup-rates", type=float, nargs="+", default=None,
+        help="duplicate rates for the QPS sweep (default: 0.0 0.5 0.9)",
+    )
     parser.add_argument("--output", default="BENCH_perf.json")
     args = parser.parse_args(argv)
 
-    payload = measure(args.scale, args.seed, args.repeats, args.shards)
+    payload = measure(
+        args.scale,
+        args.seed,
+        args.repeats,
+        args.shards,
+        qps_requests=args.qps_requests,
+        qps_concurrency=args.qps_concurrency,
+        qps_dup_rates=args.qps_dup_rates,
+    )
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
     print(
@@ -237,6 +282,16 @@ def main(argv: list[str] | None = None) -> int:
             f"answer_many {row['answer_many_cold_ms']}ms cold / "
             f"{row['answer_many_warm_ms']}ms warm"
         )
+    for cell in payload["qps"]["sweep"]:
+        print(
+            f"qps c={cell['concurrency']:<3} dup={cell['duplicate_rate']}: "
+            f"{cell['qps_coalesce_on']} on / {cell['qps_coalesce_off']} off "
+            f"({cell['coalesce_speedup']}x)"
+        )
+    print(
+        f"coalescing advantage at high dup: "
+        f"{payload['qps']['coalescing_advantage_at_high_dup']}x"
+    )
     return 0
 
 

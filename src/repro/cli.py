@@ -8,6 +8,7 @@ shell::
     kbqa eval --scale small --benchmark qald3
     kbqa expand --scale small --save /tmp/expansion.kbqa
     kbqa answer --scale small --expansion /tmp/expansion.kbqa "..."
+    kbqa serve --scale small --port 8080        # HTTP answer service
 
 Every training command accepts ``--shards N`` (compile the KB into a
 subject-sharded backend) and ``--expansion PATH`` (resume from a persisted
@@ -123,6 +124,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _common_args(variants)
     variants.add_argument("questions", nargs="+", help="variant questions to answer")
     variants.set_defaults(handler=_cmd_variants)
+
+    serve = sub.add_parser(
+        "serve",
+        help="train and serve answers over HTTP (coalescing async front)",
+    )
+    _common_args(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks an ephemeral port; default: 8080)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="thread-executor workers evaluating answer_many batches",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="max distinct questions per dispatched answer_many batch",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission bound: queued+executing evaluations before 503",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable duplicate-request coalescing (benchmark A/B)",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="start on an ephemeral port, run concurrent self-requests, "
+             "assert clean shutdown, exit (the CI serving smoke test)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -251,6 +285,52 @@ def _cmd_variants(args) -> int:
             print(f"A: {shown}  [{result.template or 'bfq'}]")
         else:
             print("A: (no answer)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve answers over HTTP through the coalescing async front.
+
+    Foreground mode trains, binds, prints the endpoints and blocks until
+    Ctrl-C.  ``--smoke`` instead binds an ephemeral port, fires concurrent
+    requests at itself from client threads, asserts every response and a
+    clean shutdown, and exits — deterministic enough for CI.
+    """
+    import time
+
+    from repro.serve import BackgroundServer, ServeConfig, run_smoke
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        workers=args.workers,
+        coalesce=not args.no_coalesce,
+    )
+    system, suite = _train_system(args)
+    if args.smoke:
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()][:12]
+        try:
+            summary = run_smoke(system, questions, config=config)
+        except RuntimeError as error:
+            print(f"kbqa serve: smoke failed: {error}", file=sys.stderr)
+            return 1
+        for key, value in summary.items():
+            print(f"{key}={value}")
+        print("serving smoke: OK")
+        return 0
+
+    with BackgroundServer(system, config, host=args.host, port=args.port) as bg:
+        print(f"serving on {bg.url}")
+        print(f"  POST {bg.url}/answer   {{\"question\": \"...\"}}")
+        print(f"  POST {bg.url}/batch    {{\"questions\": [...]}}")
+        print(f"  POST {bg.url}/facts    {{\"op\": \"add|delete\", ...}}")
+        print(f"  GET  {bg.url}/healthz | {bg.url}/stats")
+        print("Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down")
     return 0
 
 

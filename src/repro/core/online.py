@@ -20,7 +20,8 @@ Serving-layer hot paths (Table 14's 79 ms/question is a *systems* claim):
 * an optional answer cache keyed on *normalized* question text short-circuits
   repeat questions entirely;
 * :meth:`OnlineAnswerer.answer_many` batches questions through the warm
-  caches and is equivalence-tested against per-question :meth:`answer`.
+  caches, deduplicating repeats on the normalized key before evaluation,
+  and is equivalence-tested against per-question :meth:`answer`.
 
 The result distinguishes *found a predicate* (the ``#pro`` condition of
 Sec 7.3.1) from *produced values*: a question whose template is known but
@@ -29,6 +30,7 @@ whose entity lacks the fact processes without an answer.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
@@ -94,6 +96,15 @@ class OnlineAnswerer:
         self._ranked: dict[str, tuple[tuple[str, PredicatePath, float], ...]] = {}
         self.answer_cache_size = answer_cache_size
         self._answer_cache: OrderedDict[str, AnswerResult] = OrderedDict()
+        # The serve layer (`repro.serve`) evaluates batches on executor
+        # threads while live-update listeners clear caches from mutator
+        # threads; the lock keeps the LRU's compound get/move/evict steps
+        # atomic.  Uncontended acquisition is tens of nanoseconds — noise
+        # next to one Eq 7 evaluation.  The generation counter prevents a
+        # result computed *before* a clear_caches() from being inserted
+        # *after* it (which would pin a pre-invalidation answer).
+        self._cache_lock = threading.Lock()
+        self._cache_generation = 0
         if lookup_cache_size > 0:
             self._find_mentions = lru_cache(maxsize=lookup_cache_size)(
                 self._find_mentions_uncached
@@ -144,16 +155,24 @@ class OnlineAnswerer:
         tokens = tuple(tokenize(question))
         if self.answer_cache_size > 0:
             key = " ".join(tokens)
-            cached = self._answer_cache.get(key)
+            with self._cache_lock:
+                generation = self._cache_generation
+                cached = self._answer_cache.get(key)
+                if cached is not None:
+                    self._answer_cache.move_to_end(key)
             if cached is not None:
-                self._answer_cache.move_to_end(key)
                 if cached.question != question:
                     cached = replace(cached, question=question)
                 return cached
             result = self._answer_tokens(question, tokens)
-            self._answer_cache[key] = result
-            if len(self._answer_cache) > self.answer_cache_size:
-                self._answer_cache.popitem(last=False)
+            with self._cache_lock:
+                # Skip the insert when a clear_caches() raced the
+                # evaluation: the result reflects pre-invalidation state
+                # and must not outlive the invalidation in the cache.
+                if generation == self._cache_generation:
+                    self._answer_cache[key] = result
+                    if len(self._answer_cache) > self.answer_cache_size:
+                        self._answer_cache.popitem(last=False)
             return result
         return self._answer_tokens(question, tokens)
 
@@ -161,10 +180,24 @@ class OnlineAnswerer:
         """Batch API: answer every question through the warm caches.
 
         Returns results in input order, identical to calling :meth:`answer`
-        per question (regression-tested) — the batch form simply amortizes
-        cache warm-up across the request set.
+        per question (regression-tested).  Repeated questions are
+        deduplicated on their *normalized* key (the answer-cache key) before
+        evaluation, so a batch with duplicates costs one Eq 7 evaluation per
+        unique key even when the answer cache is disabled — the property the
+        serving layer's micro-batching leans on.
         """
-        return [self.answer(question) for question in questions]
+        results: list[AnswerResult] = []
+        seen: dict[str, AnswerResult] = {}
+        for question in questions:
+            key = " ".join(tokenize(question))
+            hit = seen.get(key)
+            if hit is None:
+                hit = self.answer(question)
+                seen[key] = hit
+            elif hit.question != question:
+                hit = replace(hit, question=question)
+            results.append(hit)
+        return results
 
     def _answer_tokens(self, question: str, tokens: tuple[str, ...]) -> AnswerResult:
         """Eq 7 evaluation over one tokenized question (cache miss path)."""
@@ -227,7 +260,9 @@ class OnlineAnswerer:
     def clear_caches(self) -> None:
         """Drop the answer cache and the NER/conceptualizer memos (the
         ranked-predicate arrays stay: they mirror the immutable model)."""
-        self._answer_cache.clear()
+        with self._cache_lock:
+            self._answer_cache.clear()
+            self._cache_generation += 1
         for memo in (self._find_mentions, self._top_concepts):
             cache_clear = getattr(memo, "cache_clear", None)
             if cache_clear is not None:

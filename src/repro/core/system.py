@@ -116,7 +116,7 @@ class KBQA:
                 learn_result.expanded,
                 learn_result.seed_entities,
             )
-        self._kb_unsubscribe = kb.store.subscribe(self._on_kb_change)
+        self._kb_unsubscribe = kb.store.subscribe(self._on_kb_change, self._on_kb_changes)
 
     # -- Training -------------------------------------------------------------
 
@@ -167,6 +167,22 @@ class KBQA:
         answer (the subscription order puts the expansion maintainer first,
         so the expanded store is already refreshed when this fires)."""
         self.answerer.clear_caches()
+
+    def _on_kb_changes(self, _changes) -> None:
+        """Coalesced form for a ``batch()`` burst: one cache drop per burst
+        instead of one per change."""
+        self.answerer.clear_caches()
+
+    def batch(self):
+        """Deferred-notification context for bulk edits.
+
+        ``with system.batch(): ...`` applies every :meth:`add_fact` /
+        :meth:`delete_fact` inside the block immediately, but coalesces the
+        downstream maintenance: the expansion maintainer refreshes each
+        affected seed once for the whole burst, and the answer caches are
+        dropped once at exit — instead of per-change on both counts.
+        """
+        return self.kb.store.batch()
 
     def add_fact(self, subject: str, predicate: str, obj: str) -> bool:
         """Insert one triple into the live KB; returns True if new.

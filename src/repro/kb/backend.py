@@ -14,11 +14,14 @@ protocol, never on a concrete store class.  Two implementations ship in-tree:
 Backends are *live*: ``add``/``delete`` mutate the indexes in place and fan
 out a :class:`KBChange` to every subscribed listener, which is how the
 expansion layer (`repro.kb.live`) and the serving caches invalidate
-incrementally instead of rebuilding.
+incrementally instead of rebuilding.  Bursts go through
+:meth:`BackendBase.batch`, which defers notifications so a bulk load costs
+one coalesced flush instead of one listener round per triple.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol, runtime_checkable
 
@@ -45,6 +48,7 @@ class KBChange:
 
 
 ChangeListener = Callable[[KBChange], None]
+BatchListener = Callable[[tuple[KBChange, ...]], None]
 
 
 class BackendBase:
@@ -59,8 +63,10 @@ class BackendBase:
     dictionary: "Dictionary"
 
     def _init_backend_state(self) -> None:
-        """Initialize listener and resource-count state."""
-        self._listeners: list[ChangeListener] = []
+        """Initialize listener, batching and resource-count state."""
+        self._listeners: list[tuple[ChangeListener, BatchListener | None]] = []
+        self._batch_depth = 0
+        self._deferred: list[KBChange] = []
         # Resource count, kept current by scanning only the dictionary tail
         # added since the last reconcile — dictionary ids are dense and
         # append-only, so this is O(1) amortized per add and correct even
@@ -69,23 +75,63 @@ class BackendBase:
         self._n_resources = 0
         self._n_terms_counted = 0
 
-    def subscribe(self, listener: ChangeListener) -> Callable[[], None]:
+    def subscribe(
+        self,
+        listener: ChangeListener,
+        batch_listener: BatchListener | None = None,
+    ) -> Callable[[], None]:
         """Register a change listener; returns an unsubscribe callable.
 
         Listeners fire synchronously after every successful ``add`` /
-        ``delete``, with the indexes already reflecting the change.
+        ``delete``, with the indexes already reflecting the change.  Inside a
+        :meth:`batch` block, notifications are deferred; at block exit a
+        listener that also registered ``batch_listener`` receives the whole
+        burst in **one** call (the coalescing hook), while plain listeners
+        get the deferred changes replayed one by one in mutation order.
         """
-        self._listeners.append(listener)
+        entry = (listener, batch_listener)
+        self._listeners.append(entry)
 
         def unsubscribe() -> None:
-            if listener in self._listeners:
-                self._listeners.remove(listener)
+            if entry in self._listeners:
+                self._listeners.remove(entry)
 
         return unsubscribe
 
     def _notify(self, change: KBChange) -> None:
-        for listener in self._listeners:
+        if self._batch_depth:
+            self._deferred.append(change)
+            return
+        for listener, _batch_listener in self._listeners:
             listener(change)
+
+    @contextmanager
+    def batch(self):
+        """Defer change notifications until the block exits.
+
+        ``with backend.batch(): ...`` turns a burst of ``add``/``delete``
+        calls (e.g. a bulk load) into one flush: the indexes mutate
+        immediately — reads inside the block see every applied change — but
+        listeners hear nothing until exit.  Batch-aware listeners (those
+        registered with a ``batch_listener``) then get the entire run of
+        changes in a single call, which is what lets the expansion
+        maintainer refresh each affected seed exactly once instead of once
+        per change.  Blocks nest; only the outermost exit flushes.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._deferred:
+                changes = tuple(self._deferred)
+                self._deferred.clear()
+                for listener, batch_listener in list(self._listeners):
+                    if batch_listener is not None:
+                        batch_listener(changes)
+                    else:
+                        for change in changes:
+                            listener(change)
 
     def _reconcile_resources(self) -> None:
         """Fold dictionary terms added since the last call into the count."""
@@ -127,8 +173,16 @@ class KBBackend(Protocol):
         """Remove a triple; True if present.  Notifies listeners on success."""
         ...
 
-    def subscribe(self, listener: ChangeListener) -> Callable[[], None]:
+    def subscribe(
+        self,
+        listener: ChangeListener,
+        batch_listener: BatchListener | None = None,
+    ) -> Callable[[], None]:
         """Register a change listener; returns an unsubscribe callable."""
+        ...
+
+    def batch(self):
+        """Context manager deferring change notifications until exit."""
         ...
 
     # -- String-level reads ------------------------------------------------

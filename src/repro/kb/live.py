@@ -56,7 +56,7 @@ class LiveExpansionMaintainer:
             decode = expanded.dictionary.decode
             reach_seeds = self.seeds | {decode(s) for s in expanded.seed_ids}
             compute_reach(backend, expanded, reach_seeds)
-        self._unsubscribe = backend.subscribe(self._on_change)
+        self._unsubscribe = backend.subscribe(self._on_change, self._on_changes)
 
     def close(self) -> None:
         """Detach from the backend's change stream."""
@@ -91,6 +91,28 @@ class LiveExpansionMaintainer:
         if not affected:
             return
         for seed in affected:
+            self.refresh_seed(seed)
+        if self.on_invalidate is not None:
+            self.on_invalidate()
+
+    def _on_changes(self, changes: tuple[KBChange, ...]) -> None:
+        """Coalesced handler for a ``backend.batch()`` burst.
+
+        The affected-seed sets of every change in the burst are unioned
+        *before* any refresh, so a bulk load triggers exactly one rebuild
+        per affected seed rather than one per change.  Computing the union
+        against the pre-burst reach index is sound because each refresh runs
+        after *all* mutations are applied: a seed pulled in by any one
+        change re-expands against the final state of the KB, picking up
+        edges the other changes created along the way.
+        """
+        self.events_seen += len(changes)
+        affected: set[str] = set()
+        for change in changes:
+            affected.update(self.affected_seeds(change))
+        if not affected:
+            return
+        for seed in sorted(affected):
             self.refresh_seed(seed)
         if self.on_invalidate is not None:
             self.on_invalidate()

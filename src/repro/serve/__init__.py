@@ -1,0 +1,42 @@
+"""Async serving subsystem: coalescing answer service + HTTP front + load gen.
+
+The serving story in three layers:
+
+* :mod:`repro.serve.async_answerer` — :class:`AsyncAnswerer`: in-flight
+  request coalescing on the normalized-question key, micro-batching into
+  ``answer_many``, bounded-queue admission control, epoch-checked freshness
+  under live KB updates;
+* :mod:`repro.serve.app` — :class:`KBQAServer`: the stdlib asyncio HTTP
+  front (``/answer``, ``/batch``, ``/facts``, ``/healthz``, ``/stats``)
+  behind ``kbqa serve``, plus :class:`BackgroundServer` and the CI smoke;
+* :mod:`repro.serve.loadgen` — the deterministic closed-loop QPS load
+  generator behind ``benchmarks/bench_qps.py``.
+"""
+
+from repro.serve.async_answerer import (
+    AnswerTarget,
+    AsyncAnswerer,
+    OverloadedError,
+    ServeConfig,
+    ServeStats,
+    normalized_key,
+)
+from repro.serve.app import BackgroundServer, KBQAServer, result_payload, run_smoke
+from repro.serve.loadgen import LoadSpec, build_request_stream, run_load, run_load_cell
+
+__all__ = [
+    "AnswerTarget",
+    "AsyncAnswerer",
+    "BackgroundServer",
+    "KBQAServer",
+    "LoadSpec",
+    "OverloadedError",
+    "ServeConfig",
+    "ServeStats",
+    "build_request_stream",
+    "normalized_key",
+    "result_payload",
+    "run_load",
+    "run_load_cell",
+    "run_smoke",
+]

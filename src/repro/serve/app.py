@@ -1,0 +1,416 @@
+"""The KBQA answer service: HTTP routes over :class:`AsyncAnswerer`.
+
+Endpoints (all JSON):
+
+* ``POST /answer``  ``{"question": "..."}`` -> one answer payload; ``503``
+  with ``{"error": "overloaded", ...}`` when admission control rejects.
+* ``POST /batch``   ``{"questions": [...]}`` -> ``{"results": [...]}`` in
+  input order (each question goes through coalescing individually).
+* ``POST /facts``   ``{"op": "add"|"delete", "subject", "predicate",
+  "object"}`` -> applies a live KB edit through the write-quiescence path,
+  so the expansion refresh + cache invalidation happen with no evaluation
+  in flight.
+* ``GET /healthz``  liveness + uptime.
+* ``GET /stats``    serving counters, answerer cache occupancy, KB stats.
+
+The server also subscribes to the KB backend's change stream (single and
+batched) and routes every external mutation into
+:meth:`AsyncAnswerer.invalidate`, so edits made directly against the store —
+not just through ``/facts`` — keep in-flight results fresh.
+
+:class:`BackgroundServer` runs the whole thing on a private event-loop
+thread for synchronous callers (tests, the CLI smoke mode, examples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.online import AnswerResult
+from repro.serve.async_answerer import AsyncAnswerer, OverloadedError, ServeConfig
+from repro.serve.http import BadRequest, HTTPRequest, read_request, response_bytes
+
+if TYPE_CHECKING:
+    from repro.core.system import KBQA
+
+
+def result_payload(result: AnswerResult) -> dict:
+    """JSON shape of one answer (stable: clients and tests key off this)."""
+    return {
+        "question": result.question,
+        "answered": result.answered,
+        "value": result.value,
+        "values": list(result.values),
+        "score": result.score,
+        "entity": result.entity,
+        "template": result.template,
+        "predicate": str(result.predicate) if result.predicate is not None else None,
+        "found_predicate": result.found_predicate,
+    }
+
+
+class KBQAServer:
+    """Asyncio HTTP front over one trained :class:`~repro.core.system.KBQA`.
+
+    ``port=0`` binds an ephemeral port (read ``server.port`` after
+    :meth:`start`).  Use ``async with`` or pair :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        system: "KBQA",
+        config: ServeConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.system = system
+        self.config = config or ServeConfig()
+        self.host = host
+        self.port = port
+        self.answerer = AsyncAnswerer(system, self.config)
+        self._server: asyncio.Server | None = None
+        self._unsubscribe = None
+        self._connections: set[asyncio.Task] = set()
+        self._started_monotonic = 0.0
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the answerer, subscribe to KB changes, bind the socket."""
+        await self.answerer.start()
+        # External mutations (library calls, other threads) invalidate too —
+        # /facts goes further and quiesces, but the change stream is the
+        # correctness backstop for *any* write path.
+        self._unsubscribe = self.system.kb.store.subscribe(
+            lambda _change: self.answerer.invalidate(),
+            lambda _changes: self.answerer.invalidate(),
+        )
+        self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+
+    async def stop(self) -> None:
+        """Close the socket, cancel open connections, drain the answerer."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        await self.answerer.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's foreground mode)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "KBQAServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- Connection handling -----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as error:
+                    writer.write(
+                        response_bytes(400, {"error": str(error)}, keep_alive=False)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._route(request)
+                keep = request.keep_alive
+                writer.write(response_bytes(status, payload, keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    break
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    # -- Routing -----------------------------------------------------------
+
+    async def _route(self, request: HTTPRequest) -> tuple[int, dict]:
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/healthz"):
+                return 200, {
+                    "status": "ok",
+                    "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+                }
+            if route == ("GET", "/stats"):
+                return 200, {
+                    "serve": self.answerer.snapshot(),
+                    "caches": self.system.answerer.cache_info(),
+                    "kb": self.system.kb.store.stats(),
+                }
+            if route == ("POST", "/answer"):
+                return await self._handle_answer(request)
+            if route == ("POST", "/batch"):
+                return await self._handle_batch(request)
+            if route == ("POST", "/facts"):
+                return await self._handle_facts(request)
+            if request.path in ("/healthz", "/stats", "/answer", "/batch", "/facts"):
+                return 405, {"error": f"method {request.method} not allowed"}
+            return 404, {"error": f"no route for {request.path}"}
+        except BadRequest as error:
+            return 400, {"error": str(error)}
+        except OverloadedError:
+            return 503, {
+                "error": "overloaded",
+                "max_pending": self.config.max_pending,
+            }
+        except Exception as error:  # deterministic 500, never a hung socket
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    async def _handle_answer(self, request: HTTPRequest) -> tuple[int, dict]:
+        payload = request.json()
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            raise BadRequest("'question' must be a non-empty string")
+        result = await self.answerer.answer(question)
+        return 200, result_payload(result)
+
+    async def _handle_batch(self, request: HTTPRequest) -> tuple[int, dict]:
+        payload = request.json()
+        questions = payload.get("questions")
+        if (
+            not isinstance(questions, list)
+            or not questions
+            or not all(isinstance(q, str) and q.strip() for q in questions)
+        ):
+            raise BadRequest("'questions' must be a non-empty list of strings")
+        results = await self.answerer.answer_many(questions)
+        return 200, {"results": [result_payload(r) for r in results]}
+
+    async def _handle_facts(self, request: HTTPRequest) -> tuple[int, dict]:
+        payload = request.json()
+        op = payload.get("op")
+        if op not in ("add", "delete"):
+            raise BadRequest("'op' must be 'add' or 'delete'")
+        triple = []
+        for field_name in ("subject", "predicate", "object"):
+            value = payload.get(field_name)
+            if not isinstance(value, str) or not value:
+                raise BadRequest(f"'{field_name}' must be a non-empty string")
+            triple.append(value)
+        subject, predicate, obj = triple
+        if op == "add":
+            mutation = lambda: self.system.add_fact(subject, predicate, obj)  # noqa: E731
+        else:
+            mutation = lambda: self.system.delete_fact(subject, predicate, obj)  # noqa: E731
+        changed = await self.answerer.apply(mutation)
+        return 200, {"op": op, "changed": bool(changed)}
+
+
+class BackgroundServer:
+    """A :class:`KBQAServer` on a private event-loop thread.
+
+    Synchronous context manager for tests, examples and the CLI smoke mode::
+
+        with BackgroundServer(system) as bg:
+            urllib.request.urlopen(bg.url + "/healthz")
+
+    Entering starts the thread and blocks until the socket is bound (or the
+    startup error is re-raised); exiting stops the server and joins the
+    thread, so leaking event loops is impossible.
+    """
+
+    def __init__(
+        self,
+        system: "KBQA",
+        config: ServeConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._system = system
+        self._config = config
+        self._host = host
+        self._port = port
+        self.server: KBQAServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None, "server not started"
+        return f"http://{self.server.host}:{self.server.port}"
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = KBQAServer(self._system, self._config, self._host, self._port)
+        try:
+            await server.start()
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            return
+        self.server = server
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surface loop crashes to the joiner
+            self._error = error
+            self._ready.set()
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="kbqa-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._error is not None:
+            self._thread.join(timeout=5)
+            raise RuntimeError("server failed to start") from self._error
+        if self.server is None:
+            raise RuntimeError("server did not become ready within 60s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not shut down within 30s")
+        if self._error is not None:
+            raise RuntimeError("server loop crashed") from self._error
+
+
+def run_smoke(
+    system: "KBQA",
+    questions: list[str],
+    *,
+    threads: int = 8,
+    requests_per_thread: int = 4,
+    config: ServeConfig | None = None,
+) -> dict:
+    """Start a server, hammer it from ``threads`` concurrent clients, stop.
+
+    Every client issues ``requests_per_thread`` ``POST /answer`` calls (the
+    question stream repeats, so coalescing gets exercised), one client-side
+    ``/batch``, and a ``/healthz`` + ``/stats`` read.  Raises
+    ``RuntimeError`` on any non-200, mismatched payload, or unclean
+    shutdown; returns a summary dict on success.  This is the CI serving
+    smoke test and the ``kbqa serve --smoke`` implementation.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    if not questions:
+        raise ValueError("need at least one question for the smoke run")
+
+    def post(url: str, payload: dict) -> tuple[int, dict]:
+        data = json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read().decode("utf-8"))
+
+    failures: list[str] = []
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    with BackgroundServer(system, config) as bg:
+        answer_url = bg.url + "/answer"
+
+        def client(worker: int) -> None:
+            for i in range(requests_per_thread):
+                question = questions[(worker + i) % len(questions)]
+                try:
+                    status, payload = post(answer_url, {"question": question})
+                except Exception as error:  # transport failure is a failure
+                    with lock:
+                        failures.append(f"/answer transport error: {error!r}")
+                    continue
+                with lock:
+                    statuses.append(status)
+                    if status != 200:
+                        failures.append(f"/answer -> {status}: {payload}")
+                    elif payload.get("question") != question:
+                        failures.append(f"/answer echoed {payload.get('question')!r}")
+
+        workers = [
+            threading.Thread(target=client, args=(n,), name=f"smoke-{n}")
+            for n in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            if worker.is_alive():
+                failures.append(f"client thread {worker.name} hung")
+        expected = threads * requests_per_thread
+        if len(statuses) + sum("transport" in f for f in failures) != expected:
+            failures.append(
+                f"only {len(statuses)}/{expected} /answer responses recorded"
+            )
+
+        status, batch = post(bg.url + "/batch", {"questions": questions[:4] * 2})
+        if status != 200 or len(batch.get("results", [])) != len(questions[:4] * 2):
+            failures.append(f"/batch -> {status}: {batch}")
+
+        with urllib.request.urlopen(bg.url + "/healthz", timeout=30) as resp:
+            if resp.status != 200:
+                failures.append(f"/healthz -> {resp.status}")
+        with urllib.request.urlopen(bg.url + "/stats", timeout=30) as resp:
+            stats = json.loads(resp.read().decode("utf-8"))
+        thread = bg._thread
+
+    if thread is not None and thread.is_alive():
+        failures.append("server thread still alive after shutdown")
+    if failures:
+        raise RuntimeError("serving smoke failed: " + "; ".join(failures))
+    serve_stats = stats["serve"]
+    return {
+        "requests": len(statuses),
+        "http_200": sum(1 for s in statuses if s == 200),
+        "serve_requests": serve_stats["requests"],
+        "coalesced": serve_stats["coalesced"],
+        "batches": serve_stats["batches"],
+        "max_batch_seen": serve_stats["max_batch_seen"],
+        "clean_shutdown": True,
+    }

@@ -1,0 +1,438 @@
+"""Asyncio serving core: coalescing + micro-batching over the sync answerer.
+
+The paper answers one BFQ in tens of milliseconds (Table 14); serving heavy
+traffic is then a *concurrency* problem, and real question traffic is
+heavily duplicated (the head of the query distribution).  This module turns
+the synchronous ``answer_many`` batch API into an asyncio service with three
+mechanisms:
+
+* **in-flight coalescing** — concurrent requests for the same *normalized*
+  question (the answer-cache key) share one evaluation: the first arrival
+  enqueues it, later arrivals await the same future.  N duplicates cost one
+  Eq 7 evaluation and one executor round trip.
+* **micro-batching** — distinct pending questions are drained into
+  ``answer_many`` batches of up to ``max_batch`` and dispatched to a bounded
+  thread-executor pool, amortizing the event-loop/executor handoff and the
+  serving-cache probes across the batch.
+* **admission control** — at most ``max_pending`` evaluations may be queued
+  or executing; beyond that :meth:`AsyncAnswerer.answer` raises
+  :class:`OverloadedError` *immediately* (the deterministic overload
+  response the HTTP front maps to 503), instead of letting latency grow
+  without bound.
+
+Correctness under live KB updates rests on an epoch protocol: every
+invalidation (:meth:`AsyncAnswerer.invalidate`, thread-safe) bumps an epoch
+counter on the event loop; a batch whose evaluation straddled a bump is
+**re-evaluated** before its futures resolve, so any request admitted after
+an invalidation can never observe a pre-invalidation answer.  Writers that
+want stronger serialization use :meth:`AsyncAnswerer.apply`, which pauses
+dispatch, drains in-flight batches, runs the mutation on the executor, bumps
+the epoch and resumes — single-writer/multi-reader with quiescence.
+
+All mutable state is confined to the event loop; the only cross-thread entry
+points are ``invalidate`` (via ``call_soon_threadsafe``) and the executor
+workers, which touch nothing but the target's own (locked) caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Protocol, Sequence
+
+from repro.core.online import AnswerResult
+from repro.nlp.tokenizer import tokenize
+
+
+class AnswerTarget(Protocol):
+    """Anything with the batch answering API (``KBQA``, ``OnlineAnswerer``)."""
+
+    def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
+        ...
+
+
+class OverloadedError(RuntimeError):
+    """Admission control rejected the request: the evaluation queue is full.
+
+    The HTTP front maps this to a ``503`` with a machine-readable body; an
+    in-process caller should back off and retry.  Raised *before* the
+    request consumes any evaluation resources.
+    """
+
+
+def normalized_key(question: str) -> str:
+    """The coalescing key: tokenized-and-rejoined question text.
+
+    Identical to the :class:`~repro.core.online.OnlineAnswerer` answer-cache
+    key, so the serving layer and the answerer agree on which questions are
+    "the same".
+    """
+    return " ".join(tokenize(question))
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Tuning knobs for :class:`AsyncAnswerer` (defaults favor tests/laptops).
+
+    ``max_batch`` bounds distinct questions per ``answer_many`` dispatch;
+    ``max_pending`` is the admission bound on evaluations queued or
+    executing (coalesced joiners are free and never rejected);
+    ``workers`` sizes the thread executor; ``coalesce`` toggles duplicate
+    sharing (off exists for the A/B in the QPS benchmark);
+    ``batch_window_ms`` optionally lingers before dispatching an
+    under-filled batch, trading latency for fuller batches;
+    ``max_stale_retries`` bounds re-evaluation when invalidations keep
+    landing mid-flight — past it the freshest attempt is delivered anyway
+    (bounded staleness instead of livelock under sustained writes).
+    """
+
+    max_batch: int = 16
+    max_pending: int = 256
+    workers: int = 2
+    coalesce: bool = True
+    batch_window_ms: float = 0.0
+    max_stale_retries: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {self.batch_window_ms}")
+        if self.max_stale_retries < 1:
+            raise ValueError(
+                f"max_stale_retries must be >= 1, got {self.max_stale_retries}"
+            )
+
+
+@dataclass(slots=True)
+class ServeStats:
+    """Monotonic serving counters (exposed raw on ``/stats``)."""
+
+    requests: int = 0  # accepted question submissions
+    coalesced: int = 0  # requests that joined an in-flight evaluation
+    rejected: int = 0  # admission-control rejections
+    batches: int = 0  # answer_many dispatches that delivered results
+    evaluated: int = 0  # questions sent through answer_many (incl. retries)
+    stale_retries: int = 0  # re-evaluations forced by a mid-flight invalidation
+    stale_delivered: int = 0  # batches delivered at the retry cap (bounded staleness)
+    invalidations: int = 0  # epoch bumps observed
+    applies: int = 0  # quiesced writes through apply()
+    max_batch_seen: int = 0
+
+
+class AsyncAnswerer:
+    """Coalescing, micro-batching asyncio front over a synchronous answerer.
+
+    Lifecycle: ``await start()`` inside a running event loop (or use
+    ``async with``), submit with :meth:`answer` / :meth:`answer_many`,
+    ``await stop()`` to drain and shut the executor down.  One instance
+    binds to one event loop.
+    """
+
+    def __init__(
+        self,
+        target: AnswerTarget,
+        config: ServeConfig | None = None,
+        key: Callable[[str], str] = normalized_key,
+    ) -> None:
+        self.target = target
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self._key = key
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        # (key, question, future) triples not yet dispatched; one entry per
+        # distinct in-flight key when coalescing is on.
+        self._queue: deque[tuple[str, str, asyncio.Future]] = deque()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending = 0  # queued + executing evaluations (admission gauge)
+        self._epoch = 0
+        self._running = False
+        self._paused = False
+        self._active_batches = 0
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._dispatcher: asyncio.Task | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._quiesced: asyncio.Event | None = None
+        self._write_lock: asyncio.Lock | None = None
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the dispatcher."""
+        if self._running:
+            raise RuntimeError("AsyncAnswerer already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="kbqa-serve"
+        )
+        self._wakeup = asyncio.Event()
+        self._quiesced = asyncio.Event()
+        self._quiesced.set()
+        self._write_lock = asyncio.Lock()
+        self._running = True
+        self._dispatcher = self._loop.create_task(
+            self._dispatch_loop(), name="kbqa-serve-dispatch"
+        )
+
+    async def stop(self) -> None:
+        """Stop admitting, fail queued requests, drain batches, shut down."""
+        if not self._running:
+            return
+        self._running = False
+        assert self._dispatcher is not None
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._dispatcher = None
+        # Queued-but-undispatched requests fail deterministically.
+        while self._queue:
+            key, _question, future = self._queue.popleft()
+            self._pending -= 1
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+            if not future.done():
+                future.set_exception(RuntimeError("serving stopped"))
+        # In-flight batches are allowed to finish (their futures resolve).
+        while self._active_batches:
+            assert self._quiesced is not None
+            self._quiesced.clear()
+            await self._quiesced.wait()
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "AsyncAnswerer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- Submission --------------------------------------------------------
+
+    async def answer(self, question: str) -> AnswerResult:
+        """Answer one question through coalescing + micro-batching.
+
+        Raises :class:`OverloadedError` when admission control rejects the
+        request; otherwise resolves to exactly what the synchronous path
+        would return (equivalence-tested).
+        """
+        if not self._running:
+            raise RuntimeError("AsyncAnswerer is not running (call start())")
+        key = self._key(question)
+        shared = self._inflight.get(key) if self.config.coalesce else None
+        if shared is not None:
+            self.stats.requests += 1
+            self.stats.coalesced += 1
+            result = await asyncio.shield(shared)
+            return result if result.question == question else replace(result, question=question)
+        if self._pending >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise OverloadedError(
+                f"serving queue full ({self.config.max_pending} pending evaluations)"
+            )
+        assert self._loop is not None and self._wakeup is not None
+        future: asyncio.Future = self._loop.create_future()
+        if self.config.coalesce:
+            self._inflight[key] = future
+        self._queue.append((key, question, future))
+        self._pending += 1
+        self.stats.requests += 1
+        self._wakeup.set()
+        result = await asyncio.shield(future)
+        return result if result.question == question else replace(result, question=question)
+
+    async def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
+        """Concurrent submission of a client batch (order preserved).
+
+        Admission is checked for the *whole* batch up front: if the distinct
+        not-yet-in-flight questions cannot fit the remaining capacity, the
+        batch is rejected before any of it is enqueued — a 503'd client
+        batch must shed load, not consume ``max_pending`` evaluations whose
+        results nobody reads.  (Individual submissions can still race other
+        clients for the last slots; that narrow window keeps the per-call
+        admission check authoritative.)
+        """
+        if not self._running:
+            raise RuntimeError("AsyncAnswerer is not running (call start())")
+        if self.config.coalesce:
+            needed = len({self._key(q) for q in questions} - self._inflight.keys())
+        else:
+            needed = len(questions)
+        free = self.config.max_pending - self._pending
+        if needed > free:
+            self.stats.rejected += len(questions)
+            raise OverloadedError(
+                f"batch needs {needed} evaluations but only {max(free, 0)} "
+                f"of {self.config.max_pending} slots are free"
+            )
+        return list(await asyncio.gather(*(self.answer(q) for q in questions)))
+
+    # -- Invalidation + writes ---------------------------------------------
+
+    def invalidate(self) -> None:
+        """Bump the serving epoch (thread-safe).
+
+        Call after any KB mutation visible to the target answerer.  Batches
+        whose evaluation overlapped the bump re-evaluate before resolving,
+        so requests admitted after this call never see pre-invalidation
+        answers.  The HTTP server wires the KB backend's change stream here.
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._invalidate_on_loop()
+        else:
+            loop.call_soon_threadsafe(self._invalidate_on_loop)
+
+    def _invalidate_on_loop(self) -> None:
+        self._epoch += 1
+        self.stats.invalidations += 1
+
+    async def apply(self, mutation: Callable[[], object]) -> object:
+        """Run ``mutation`` with write-quiescence; returns its result.
+
+        Dispatch pauses, in-flight batches drain, the mutation runs on the
+        executor (so synchronous change listeners — expansion refresh, cache
+        clears — never block the event loop), the epoch bumps, dispatch
+        resumes.  Writers serialize against each other on an async lock.
+        """
+        if not self._running:
+            raise RuntimeError("AsyncAnswerer is not running (call start())")
+        assert self._write_lock is not None and self._loop is not None
+        async with self._write_lock:
+            self._paused = True
+            try:
+                while self._active_batches:
+                    assert self._quiesced is not None
+                    self._quiesced.clear()
+                    await self._quiesced.wait()
+                result = await self._loop.run_in_executor(self._executor, mutation)
+                self._invalidate_on_loop()
+                self.stats.applies += 1
+                return result
+            finally:
+                self._paused = False
+                assert self._wakeup is not None
+                self._wakeup.set()
+
+    # -- Dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue into bounded ``answer_many`` batches forever."""
+        assert self._wakeup is not None and self._loop is not None
+        worker_slots = asyncio.Semaphore(self.config.workers)
+        while True:
+            while not self._queue or self._paused:
+                self._wakeup.clear()
+                if self._queue and not self._paused:
+                    break  # racing set() between check and clear()
+                await self._wakeup.wait()
+            if (
+                self.config.batch_window_ms > 0
+                and len(self._queue) < self.config.max_batch
+            ):
+                await asyncio.sleep(self.config.batch_window_ms / 1000.0)
+            # Acquire the worker slot *before* popping: the only cancellation
+            # points are awaits, so a stop() can never strand a popped batch.
+            await worker_slots.acquire()
+            size = min(len(self._queue), self.config.max_batch)
+            if size == 0 or self._paused:
+                worker_slots.release()
+                continue
+            batch = [self._queue.popleft() for _ in range(size)]
+            self._active_batches += 1
+            task = self._loop.create_task(self._run_batch(batch, worker_slots))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(
+        self,
+        batch: list[tuple[str, str, asyncio.Future]],
+        worker_slots: asyncio.Semaphore,
+    ) -> None:
+        """Evaluate one micro-batch on the executor; deliver or retry.
+
+        The freshness invariant lives in the retry loop: a result set is
+        delivered only if the epoch did not change between dispatch and
+        completion, otherwise the batch re-evaluates against the (already
+        invalidated, hence refreshed) target caches.  Retries are capped at
+        ``max_stale_retries`` so a writer mutating faster than one epoch
+        bump per evaluation degrades to *bounded staleness* (the freshest
+        attempt is delivered, ``stale_delivered`` counts it) instead of
+        livelocking the batch's futures.
+        """
+        questions = [question for _key, question, _future in batch]
+        try:
+            retries = 0
+            while True:
+                epoch = self._epoch
+                assert self._loop is not None
+                results = await self._loop.run_in_executor(
+                    self._executor, self.target.answer_many, questions
+                )
+                self.stats.evaluated += len(questions)
+                if epoch == self._epoch:
+                    break
+                self.stats.stale_retries += 1
+                retries += 1
+                if retries >= self.config.max_stale_retries:
+                    self.stats.stale_delivered += 1
+                    break
+            self.stats.batches += 1
+            self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(questions))
+            for (key, _question, future), result in zip(batch, results):
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                if not future.done():
+                    future.set_result(result)
+        except Exception as error:  # target failure: fail the whole batch
+            for key, _question, future in batch:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                if not future.done():
+                    future.set_exception(error)
+        finally:
+            self._pending -= len(batch)
+            self._active_batches -= 1
+            worker_slots.release()
+            if self._active_batches == 0:
+                assert self._quiesced is not None
+                self._quiesced.set()
+
+    # -- Introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, int | bool]:
+        """Counters + live gauges for ``/stats`` and the load harness."""
+        return {
+            "requests": self.stats.requests,
+            "coalesced": self.stats.coalesced,
+            "rejected": self.stats.rejected,
+            "batches": self.stats.batches,
+            "evaluated": self.stats.evaluated,
+            "stale_retries": self.stats.stale_retries,
+            "stale_delivered": self.stats.stale_delivered,
+            "invalidations": self.stats.invalidations,
+            "applies": self.stats.applies,
+            "max_batch_seen": self.stats.max_batch_seen,
+            "pending": self._pending,
+            "inflight_keys": len(self._inflight),
+            "active_batches": self._active_batches,
+            "epoch": self._epoch,
+            "running": self._running,
+            "coalesce": self.config.coalesce,
+        }

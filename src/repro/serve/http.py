@@ -1,0 +1,120 @@
+"""Minimal HTTP/1.1 over asyncio streams — stdlib only, JSON in/out.
+
+The serving front needs exactly four things from HTTP: parse a request line
++ headers, read a ``Content-Length`` body, write a framed JSON response, and
+honor keep-alive.  ``http.server`` is thread-per-connection and fights the
+event loop, so this module implements that minimal subset directly on
+``asyncio.StreamReader``/``StreamWriter`` — ~100 lines, no dependencies,
+and every connection is just a coroutine.
+
+Limits are deliberate and small (16 KiB of headers, 1 MiB of body): the
+server answers questions, it does not accept uploads.  Anything outside the
+subset raises :class:`BadRequest`, which the app layer maps to a 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """The bytes on the wire are not a request this server accepts."""
+
+
+@dataclass(frozen=True, slots=True)
+class HTTPRequest:
+    """One parsed request: method, path (query string stripped), headers
+    (lower-cased names), raw body bytes."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default keep-alive unless the client says close."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """Parse the body as a JSON object (the only payload shape used)."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("JSON body must be an object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Read one request off the stream; ``None`` on clean EOF between
+    requests (the client hung up), :class:`BadRequest` on malformed bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise BadRequest("truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request headers too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request headers too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"body too large ({length} bytes)")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("truncated request body") from None
+    return HTTPRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def response_bytes(status: int, payload: dict, *, keep_alive: bool = True) -> bytes:
+    """Frame a JSON response with correct Content-Length and Connection."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,155 @@
+"""Closed-loop load generator for the serving layer (QPS measurement).
+
+Drives an :class:`~repro.serve.async_answerer.AsyncAnswerer` in-process with
+``concurrency`` client coroutines pulling from one deterministic request
+stream.  The stream models head-heavy question traffic with one knob,
+``duplicate_rate``: each request is, with that probability, drawn from a
+small *hot set*, otherwise the next question from the full pool.  Sweeping
+``duplicate_rate`` x ``concurrency`` with coalescing on/off is exactly the
+``qps`` section of ``BENCH_perf.json`` (see ``benchmarks/bench_qps.py``).
+
+The generator is closed-loop (a client issues its next request only after
+the previous one resolves), so measured QPS is throughput under
+``concurrency`` outstanding requests, not an open-loop arrival-rate fiction.
+Admission rejections are counted, never retried — a rejected request is a
+served (negative) response from the client's point of view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+
+from repro.serve.async_answerer import AsyncAnswerer, OverloadedError
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSpec:
+    """One load-generation cell.
+
+    ``requests`` total submissions, issued by ``concurrency`` closed-loop
+    clients; ``duplicate_rate`` in [0, 1] sends that fraction of requests to
+    the first ``hot_set`` questions of the pool; ``seed`` fixes the stream.
+    """
+
+    requests: int = 512
+    concurrency: int = 16
+    duplicate_rate: float = 0.0
+    hot_set: int = 8
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate must be in [0, 1], got {self.duplicate_rate}")
+        if self.hot_set < 1:
+            raise ValueError(f"hot_set must be >= 1, got {self.hot_set}")
+
+
+def build_request_stream(questions: list[str], spec: LoadSpec) -> list[str]:
+    """The deterministic request sequence for one cell (same seed -> same
+    stream, so coalescing on/off runs see identical traffic)."""
+    if not questions:
+        raise ValueError("question pool is empty")
+    rng = random.Random(spec.seed)
+    hot = questions[: spec.hot_set]
+    stream: list[str] = []
+    cold_cursor = 0
+    for _ in range(spec.requests):
+        if rng.random() < spec.duplicate_rate:
+            stream.append(hot[rng.randrange(len(hot))])
+        else:
+            stream.append(questions[cold_cursor % len(questions)])
+            cold_cursor += 1
+    return stream
+
+
+async def run_load(answerer: AsyncAnswerer, stream: list[str], concurrency: int) -> dict:
+    """Run one closed-loop load cell against a started answerer.
+
+    Returns wall-clock QPS plus outcome counters and the answerer's own
+    serving counters (coalesced / batches / evaluated), which is what the
+    benchmark's coalescing A/B keys off.
+    """
+    cursor = 0
+    answered = 0
+    no_answer = 0
+    rejected = 0
+
+    async def client() -> None:
+        nonlocal cursor, answered, no_answer, rejected
+        while True:
+            if cursor >= len(stream):
+                return
+            question = stream[cursor]
+            cursor += 1
+            try:
+                result = await answerer.answer(question)
+            except OverloadedError:
+                rejected += 1
+                continue
+            if result.answered:
+                answered += 1
+            else:
+                no_answer += 1
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+    wall_s = time.perf_counter() - start
+
+    completed = answered + no_answer
+    snapshot = answerer.snapshot()
+    return {
+        "requests": len(stream),
+        "completed": completed,
+        "answered": answered,
+        "no_answer": no_answer,
+        "rejected": rejected,
+        "wall_s": round(wall_s, 4),
+        "qps": round(completed / wall_s, 1) if wall_s > 0 else float("inf"),
+        "coalesced": snapshot["coalesced"],
+        "batches": snapshot["batches"],
+        "evaluated": snapshot["evaluated"],
+        "max_batch_seen": snapshot["max_batch_seen"],
+    }
+
+
+def run_load_cell(
+    target,
+    questions: list[str],
+    spec: LoadSpec,
+    *,
+    coalesce: bool = True,
+    max_batch: int = 16,
+    workers: int = 2,
+) -> dict:
+    """Synchronous one-call cell: fresh answerer, fresh loop, one stream.
+
+    ``target`` is anything with ``answer_many`` (typically an
+    ``OnlineAnswerer`` with the answer cache disabled, so the measured
+    effect is the *serving layer's* coalescing, not the target's cache).
+    """
+    from repro.serve.async_answerer import ServeConfig
+
+    stream = build_request_stream(questions, spec)
+    config = ServeConfig(
+        max_batch=max_batch,
+        max_pending=max(spec.concurrency * 2, 64),
+        workers=workers,
+        coalesce=coalesce,
+    )
+
+    async def _run() -> dict:
+        async with AsyncAnswerer(target, config) as answerer:
+            return await run_load(answerer, stream, spec.concurrency)
+
+    result = asyncio.run(_run())
+    result["coalesce"] = coalesce
+    result["concurrency"] = spec.concurrency
+    result["duplicate_rate"] = spec.duplicate_rate
+    return result

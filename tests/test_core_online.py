@@ -99,3 +99,115 @@ class TestOnlineAnswering:
         r1 = kbqa_fb.answer(f"who are the members of {band.name}?")
         r2 = kbqa_fb.answer(f"who are the members of {band.name}?")
         assert r1.values == r2.values == tuple(sorted(r1.values))
+
+
+class TestAnswerManyDedup:
+    """answer_many deduplicates repeated normalized keys within a batch:
+    one cache miss (one Eq 7 evaluation) per unique key, input order and
+    surface question text preserved."""
+
+    def _counting_answerer(self, kbqa_fb, monkeypatch, cache_size=2048):
+        from repro.core.online import OnlineAnswerer
+
+        answerer = OnlineAnswerer(
+            kbqa_fb.learn_result.kbview,
+            kbqa_fb.learn_result.ner,
+            kbqa_fb.conceptualizer,
+            kbqa_fb.model,
+            max_concepts=kbqa_fb.config.max_concepts_online,
+            answer_cache_size=cache_size,
+        )
+        evaluations = []
+        real = answerer._answer_tokens
+
+        def counting(question, tokens):
+            evaluations.append(question)
+            return real(question, tokens)
+
+        monkeypatch.setattr(answerer, "_answer_tokens", counting)
+        return answerer, evaluations
+
+    def test_one_evaluation_per_unique_key(self, suite, kbqa_fb, monkeypatch):
+        answerer, evaluations = self._counting_answerer(kbqa_fb, monkeypatch)
+        city = pick_entity(suite.world, "city", "population")
+        q1 = f"what is the population of {city.name}?"
+        q2 = f"who is the mayor of {city.name}?"
+        results = answerer.answer_many([q1, q1, q2, q1, q2])
+        assert len(evaluations) == 2
+        assert [r.question for r in results] == [q1, q1, q2, q1, q2]
+        assert results[0] == results[1] == results[3]
+
+    def test_dedup_without_answer_cache(self, suite, kbqa_fb, monkeypatch):
+        """Even with the answer cache disabled, a batch pays one evaluation
+        per unique normalized key (the serving micro-batch property)."""
+        answerer, evaluations = self._counting_answerer(
+            kbqa_fb, monkeypatch, cache_size=0
+        )
+        city = pick_entity(suite.world, "city", "population")
+        question = f"what is the population of {city.name}?"
+        results = answerer.answer_many([question] * 6)
+        assert len(evaluations) == 1
+        assert len(results) == 6
+        assert len(set(results)) == 1
+
+    def test_surface_variants_share_one_evaluation(self, suite, kbqa_fb, monkeypatch):
+        """Different surface forms with the same normalized key dedup, and
+        each result carries its caller's phrasing."""
+        answerer, evaluations = self._counting_answerer(kbqa_fb, monkeypatch)
+        city = pick_entity(suite.world, "city", "population")
+        plain = f"what is the population of {city.name}?"
+        shouty = f"What  IS the population of {city.name}?"
+        results = answerer.answer_many([plain, shouty])
+        assert len(evaluations) == 1
+        assert [r.question for r in results] == [plain, shouty]
+        assert results[0].values == results[1].values
+
+    def test_batch_equivalent_to_per_question_answer(self, suite, kbqa_fb):
+        questions = []
+        for entity in list(suite.world.of_type("city"))[:3]:
+            questions.append(f"what is the population of {entity.name}?")
+            questions.append(f"who is the mayor of {entity.name}?")
+        batch = questions + questions  # duplicate the whole set
+        kbqa_fb.answerer.clear_caches()
+        from_batch = kbqa_fb.answer_many(batch)
+        kbqa_fb.answerer.clear_caches()
+        sequential = [kbqa_fb.answer(q) for q in batch]
+        assert from_batch == sequential
+
+
+class TestAnswerCacheGeneration:
+    def test_result_computed_before_clear_is_not_cached_after_it(
+        self, suite, kbqa_fb, monkeypatch
+    ):
+        """A clear_caches() racing an in-flight evaluation must win: the
+        pre-clear result may be returned to its caller but must not be
+        inserted into the cache, where it would outlive the invalidation."""
+        from repro.core.online import OnlineAnswerer
+
+        answerer = OnlineAnswerer(
+            kbqa_fb.learn_result.kbview,
+            kbqa_fb.learn_result.ner,
+            kbqa_fb.conceptualizer,
+            kbqa_fb.model,
+            max_concepts=kbqa_fb.config.max_concepts_online,
+        )
+        city = pick_entity(suite.world, "city", "population")
+        question = f"what is the population of {city.name}?"
+
+        real = answerer._answer_tokens
+
+        def racing(q, tokens):
+            result = real(q, tokens)
+            answerer.clear_caches()  # the "writer" invalidates mid-evaluation
+            return result
+
+        monkeypatch.setattr(answerer, "_answer_tokens", racing)
+        first = answerer.answer(question)
+        assert first.answered
+        assert answerer.cache_info()["answer_cache_entries"] == 0  # not inserted
+
+        # Without the race, the next answer evaluates fresh and caches.
+        monkeypatch.setattr(answerer, "_answer_tokens", real)
+        second = answerer.answer(question)
+        assert second == first
+        assert answerer.cache_info()["answer_cache_entries"] == 1

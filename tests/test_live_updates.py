@@ -203,3 +203,111 @@ class TestSystemLevelLiveEdits:
         assert not live_system.add_fact(triple.subject, triple.predicate, triple.object)
         assert live_system.kb.store.stats() == stats_before
         assert live_system.maintainer.seeds_refreshed == refreshed_before
+
+
+class TestBatchContext:
+    """`with backend.batch():` — deferred notifications, coalesced refresh."""
+
+    def test_bulk_load_triggers_one_rebuild_per_affected_seed(self, monkeypatch):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+        maintainer = LiveExpansionMaintainer(kb, expanded, ["a", "c"])
+        calls = []
+        real_expand = live_module.expand_predicates
+
+        def _counting(store, seeds, **kwargs):
+            seeds = list(seeds)
+            calls.append(seeds)
+            return real_expand(store, seeds, **kwargs)
+
+        monkeypatch.setattr(live_module, "expand_predicates", _counting)
+        with kb.batch():
+            # three edits, every one reaching only seed 'a'
+            kb.add("b", "alias", make_literal("bobby"))
+            kb.add("b", "nick", make_literal("bo"))
+            kb.add("cvt1", "since", make_literal("1999"))
+            assert calls == []  # nothing refreshed inside the block
+        # one coalesced flush: exactly one single-seed rebuild for 'a'
+        assert calls == [["a"]]
+        assert maintainer.seeds_refreshed == 1
+        assert maintainer.events_seen == 3
+        alias_path = PredicatePath(("marriage", "person", "alias"))
+        assert expanded.objects("a", alias_path) == {make_literal("bobby")}
+
+    def test_batched_burst_matches_sequential_expansion(self):
+        """The coalesced refresh must land on exactly the state a
+        change-by-change replay produces."""
+        edits = [
+            ("add", "b", "alias", make_literal("bobby")),
+            ("delete", "cvt1", "person", "b"),
+            ("add", "cvt1", "person", "c"),
+            ("add", "c", "title", make_literal("dr")),
+        ]
+
+        def apply_edits(kb, batched: bool):
+            expanded = expand_predicates(kb, ["a", "c"], max_length=3)
+            LiveExpansionMaintainer(kb, expanded, ["a", "c"])
+            if batched:
+                with kb.batch():
+                    for action, s, p, o in edits:
+                        (kb.add if action == "add" else kb.delete)(s, p, o)
+            else:
+                for action, s, p, o in edits:
+                    (kb.add if action == "add" else kb.delete)(s, p, o)
+            return {(s, str(p), o) for s, p, o in expanded.triples()}
+
+        assert apply_edits(_toy_kb(), batched=True) == apply_edits(
+            _toy_kb(), batched=False
+        )
+
+    def test_nested_batches_flush_once_at_outermost_exit(self):
+        kb = _toy_kb()
+        expanded = expand_predicates(kb, ["a"], max_length=3)
+        maintainer = LiveExpansionMaintainer(kb, expanded, ["a"])
+        with kb.batch():
+            kb.add("b", "alias", make_literal("bobby"))
+            with kb.batch():
+                kb.add("b", "nick", make_literal("bo"))
+            assert maintainer.events_seen == 0  # inner exit does not flush
+        assert maintainer.events_seen == 2
+        assert maintainer.seeds_refreshed == 1
+
+    def test_reads_inside_the_block_see_applied_changes(self):
+        kb = _toy_kb()
+        with kb.batch():
+            kb.add("z", "name", make_literal("zed"))
+            assert kb.has("z", "name", make_literal("zed"))
+            assert kb.delete("z", "name", make_literal("zed"))
+
+    def test_plain_listeners_get_a_per_change_replay(self):
+        kb = _toy_kb()
+        seen = []
+        kb.subscribe(seen.append)  # no batch_listener registered
+        with kb.batch():
+            kb.add("b", "alias", make_literal("bobby"))
+            kb.add("b", "nick", make_literal("bo"))
+            assert seen == []
+        assert [c.action for c in seen] == ["add", "add"]
+
+    def test_system_batch_drops_answer_cache_once(self, suite, live_system, monkeypatch):
+        """KBQA.batch(): a burst of facts costs one cache invalidation."""
+        clears = []
+        real_clear = live_system.answerer.clear_caches
+        monkeypatch.setattr(
+            live_system.answerer, "clear_caches",
+            lambda: (clears.append(1), real_clear())[1],
+        )
+        facts = [
+            ("m.batch_new_1", "name", make_literal("batch one")),
+            ("m.batch_new_2", "name", make_literal("batch two")),
+        ]
+        with live_system.batch():
+            for fact in facts:
+                assert live_system.add_fact(*fact)
+        assert len(clears) == 1
+        for subject, _p, _o in facts:
+            assert live_system.kb.store.has_subject(subject)
+        with live_system.batch():
+            for fact in facts:
+                assert live_system.delete_fact(*fact)
+        assert len(clears) == 2

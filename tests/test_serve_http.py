@@ -1,0 +1,235 @@
+"""HTTP front smoke: routes, live /facts updates, concurrency, shutdown.
+
+Runs a real :class:`KBQAServer` on an ephemeral port (via
+:class:`BackgroundServer`) over a **private** trained system — /facts
+mutates the KB, so the session-scoped fixtures stay untouched.  Clients are
+plain ``http.client``/``urllib`` calls from the test thread (and a thread
+pool for the concurrency case), exactly what CI's smoke step exercises.
+"""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.system import KBQA
+from repro.data.compile import compile_freebase_like
+from repro.kb.triple import make_literal
+from repro.serve import BackgroundServer, OverloadedError, ServeConfig, run_smoke
+from repro.serve.app import KBQAServer
+from repro.serve.http import HTTPRequest
+
+
+@pytest.fixture(scope="module")
+def serve_system(suite) -> KBQA:
+    """A trained system over a private KB copy (safe to mutate via /facts)."""
+    kb = compile_freebase_like(suite.world)
+    return KBQA.train(kb, suite.corpus, suite.conceptualizer)
+
+
+@pytest.fixture(scope="module")
+def server(serve_system):
+    config = ServeConfig(workers=2, max_batch=8)
+    with BackgroundServer(serve_system, config) as background:
+        yield background
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _answerable_question(suite, system) -> str:
+    for entity in suite.world.of_type("city"):
+        question = f"what is the population of {entity.name}?"
+        if system.answer(question).answered:
+            return question
+    raise AssertionError("no answerable city question in the suite")
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, payload = _get(server.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_answer_matches_synchronous_path(self, server, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        expected = serve_system.answer(question)
+        status, payload = _post(server.url + "/answer", {"question": question})
+        assert status == 200
+        assert payload["answered"] is True
+        assert payload["value"] == expected.value
+        assert payload["values"] == list(expected.values)
+        assert payload["question"] == question
+
+    def test_unknown_entity_is_200_with_no_answer(self, server):
+        status, payload = _post(
+            server.url + "/answer",
+            {"question": "who is the spouse of zorblax the unknowable?"},
+        )
+        assert status == 200
+        assert payload["answered"] is False
+        assert payload["value"] is None
+
+    def test_batch_preserves_order_with_duplicates(self, server, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        questions = [question, "gibberish about nothing?", question]
+        status, payload = _post(server.url + "/batch", {"questions": questions})
+        assert status == 200
+        results = payload["results"]
+        assert [r["question"] for r in results] == questions
+        assert results[0]["value"] == results[2]["value"]
+        assert results[1]["answered"] is False
+
+    def test_stats_shape(self, server):
+        status, payload = _get(server.url + "/stats")
+        assert status == 200
+        assert {"serve", "caches", "kb"} <= payload.keys()
+        assert payload["serve"]["running"] is True
+        assert payload["kb"]["triples"] > 0
+
+    def test_error_paths_are_deterministic(self, server):
+        status, payload = _post(server.url + "/answer", {"nope": 1})
+        assert (status, "question" in payload["error"]) == (400, True)
+        status, _ = _post(server.url + "/batch", {"questions": []})
+        assert status == 400
+        status, payload = _get(server.url + "/nowhere")
+        assert status == 404
+        status, payload = _get(server.url + "/answer")  # GET on a POST route
+        assert status == 405
+
+    def test_malformed_json_is_400(self, server):
+        connection = http.client.HTTPConnection(
+            server.server.host, server.server.port, timeout=30
+        )
+        connection.request(
+            "POST", "/answer", body=b"{not json",
+            headers={"Content-Type": "application/json", "Content-Length": "9"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_keep_alive_serves_multiple_requests_per_connection(self, server):
+        connection = http.client.HTTPConnection(
+            server.server.host, server.server.port, timeout=30
+        )
+        for _ in range(3):
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+        connection.close()
+
+
+class TestLiveFacts:
+    def test_add_then_delete_fact_flows_into_answers(self, server, serve_system, suite):
+        """The /facts write path: quiesced add -> new answer -> quiesced
+        delete -> old answer, with no retraining and no restart."""
+        entity = next(e for e in suite.world.of_type("city"))
+        question = f"what is the population of {entity.name}?"
+        before = _post(server.url + "/answer", {"question": question})[1]
+        assert before["answered"] is True
+
+        node = before["entity"]
+        fact = {"subject": node, "predicate": "population", "object": make_literal("123456")}
+        status, payload = _post(server.url + "/facts", {"op": "add", **fact})
+        assert (status, payload["changed"]) == (200, True)
+        try:
+            after = _post(server.url + "/answer", {"question": question})[1]
+            assert "123456" in after["values"]
+        finally:
+            status, payload = _post(server.url + "/facts", {"op": "delete", **fact})
+        assert (status, payload["changed"]) == (200, True)
+        restored = _post(server.url + "/answer", {"question": question})[1]
+        assert restored["values"] == before["values"]
+
+    def test_facts_validation(self, server):
+        status, payload = _post(server.url + "/facts", {"op": "upsert"})
+        assert status == 400 and "op" in payload["error"]
+        status, payload = _post(
+            server.url + "/facts", {"op": "add", "subject": "s", "predicate": "p"}
+        )
+        assert status == 400 and "object" in payload["error"]
+
+
+class TestConcurrency:
+    def test_concurrent_identical_requests_agree(self, server, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        outcomes: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def client():
+            result = _post(server.url + "/answer", {"question": question})
+            with lock:
+                outcomes.append(result)
+
+        workers = [threading.Thread(target=client) for _ in range(12)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert len(outcomes) == 12
+        assert all(status == 200 for status, _ in outcomes)
+        bodies = {json.dumps(payload, sort_keys=True) for _, payload in outcomes}
+        assert len(bodies) == 1  # identical answers for identical questions
+
+    def test_overload_maps_to_503_with_documented_body(self, serve_system):
+        """The route layer's contract for admission rejection, independent
+        of timing: a rejecting answerer yields exactly the documented 503."""
+        import asyncio
+
+        server = KBQAServer(serve_system, ServeConfig(max_pending=7))
+
+        async def main():
+            async def rejecting(_question):
+                raise OverloadedError("serving queue full (7 pending evaluations)")
+
+            server.answerer.answer = rejecting
+            request = HTTPRequest(
+                method="POST", path="/answer",
+                body=json.dumps({"question": "anything?"}).encode(),
+            )
+            return await server._route(request)
+
+        status, payload = asyncio.run(main())
+        assert status == 503
+        assert payload == {"error": "overloaded", "max_pending": 7}
+
+
+class TestShutdownAndSmoke:
+    def test_background_server_shuts_down_cleanly(self, serve_system):
+        with BackgroundServer(serve_system) as background:
+            assert _get(background.url + "/healthz")[0] == 200
+            thread = background._thread
+        assert thread is not None and not thread.is_alive()
+
+    def test_run_smoke_end_to_end(self, serve_system, suite):
+        """The CI smoke body: concurrent clients, asserted responses,
+        clean shutdown — identical to `kbqa serve --smoke`."""
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()][:6]
+        summary = run_smoke(
+            serve_system, questions, threads=4, requests_per_thread=3
+        )
+        assert summary["clean_shutdown"] is True
+        assert summary["http_200"] == summary["requests"] == 12
