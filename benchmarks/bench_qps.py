@@ -10,6 +10,12 @@ qald3 BFQ question pool, sweeping
 * **coalescing on/off** — the A/B that isolates what in-flight coalescing
   buys.
 
+Beyond the closed-loop sweep, :func:`measure_open_loop` drives fixed-rate
+Poisson arrivals (open loop: arrivals never wait for responses) and records
+p50/p99 response latency per offered rate, and :func:`measure_http_qps`
+measures the full socket path — request bytes into a live ``KBQAServer``,
+response bytes out — as an end-to-end QPS + latency cell.
+
 Every cell uses a *fresh* ``OnlineAnswerer`` with the answer cache disabled,
 so duplicate work is real and the measured difference is the serving
 layer's coalescing + micro-batching, not the target's own memoization (the
@@ -28,16 +34,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
+import threading
+import time
 from pathlib import Path
 
 from repro.core.online import OnlineAnswerer
 from repro.core.system import KBQA
-from repro.serve.loadgen import LoadSpec, run_load_cell
+from repro.exec.backend import resolve_workers
+from repro.serve.loadgen import (
+    LoadSpec,
+    OpenLoadSpec,
+    latency_percentiles,
+    run_load_cell,
+    run_open_load_cell,
+)
 from repro.suite import build_suite
 
 DEFAULT_CONCURRENCY = [4, 16, 64]
 DEFAULT_DUP_RATES = [0.0, 0.5, 0.9]
+DEFAULT_OPEN_RATES = [100.0, 400.0, 1600.0]
 HIGH_DUP = 0.9
 
 
@@ -140,6 +157,137 @@ def measure_qps(
     }
 
 
+def measure_open_loop(
+    system: KBQA,
+    questions: list[str],
+    *,
+    rates: list[float] | None = None,
+    requests: int = 256,
+    duplicate_rate: float = 0.5,
+    max_batch: int = 16,
+    workers: int | None = None,
+    seed: int = 7,
+) -> dict:
+    """The ``open_loop`` section: fixed-rate Poisson arrivals, p50/p99 per
+    offered rate (the ROADMAP's serving-latency-trajectory item).
+
+    Unlike closed-loop QPS, the offered rate does not adapt to the server;
+    a rate past capacity shows up honestly as p99 growth and rejections.
+    """
+    rates = rates or DEFAULT_OPEN_RATES
+    workers = resolve_workers(workers, fallback=2)
+    cells = []
+    for rate in rates:
+        spec = OpenLoadSpec(
+            rate_qps=rate,
+            requests=requests,
+            duplicate_rate=duplicate_rate,
+            seed=seed,
+        )
+        cells.append(
+            run_open_load_cell(
+                _fresh_target(system),
+                questions,
+                spec,
+                max_batch=max_batch,
+                workers=workers,
+            )
+        )
+    return {
+        "requests_per_cell": requests,
+        "duplicate_rate": duplicate_rate,
+        "workers": workers,
+        "seed": seed,
+        "note": (
+            "fixed-rate Poisson arrivals (seeded exponential gaps), open "
+            "loop: arrivals never wait for responses; latency percentiles "
+            "are over completed requests, rejections counted separately"
+        ),
+        "cells": cells,
+    }
+
+
+def measure_http_qps(
+    system: KBQA,
+    questions: list[str],
+    *,
+    clients: int | None = None,
+    requests_per_client: int = 24,
+    max_batch: int = 16,
+    workers: int | None = None,
+) -> dict:
+    """The end-to-end socket cell: closed-loop HTTP clients against a real
+    ``KBQAServer`` socket (request bytes in, response bytes out), measuring
+    what the in-process cells cannot — HTTP parse, JSON encode, asyncio
+    stream write — as delivered QPS and per-request latency percentiles.
+    """
+    import urllib.request
+
+    from repro.serve import BackgroundServer, ServeConfig
+
+    clients = resolve_workers(clients, fallback=8)
+    config = ServeConfig(
+        max_batch=max_batch,
+        workers=resolve_workers(workers, fallback=2),
+        max_pending=max(clients * 4, 256),
+    )
+    latencies_ms: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    with BackgroundServer(system, config) as bg:
+        url = bg.url + "/answer"
+
+        def client(worker: int) -> None:
+            for i in range(requests_per_client):
+                question = questions[(worker + i) % len(questions)]
+                body = json.dumps({"question": question}).encode("utf-8")
+                request = urllib.request.Request(
+                    url, data=body, headers={"Content-Type": "application/json"}
+                )
+                start = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(request, timeout=30) as resp:
+                        resp.read()
+                        status = resp.status
+                except Exception as error:  # noqa: BLE001 - report, don't crash
+                    with lock:
+                        failures.append(repr(error))
+                    continue
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                with lock:
+                    latencies_ms.append(elapsed_ms)
+                    if status != 200:
+                        failures.append(f"status {status}")
+
+        threads = [
+            threading.Thread(target=client, args=(n,), name=f"http-bench-{n}")
+            for n in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+
+    completed = len(latencies_ms)
+    return {
+        "clients": clients,
+        "requests": clients * requests_per_client,
+        "completed": completed,
+        "failures": len(failures),
+        "wall_s": round(wall_s, 4),
+        "qps": round(completed / wall_s, 1) if wall_s > 0 else None,
+        "mean_ms": round(statistics.fmean(latencies_ms), 3) if latencies_ms else None,
+        **latency_percentiles(latencies_ms),
+        "note": (
+            "closed-loop urllib clients against a live KBQAServer socket: "
+            "end-to-end bytes-in/bytes-out including HTTP parse + JSON"
+        ),
+    }
+
+
 def print_qps(payload: dict) -> None:
     """Human-readable sweep table."""
     print(
@@ -162,6 +310,20 @@ def print_qps(payload: dict) -> None:
     )
 
 
+def print_open_loop(payload: dict) -> None:
+    """Human-readable open-loop latency table."""
+    print(
+        f"open-loop (Poisson, {payload['requests_per_cell']} req/cell, "
+        f"dup {payload['duplicate_rate']}, workers {payload['workers']})"
+    )
+    print(f"{'offered':>8} {'done':>6} {'rej':>5} {'p50ms':>8} {'p99ms':>8}")
+    for cell in payload["cells"]:
+        print(
+            f"{cell['offered_qps']:>8} {cell['completed']:>6} "
+            f"{cell['rejected']:>5} {cell['p50_ms']:>8} {cell['p99_ms']:>8}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="KBQA serving QPS benchmark")
     parser.add_argument("--scale", default="default", choices=["small", "default"])
@@ -174,7 +336,23 @@ def main(argv: list[str] | None = None) -> int:
         "--dup-rates", type=float, nargs="+", default=DEFAULT_DUP_RATES
     )
     parser.add_argument("--max-batch", type=int, default=16)
-    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluation workers (default: $KBQA_WORKERS, else 2; clamped >= 1)",
+    )
+    parser.add_argument(
+        "--open-rates", type=float, nargs="+", default=DEFAULT_OPEN_RATES,
+        help="offered Poisson rates for the open-loop latency cells",
+    )
+    parser.add_argument(
+        "--open-requests", type=int, default=256,
+        help="arrivals per open-loop cell",
+    )
+    parser.add_argument(
+        "--http-clients", type=int, default=None,
+        help="closed-loop HTTP clients for the socket cell "
+             "(default: $KBQA_WORKERS, else 8; clamped >= 1)",
+    )
     parser.add_argument(
         "--merge", metavar="PATH", default=None,
         help="merge the qps section into an existing BENCH_perf.json",
@@ -184,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
     suite = build_suite(args.scale, seed=args.seed)
     system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
     questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+    workers = resolve_workers(args.workers, fallback=2)
     payload = measure_qps(
         system,
         questions,
@@ -191,10 +370,33 @@ def main(argv: list[str] | None = None) -> int:
         duplicate_rates=args.dup_rates,
         requests=args.requests,
         max_batch=args.max_batch,
-        workers=args.workers,
+        workers=workers,
         seed=args.seed,
     )
+    payload["open_loop"] = measure_open_loop(
+        system,
+        questions,
+        rates=args.open_rates,
+        requests=args.open_requests,
+        max_batch=args.max_batch,
+        workers=workers,
+        seed=args.seed,
+    )
+    payload["http_e2e"] = measure_http_qps(
+        system,
+        questions,
+        clients=args.http_clients,
+        max_batch=args.max_batch,
+        workers=workers,
+    )
     print_qps(payload)
+    print_open_loop(payload["open_loop"])
+    http = payload["http_e2e"]
+    print(
+        f"http e2e: {http['qps']} qps over {http['clients']} clients "
+        f"(p50 {http['p50_ms']}ms, p99 {http['p99_ms']}ms, "
+        f"{http['failures']} failures)"
+    )
     if args.merge:
         path = Path(args.merge)
         try:

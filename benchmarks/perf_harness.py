@@ -17,19 +17,27 @@ on the same machine and the same inputs:
   records *scaling*, not just single-store speedups;
 * **qps** — serving throughput through the async front
   (:mod:`repro.serve`): closed-loop load over concurrency x duplicate-rate,
-  coalescing on vs off on identical request streams
-  (``benchmarks/bench_qps.py``).
+  coalescing on vs off on identical request streams, plus the open-loop
+  Poisson latency cells and the end-to-end HTTP socket cell
+  (``benchmarks/bench_qps.py``);
+* **proc_sweep** — the execution-backend A/B (`repro.exec`): the Sec 6.2
+  expansion scan on the 4-shard bench KB under serial / thread / process
+  backends across worker counts, and a serving cell dispatching
+  ``answer_many`` micro-batches to thread vs process workers.  Records
+  ``cpus`` alongside, because process scaling is physically bounded by the
+  cores the runner actually has.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_harness --scale default \
-        --shards 1 2 4 --output BENCH_perf.json
+        --shards 1 2 4 --proc-workers 1 2 4 --output BENCH_perf.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import time
@@ -105,6 +113,95 @@ def _shard_sweep(suite, system, seeds, questions, shard_counts, repeats) -> dict
     return sweep
 
 
+def _proc_sweep(suite, system, seeds, questions, proc_workers, repeats) -> dict:
+    """The execution-backend A/B on the bench KB (4 subject shards).
+
+    Expansion: serial vs thread(4) vs process at each worker count —
+    equivalence asserted on the materialized triple count every run.
+    Serving: one closed-loop cell each for thread- and process-backed
+    micro-batch dispatch (same stream, answer cache off).
+    """
+    from repro.exec.backend import resolve_workers
+    from repro.serve.loadgen import LoadSpec, run_load_cell
+
+    from benchmarks.bench_qps import _fresh_target
+
+    kb = compile_freebase_like(suite.world, shards=4)
+    serial_s, serial_expanded = _best_of(
+        lambda: expand_predicates(kb.store, seeds, max_length=3, executor="serial"),
+        repeats,
+    )
+    reference_spo = len(serial_expanded)
+    thread_s, thread_expanded = _best_of(
+        lambda: expand_predicates(
+            kb.store, seeds, max_length=3, executor="thread", workers=4
+        ),
+        repeats,
+    )
+    assert len(thread_expanded) == reference_spo, "thread equivalence violated"
+    process_cells: dict[str, dict] = {}
+    for workers in proc_workers:
+        workers = resolve_workers(workers)
+        process_s, process_expanded = _best_of(
+            lambda: expand_predicates(
+                kb.store, seeds, max_length=3, executor="process", workers=workers
+            ),
+            repeats,
+        )
+        assert len(process_expanded) == reference_spo, "process equivalence violated"
+        process_cells[str(workers)] = {
+            "workers": workers,
+            "expand_s": round(process_s, 4),
+            "speedup_vs_serial": round(serial_s / max(process_s, 1e-9), 2),
+        }
+
+    spec = LoadSpec(requests=256, concurrency=32, duplicate_rate=0.0, seed=7)
+    serve_cells = {}
+    for backend in ("thread", "process"):
+        cell = run_load_cell(
+            _fresh_target(system),
+            questions,
+            spec,
+            coalesce=True,
+            max_batch=8,
+            workers=2,
+            executor=backend,
+        )
+        serve_cells[backend] = {
+            "qps": cell["qps"],
+            "evaluated": cell["evaluated"],
+            "rejected": cell["rejected"],
+        }
+
+    last = process_cells[str(resolve_workers(proc_workers[-1]))]
+    return {
+        "shards": 4,
+        "cpus": os.cpu_count(),
+        "spo_triples": reference_spo,
+        "serial_s": round(serial_s, 4),
+        "thread": {
+            "workers": 4,
+            "expand_s": round(thread_s, 4),
+            "speedup_vs_serial": round(serial_s / max(thread_s, 1e-9), 2),
+        },
+        "process": process_cells,
+        "speedup_process_max_workers_vs_serial": last["speedup_vs_serial"],
+        "serve_exec": {
+            **serve_cells,
+            "process_vs_thread_qps": round(
+                serve_cells["process"]["qps"]
+                / max(serve_cells["thread"]["qps"], 1e-9),
+                2,
+            ),
+        },
+        "note": (
+            "scan wall-clock is best-of-N on the 4-shard bench KB; process "
+            "cells include pool start + shard-table shipping; real speedup "
+            "requires real cores (see cpus)"
+        ),
+    }
+
+
 def measure(
     scale: str,
     seed: int,
@@ -113,6 +210,7 @@ def measure(
     qps_requests: int = 512,
     qps_concurrency: list[int] | None = None,
     qps_dup_rates: list[float] | None = None,
+    proc_workers: list[int] | None = None,
 ) -> dict:
     """Run every measurement; returns the BENCH_perf payload."""
     suite = build_suite(scale, seed=seed)
@@ -193,8 +291,13 @@ def measure(
 
     shard_sweep = _shard_sweep(suite, system, seeds, questions, shard_counts, repeats)
 
+    # -- execution backends: serial vs thread vs process ---------------------
+    proc_sweep = _proc_sweep(
+        suite, system, seeds, questions, proc_workers or [1, 2, 4], repeats
+    )
+
     # -- serving QPS: coalescing A/B under concurrency x duplicate rate ------
-    from benchmarks.bench_qps import measure_qps
+    from benchmarks.bench_qps import measure_http_qps, measure_open_loop, measure_qps
 
     qps = measure_qps(
         system,
@@ -204,6 +307,10 @@ def measure(
         requests=qps_requests,
         seed=seed,
     )
+    qps["open_loop"] = measure_open_loop(
+        system, questions, requests=min(qps_requests, 256), seed=seed
+    )
+    qps["http_e2e"] = measure_http_qps(system, questions)
 
     return {
         "benchmark": "BENCH_perf",
@@ -218,6 +325,7 @@ def measure(
         "em": em,
         "online": online,
         "shard_sweep": shard_sweep,
+        "proc_sweep": proc_sweep,
         "qps": qps,
     }
 
@@ -244,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
         "--qps-dup-rates", type=float, nargs="+", default=None,
         help="duplicate rates for the QPS sweep (default: 0.0 0.5 0.9)",
     )
+    parser.add_argument(
+        "--proc-workers", type=int, nargs="+", default=[1, 2, 4],
+        help="process-pool worker counts for the exec-backend sweep",
+    )
     parser.add_argument("--output", default="BENCH_perf.json")
     args = parser.parse_args(argv)
 
@@ -255,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         qps_requests=args.qps_requests,
         qps_concurrency=args.qps_concurrency,
         qps_dup_rates=args.qps_dup_rates,
+        proc_workers=args.proc_workers,
     )
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -282,6 +395,20 @@ def main(argv: list[str] | None = None) -> int:
             f"answer_many {row['answer_many_cold_ms']}ms cold / "
             f"{row['answer_many_warm_ms']}ms warm"
         )
+    proc = payload["proc_sweep"]
+    print(
+        f"exec (cpus={proc['cpus']}): serial {proc['serial_s']}s, "
+        f"thread x{proc['thread']['workers']} {proc['thread']['expand_s']}s"
+    )
+    for key, cell in proc["process"].items():
+        print(
+            f"  process x{key}: {cell['expand_s']}s "
+            f"({cell['speedup_vs_serial']}x vs serial)"
+        )
+    print(
+        f"  serve process/thread qps: "
+        f"{proc['serve_exec']['process_vs_thread_qps']}x"
+    )
     for cell in payload["qps"]["sweep"]:
         print(
             f"qps c={cell['concurrency']:<3} dup={cell['duplicate_rate']}: "

@@ -14,6 +14,10 @@ fi
 # Shard counts for the scaling sweep (expansion scan + answer_many per count).
 SHARDS="${BENCH_SHARDS:-1 2 4}"
 
+# Process-pool worker counts for the exec-backend sweep (`proc_sweep` in
+# BENCH_perf.json: serial vs thread vs process expansion scan + serving A/B).
+PROC_WORKERS="${BENCH_PROC_WORKERS:-1 2 4}"
+
 # Serving QPS sweep (repro.serve async front): closed-loop concurrency levels,
 # duplicate rates, and requests per cell; lands as the `qps` section of
 # BENCH_perf.json with a coalescing on/off A/B per cell.
@@ -21,8 +25,9 @@ QPS_CONCURRENCY="${BENCH_QPS_CONCURRENCY:-4 16 64}"
 QPS_DUP_RATES="${BENCH_QPS_DUP_RATES:-0.0 0.5 0.9}"
 QPS_REQUESTS="${BENCH_QPS_REQUESTS:-512}"
 
-# shellcheck disable=SC2086  # SHARDS / QPS_* are deliberate word-split lists
+# shellcheck disable=SC2086  # SHARDS / PROC_WORKERS / QPS_* are word-split lists
 python -m benchmarks.perf_harness --scale "$SCALE" --shards $SHARDS \
+    --proc-workers $PROC_WORKERS \
     --qps-requests "$QPS_REQUESTS" --qps-concurrency $QPS_CONCURRENCY \
     --qps-dup-rates $QPS_DUP_RATES --output BENCH_perf.json
 python -m pytest tests/test_perf_speedups.py -m perf -q

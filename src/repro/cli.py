@@ -11,8 +11,11 @@ shell::
     kbqa serve --scale small --port 8080        # HTTP answer service
 
 Every training command accepts ``--shards N`` (compile the KB into a
-subject-sharded backend) and ``--expansion PATH`` (resume from a persisted
-predicate expansion instead of re-running the Sec 6.2 scan).
+subject-sharded backend), ``--expansion PATH`` (resume from a persisted
+predicate expansion instead of re-running the Sec 6.2 scan), and
+``--exec serial|thread|process`` / ``--workers N`` (the execution backend
+for the expansion scan and, under ``serve``, for evaluating answer batches;
+defaults come from the ``KBQA_EXEC`` / ``KBQA_WORKERS`` environment).
 """
 
 from __future__ import annotations
@@ -20,7 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from dataclasses import replace
+
 from repro.core.system import KBQA, KBQAConfig
+from repro.exec.backend import EXEC_KINDS, resolve_exec_kind, resolve_workers
 from repro.eval.runner import evaluate_qald
 from repro.kb.expansion import ExpandedStore
 from repro.suite import build_suite
@@ -136,10 +142,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks an ephemeral port; default: 8080)",
     )
     serve.add_argument(
-        "--workers", type=int, default=2,
-        help="thread-executor workers evaluating answer_many batches",
-    )
-    serve.add_argument(
         "--max-batch", type=int, default=16,
         help="max distinct questions per dispatched answer_many batch",
     )
@@ -173,6 +175,17 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         help="resume from a persisted expansion (kbqa expand --save) "
              "instead of re-running the Sec 6.2 scan",
     )
+    sub.add_argument(
+        "--exec", dest="exec_backend", default=None, choices=list(EXEC_KINDS),
+        help="execution backend for the Sec 6.2 expansion scan and for "
+             "serve's answer batches (default: $KBQA_EXEC, else thread "
+             "fan-out on sharded KBs / serial otherwise)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the chosen backend, clamped to >= 1 "
+             "(default: $KBQA_WORKERS, else a per-path default)",
+    )
 
 
 def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]:
@@ -182,6 +195,15 @@ def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]
     expansion_path = getattr(args, "expansion", None)
     if expansion_path:
         expanded = ExpandedStore.load(expansion_path)
+    config = config or KBQAConfig()
+    config = replace(
+        config,
+        learner=replace(
+            config.learner,
+            executor=getattr(args, "exec_backend", None) or config.learner.executor,
+            workers=getattr(args, "workers", None) or config.learner.workers,
+        ),
+    )
     system = KBQA.train(kb, suite.corpus, suite.conceptualizer, config, expanded=expanded)
     return system, suite
 
@@ -303,7 +325,10 @@ def _cmd_serve(args) -> int:
     config = ServeConfig(
         max_batch=args.max_batch,
         max_pending=args.max_pending,
-        workers=args.workers,
+        # the environment resolves to an explicit backend here (the server
+        # CAN follow KBQA_EXEC; test-facing defaults deliberately don't)
+        executor=resolve_exec_kind(args.exec_backend, default="thread"),
+        workers=resolve_workers(args.workers, fallback=2),
         coalesce=not args.no_coalesce,
     )
     system, suite = _train_system(args)
@@ -352,7 +377,12 @@ def _cmd_expand(args) -> int:
             # record reach so the saved artifact supports live updates on
             # reload without a rebuild at maintainer attach
             expanded = expand_predicates(
-                kb.store, seeds, max_length=args.max_length, record_reach=True
+                kb.store,
+                seeds,
+                max_length=args.max_length,
+                record_reach=True,
+                executor=args.exec_backend,
+                workers=args.workers,
             )
             expanded.save(args.save)
             print(f"saved expansion to {args.save}")

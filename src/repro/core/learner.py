@@ -30,13 +30,21 @@ from repro.taxonomy.conceptualizer import Conceptualizer
 
 @dataclass(frozen=True, slots=True)
 class LearnerConfig:
-    """Offline-procedure knobs; defaults follow the paper (k = 3, Sec 6.3)."""
+    """Offline-procedure knobs; defaults follow the paper (k = 3, Sec 6.3).
+
+    ``executor``/``workers`` select the execution backend for the Sec 6.2
+    expansion scan (``serial``/``thread``/``process``); None defers to the
+    ``KBQA_EXEC``/``KBQA_WORKERS`` environment and then to the historical
+    default (thread fan-out on a sharded backend, serial otherwise).
+    """
 
     max_path_length: int = 3
     use_expansion: bool = True
     use_refinement: bool = True
     max_concepts_per_mention: int = 4
     em: EMConfig = field(default_factory=EMConfig)
+    executor: str | None = None
+    workers: int | None = None
 
 
 @dataclass
@@ -148,7 +156,11 @@ class OfflineLearner:
                     )
             else:
                 expanded = expand_predicates(
-                    self.kb.store, seeds, max_length=self.config.max_path_length
+                    self.kb.store,
+                    seeds,
+                    max_length=self.config.max_path_length,
+                    executor=self.config.executor,
+                    workers=self.config.workers,
                 )
         kbview = KBView(self.kb.store, expanded)
 

@@ -216,6 +216,21 @@ class KBQA:
             self.maintainer.close()
         self._kb_unsubscribe()
 
+    def __getstate__(self) -> dict:
+        """A live system does not pickle — freeze its answerer instead.
+
+        The facade holds process-local wiring (backend subscriptions, the
+        live expansion maintainer, unsubscribe closures) that cannot and
+        must not cross a process boundary.  Process-pool serving snapshots
+        go through :func:`repro.exec.snapshot.freeze_target`, which freezes
+        ``system.answerer`` — the picklable answering core — and re-freezes
+        it per serving epoch.
+        """
+        raise TypeError(
+            "KBQA systems are not picklable (live backend subscriptions); "
+            "freeze the answering core via repro.exec.snapshot.freeze_target"
+        )
+
     def __enter__(self) -> "KBQA":
         """Context-manager form: ``with KBQA.train(...) as system:``."""
         return self

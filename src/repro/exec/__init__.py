@@ -1,0 +1,62 @@
+"""Process-parallel execution layer: one executor protocol, three backends.
+
+* :mod:`repro.exec.backend` — :class:`Executor` protocol with
+  :class:`SerialExecutor` / :class:`ThreadExecutor` /
+  :class:`ProcessExecutor`, plus the uniform selection rules
+  (explicit arg > ``KBQA_EXEC``/``KBQA_WORKERS`` environment > default,
+  worker counts always clamped to >= 1);
+* :mod:`repro.exec.tasks` — picklable frozen shard-scan payloads for the
+  Sec 6.2 expansion (``repro.kb.expansion`` routes its per-round fan-out
+  through them);
+* :mod:`repro.exec.snapshot` — epoch-tagged frozen answerer snapshots for
+  process-pool serving (``repro.serve.async_answerer`` dispatches
+  micro-batches through them).
+"""
+
+from repro.exec.backend import (
+    EXEC_ENV,
+    EXEC_KINDS,
+    WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_exec_kind,
+    resolve_workers,
+    worker_payload,
+)
+from repro.exec.snapshot import (
+    AnswerBatchTask,
+    SnapshotManager,
+    evaluate_frozen_batch,
+    freeze_target,
+)
+from repro.exec.tasks import (
+    ShardScanResult,
+    ShardScanTask,
+    scan_shard,
+    split_frontier_by_shard,
+)
+
+__all__ = [
+    "AnswerBatchTask",
+    "EXEC_ENV",
+    "EXEC_KINDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardScanResult",
+    "ShardScanTask",
+    "SnapshotManager",
+    "ThreadExecutor",
+    "WORKERS_ENV",
+    "evaluate_frozen_batch",
+    "freeze_target",
+    "make_executor",
+    "resolve_exec_kind",
+    "resolve_workers",
+    "scan_shard",
+    "split_frontier_by_shard",
+    "worker_payload",
+]

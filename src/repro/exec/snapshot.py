@@ -1,0 +1,119 @@
+"""Epoch-tagged frozen answerer snapshots for process-pool serving.
+
+A process worker cannot share the live ``KBQA``/``OnlineAnswerer`` — it
+evaluates against a *snapshot*: the picklable answering state (model, KB
+view, NER, conceptualizer; see ``OnlineAnswerer.__getstate__``) pickled once
+per serving epoch.  The protocol that keeps live ``add``/``delete`` correct:
+
+* every KB invalidation bumps the :class:`AsyncAnswerer` epoch (unchanged
+  from the thread backend);
+* a dispatched batch carries the epoch it was frozen against
+  (:class:`AnswerBatchTask`); the worker caches the deserialized answerer
+  keyed on that epoch, so consecutive batches of one epoch deserialize once;
+* when the dispatch-time epoch has moved past the cached snapshot,
+  :meth:`SnapshotManager.task_for` re-freezes from the *live* target — whose
+  mutations and cache-clears have already been applied by the synchronous
+  change listeners — so the re-evaluation path of the serving layer's
+  stale-batch retry observes post-mutation state, never a stale snapshot.
+
+The blob rides inside every task (bytes are cheap to re-pickle; the
+expensive ``pickle.dumps`` of the answerer happens once per epoch in the
+parent, and ``pickle.loads`` once per epoch per worker).  Pool processes are
+private to one :class:`AsyncAnswerer`, so epochs never mix across managers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.online import AnswerResult
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerBatchTask:
+    """One serving micro-batch bound for a process worker."""
+
+    epoch: int
+    blob: bytes  # pickled answer target, frozen at `epoch`
+    questions: tuple[str, ...]
+
+
+# Worker-resident deserialized snapshot: (epoch, answer target).  One entry —
+# an epoch bump obsoletes every older snapshot, so there is nothing to keep.
+_SNAPSHOT: tuple[int, object] | None = None
+
+
+def evaluate_frozen_batch(task: AnswerBatchTask) -> list["AnswerResult"]:
+    """Worker entry point: thaw (or reuse) the snapshot, answer the batch."""
+    global _SNAPSHOT
+    snapshot = _SNAPSHOT
+    if snapshot is None or snapshot[0] != task.epoch:
+        snapshot = (task.epoch, pickle.loads(task.blob))
+        _SNAPSHOT = snapshot
+    return snapshot[1].answer_many(list(task.questions))
+
+
+def freeze_target(target: object) -> bytes:
+    """Pickle the answerable core of ``target``.
+
+    A ``KBQA`` system freezes through its ``answerer`` (the facade itself
+    carries process-local wiring — backend subscriptions, the live
+    maintainer — that a shared-nothing worker must not and cannot hold); any
+    other target with ``answer_many`` pickles as-is.
+    """
+    answerer = getattr(target, "answerer", None)
+    if answerer is not None and hasattr(answerer, "answer_many"):
+        target = answerer
+    return pickle.dumps(target, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class SnapshotManager:
+    """Caches the frozen blob of one target, re-freezing per epoch.
+
+    The serving dispatcher asks for the blob of the epoch it will compare
+    against after evaluation; the blob handed out is always frozen at (or
+    after) that epoch's mutations (a mutation racing in *after* the freeze
+    just bumps the epoch again and triggers the stale-batch retry).
+
+    A large system's ``pickle.dumps`` is not cheap, so :meth:`freeze` is
+    thread-safe and meant to be called *off* the event loop (the serving
+    layer runs it on a side thread); :meth:`cached_blob` is the loop-side
+    fast path that never serializes.
+    """
+
+    def __init__(self, target: object) -> None:
+        self.target = target
+        self._epoch: int | None = None
+        self._blob: bytes | None = None
+        self._lock = threading.Lock()
+        self.refreezes = 0
+
+    def cached_blob(self, epoch: int) -> bytes | None:
+        """The blob already frozen for ``epoch``, or None (never freezes)."""
+        with self._lock:
+            if self._blob is not None and self._epoch == epoch:
+                return self._blob
+            return None
+
+    def freeze(self, epoch: int) -> bytes:
+        """Freeze now (or reuse the blob already frozen for ``epoch``).
+
+        Concurrent callers for the same epoch serialize on the lock; the
+        loser reuses the winner's blob instead of pickling twice.
+        """
+        with self._lock:
+            if self._blob is None or self._epoch != epoch:
+                self._blob = freeze_target(self.target)
+                self._epoch = epoch
+                self.refreezes += 1
+            return self._blob
+
+    def task_for(self, epoch: int, questions: Sequence[str]) -> AnswerBatchTask:
+        """Build the micro-batch task for one dispatch at ``epoch``."""
+        return AnswerBatchTask(
+            epoch=epoch, blob=self.freeze(epoch), questions=tuple(questions)
+        )

@@ -1,0 +1,110 @@
+"""Frozen, picklable task payloads for the parallel Sec 6.2 expansion scan.
+
+One :class:`ShardScanTask` describes one round's scan of one subject shard:
+the shard's grouped id-keyed table (``{s_id: {p_id: {o_id}}}``) joined
+against the BFS frontier.  Everything in the payload is dictionary-encoded
+integers — no strings, no store objects — so the same task runs unchanged on
+a serial, thread or process backend, and the result buffers merge in shard
+order to a byte-identical expansion (``tests/test_exec_backends.py``).
+
+Two shipping modes for the shard table:
+
+* ``table=None`` — the table is *resident* in the worker: the pool was
+  built with ``payload=<tuple of shard tables>`` (pickled once per worker at
+  pool start), and :func:`scan_shard` fetches ``payload[task.shard]``.  This
+  is the process-backend hot path: per-round tasks carry only the frontier
+  slice that can match the shard (``subject_id % n_shards == shard``).
+* ``table=<mapping>`` — the task is self-contained (used by the serial and
+  thread backends, where "shipping" is a pointer copy, and by caller-owned
+  process executors that were built without a payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.backend import worker_payload
+
+# frontier entry: node id -> {(seed_id, prefix predicate-id tuple)}
+Provenance = set[tuple[int, tuple[int, ...]]]
+ShardTable = dict[int, dict[int, set[int]]]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardScanTask:
+    """One (round, shard) scan-and-join unit of the Sec 6.2 expansion."""
+
+    shard: int
+    frontier: dict[int, Provenance]
+    tail_ids: frozenset[int]
+    is_last_round: bool
+    table: ShardTable | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShardScanResult:
+    """Shard-local output buffers, merged by the caller in shard order.
+
+    ``records`` are materialized ``(seed_id, path_key, object_id)`` rows;
+    ``additions`` are ``(node_id, (seed_id, path_key))`` frontier extensions
+    for the next round.
+    """
+
+    shard: int
+    records: list[tuple[int, tuple[int, ...], int]]
+    additions: list[tuple[int, tuple[int, tuple[int, ...]]]]
+
+
+def scan_shard(task: ShardScanTask) -> ShardScanResult:
+    """Scan one shard table against the frontier (pure function of the task).
+
+    The loop structure mirrors the single-store scan in
+    ``repro.kb.expansion.expand_predicates`` exactly: one frontier probe per
+    subject *group*, length-1 paths recorded unconditionally, longer paths
+    only on a tail predicate, traversal through everything.
+    """
+    table = task.table
+    if table is None:
+        tables = worker_payload()
+        if tables is None:
+            raise RuntimeError(
+                "ShardScanTask has no table and the worker holds no resident "
+                "shard payload (build the executor with payload=shard tables)"
+            )
+        table = tables[task.shard]
+    frontier = task.frontier
+    tail_ids = task.tail_ids
+    is_last_round = task.is_last_round
+    records: list[tuple[int, tuple[int, ...], int]] = []
+    additions: list[tuple[int, tuple[int, tuple[int, ...]]]] = []
+    for s_id, by_predicate in table.items():
+        provenance = frontier.get(s_id)
+        if not provenance:
+            continue
+        for p_id, object_ids in by_predicate.items():
+            is_tail = p_id in tail_ids
+            for seed_id, prefix in provenance:
+                path_key = prefix + (p_id,)
+                if len(path_key) == 1 or is_tail:
+                    for o_id in object_ids:
+                        records.append((seed_id, path_key, o_id))
+                if not is_last_round:
+                    extended = (seed_id, path_key)
+                    for o_id in object_ids:
+                        additions.append((o_id, extended))
+    return ShardScanResult(shard=task.shard, records=records, additions=additions)
+
+
+def split_frontier_by_shard(
+    frontier: dict[int, Provenance], n_shards: int
+) -> list[dict[int, Provenance]]:
+    """Partition the frontier by owning shard (``node_id % n_shards``).
+
+    Only subjects resident in shard ``i`` can join against frontier keys
+    congruent to ``i``, so a process task needs (and ships) only its own
+    slice — the rest of the frontier would be dead weight on the pipe.
+    """
+    slices: list[dict[int, Provenance]] = [{} for _ in range(n_shards)]
+    for node_id, provenance in frontier.items():
+        slices[node_id % n_shards][node_id] = provenance
+    return slices

@@ -133,6 +133,23 @@ class BackendBase:
                         for change in changes:
                             listener(change)
 
+    def __getstate__(self) -> dict:
+        """Pickle as a shared-nothing copy: the indexes and dictionary ship,
+        the change-listener wiring does not.
+
+        Listeners are process-local by nature (bound methods of live systems,
+        cache-invalidation closures) and would drag unpicklable state — and
+        wrong semantics — into a worker.  A thawed backend therefore starts
+        with no subscribers and no in-flight batch; the process-parallel
+        layers (``repro.exec``) rely on exactly this to freeze shard tables
+        and serving snapshots.
+        """
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        state["_batch_depth"] = 0
+        state["_deferred"] = []
+        return state
+
     def _reconcile_resources(self) -> None:
         """Fold dictionary terms added since the last call into the count."""
         n_terms = len(self.dictionary)
@@ -273,4 +290,13 @@ class KBBackend(Protocol):
 
     def shard_spo_items_ids(self, shard: int) -> Iterator[tuple[int, dict[int, set[int]]]]:
         """Grouped id-keyed scan restricted to one subject shard."""
+        ...
+
+    def shard_table(self, shard: int) -> dict[int, dict[int, set[int]]]:
+        """One shard's grouped id-keyed table (``{s_id: {p_id: {o_id}}}``).
+
+        This is the picklable, shared-nothing unit the process-parallel
+        expansion ships to workers (``repro.exec.tasks``); callers treat it
+        as a read-only view of the shard's SPO index.
+        """
         ...

@@ -18,9 +18,12 @@ implementation as the reference for equivalence tests and the before/after
 benchmark.
 
 The scan consumes any :class:`~repro.kb.backend.KBBackend`.  On a sharded
-backend (``n_shards > 1``) each round fans the scan out shard-parallel over a
-thread pool and merges the per-shard results in shard order, so the output is
-identical to the single-store scan.  :class:`ExpandedStore` additionally:
+backend (``n_shards > 1``) each round fans the scan out shard-parallel
+through a pluggable execution backend (`repro.exec`: serial, thread pool, or
+shared-nothing process pool over picklable shard tables) and merges the
+per-shard results in shard order, so the output is identical to the
+single-store scan whichever backend runs it.  :class:`ExpandedStore`
+additionally:
 
 * records *reach provenance* (which seeds' BFS scanned which nodes), the
   index that lets live KB ``add``/``delete`` invalidate exactly the affected
@@ -41,10 +44,11 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.exec.backend import Executor, make_executor, resolve_exec_kind, resolve_workers
+from repro.exec.tasks import ShardScanTask, scan_shard, split_frontier_by_shard
 from repro.kb.backend import KBBackend
 from repro.kb.dictionary import Dictionary
 from repro.kb.paths import PredicatePath
@@ -516,37 +520,33 @@ class ExpandedStore:
         }
 
 
-def _scan_shard_round(
+def _scan_executor(
     store: KBBackend,
-    shard: int,
-    frontier: _Frontier,
-    tail_ids: set[int],
-    is_last_round: bool,
-) -> tuple[list, list]:
-    """Scan one shard against the frontier (one thread-pool task per shard).
+    executor: str | Executor | None,
+    workers: int | None,
+) -> tuple[Executor | None, bool, bool]:
+    """Resolve the execution backend for one expansion call.
 
-    Returns the shard-local ``(records, frontier_additions)`` buffers; the
-    caller merges them in shard order so the result is deterministic and
-    identical to the single-store scan.
+    Returns ``(executor, owned, self_contained)``.  ``executor`` is None for
+    the inline serial fast path (scan ``store.spo_items_ids()`` directly —
+    zero task overhead, and shard-chained order equals the shard-ordered
+    merge).  ``owned`` marks executors built here (closed on return);
+    ``self_contained`` marks process executors the caller built without a
+    resident shard payload, whose tasks must carry their own tables.
     """
-    records: list[tuple[int, tuple[int, ...], int]] = []
-    additions: list[tuple[int, tuple[int, tuple[int, ...]]]] = []
-    for s_id, by_predicate in store.shard_spo_items_ids(shard):
-        provenance = frontier.get(s_id)
-        if not provenance:
-            continue
-        for p_id, object_ids in by_predicate.items():
-            is_tail = p_id in tail_ids
-            for seed_id, prefix in provenance:
-                path_key = prefix + (p_id,)
-                if len(path_key) == 1 or is_tail:
-                    for o_id in object_ids:
-                        records.append((seed_id, path_key, o_id))
-                if not is_last_round:
-                    extended = (seed_id, path_key)
-                    for o_id in object_ids:
-                        additions.append((o_id, extended))
-    return records, additions
+    if executor is not None and not isinstance(executor, str):
+        return executor, False, executor.kind == "process"
+    n_shards = store.n_shards
+    kind = resolve_exec_kind(executor, default="thread" if n_shards > 1 else "serial")
+    if kind == "serial":
+        return None, False, False
+    workers = resolve_workers(workers, fallback=n_shards)
+    payload = None
+    if kind == "process":
+        # the shard tables ship once per worker at pool start; per-round
+        # tasks then carry only their frontier slice
+        payload = tuple(store.shard_table(i) for i in range(n_shards))
+    return make_executor(kind, workers, payload=payload), True, False
 
 
 def expand_predicates(
@@ -557,6 +557,8 @@ def expand_predicates(
     *,
     into: ExpandedStore | None = None,
     record_reach: bool = False,
+    executor: str | Executor | None = None,
+    workers: int | None = None,
 ) -> ExpandedStore:
     """Generate all ``(s, p+, o)`` with ``s`` in ``seeds``, ``|p+| <= max_length``.
 
@@ -568,9 +570,19 @@ def expand_predicates(
     grouped scan probes the frontier once per *subject*, not once per triple,
     and no string leaves the dictionary during expansion.
 
-    On a sharded backend the per-round scan runs one task per shard in a
-    thread pool (:func:`_scan_shard_round`) and merges the buffers in shard
-    order — the produced triple set is identical to the single-store scan.
+    ``executor`` selects the execution backend for the per-round shard
+    fan-out: ``"serial"`` / ``"thread"`` / ``"process"``, a pre-built
+    :class:`~repro.exec.backend.Executor`, or None — which defers to the
+    ``KBQA_EXEC`` environment variable and finally to the historical default
+    (thread pool on a sharded backend, inline serial otherwise).  ``workers``
+    sizes a backend built here (default: one per shard, clamped >= 1; the
+    ``KBQA_WORKERS`` environment variable overrides).  Every backend merges
+    the per-shard buffers in shard order, so the produced triple set — and
+    the canonical :meth:`ExpandedStore.save` bytes — are identical to the
+    single-store serial scan (``tests/test_exec_backends.py``).  The process
+    backend ships picklable frozen tasks (`repro.exec.tasks`): shard tables
+    once per worker at pool start, then only the per-shard frontier slice
+    per round.
 
     Passing ``into=`` appends to an existing :class:`ExpandedStore` sharing
     the backend's dictionary (used by the live maintainer for single-seed
@@ -608,65 +620,81 @@ def expand_predicates(
         return expanded
     expanded.seed_ids.update(seed_ids)
 
-    tail_ids = {
+    tail_ids = frozenset(
         tail_id
         for tail in tail_predicates
         if (tail_id := dictionary.lookup(tail)) is not None
-    }
+    )
 
     frontier: _Frontier = {seed_id: {(seed_id, ())} for seed_id in seed_ids}
     record = expanded.record_encoded
     note_reach = expanded.note_reach
     n_shards = store.n_shards
-    # one pool for all rounds (created lazily on the first sharded round)
-    pool: ThreadPoolExecutor | None = None
+    exec_backend, owned, self_contained = _scan_executor(store, executor, workers)
+    prune_frontier = exec_backend is not None and (
+        exec_backend.kind == "process" or self_contained
+    )
 
-    for round_index in range(1, max_length + 1):
-        if record_reach:
-            # this round scans the out-edges of every frontier node on
-            # behalf of the seeds that reached it
-            for node_id, provenance in frontier.items():
-                for seed_id, _prefix in provenance:
-                    note_reach(node_id, seed_id)
+    try:
+        for round_index in range(1, max_length + 1):
+            if record_reach:
+                # this round scans the out-edges of every frontier node on
+                # behalf of the seeds that reached it
+                for node_id, provenance in frontier.items():
+                    for seed_id, _prefix in provenance:
+                        note_reach(node_id, seed_id)
 
-        is_last_round = round_index == max_length
-        next_frontier: _Frontier = defaultdict(set)
-        if n_shards > 1:
-            if pool is None:
-                pool = ThreadPoolExecutor(max_workers=n_shards)
-            shard_results = list(
-                pool.map(
-                    lambda i: _scan_shard_round(
-                        store, i, frontier, tail_ids, is_last_round
-                    ),
-                    range(n_shards),
+            is_last_round = round_index == max_length
+            next_frontier: _Frontier = defaultdict(set)
+            if exec_backend is None:
+                # inline serial scan; a sharded backend chains its shards in
+                # shard order, matching the fan-out merge exactly
+                for s_id, by_predicate in store.spo_items_ids():
+                    provenance = frontier.get(s_id)
+                    if not provenance:
+                        continue
+                    for p_id, object_ids in by_predicate.items():
+                        is_tail = p_id in tail_ids
+                        for seed_id, prefix in provenance:
+                            path_key = prefix + (p_id,)
+                            if len(path_key) == 1 or is_tail:
+                                for o_id in object_ids:
+                                    record(seed_id, path_key, o_id)
+                            if not is_last_round:
+                                extended = (seed_id, path_key)
+                                for o_id in object_ids:
+                                    next_frontier[o_id].add(extended)
+            else:
+                slices = (
+                    split_frontier_by_shard(frontier, n_shards)
+                    if prune_frontier
+                    else None
                 )
-            )
-            for records, additions in shard_results:  # merged in shard order
-                for seed_id, path_key, o_id in records:
-                    record(seed_id, path_key, o_id)
-                for o_id, extended in additions:
-                    next_frontier[o_id].add(extended)
-        else:
-            for s_id, by_predicate in store.spo_items_ids():
-                provenance = frontier.get(s_id)
-                if not provenance:
-                    continue
-                for p_id, object_ids in by_predicate.items():
-                    is_tail = p_id in tail_ids
-                    for seed_id, prefix in provenance:
-                        path_key = prefix + (p_id,)
-                        if len(path_key) == 1 or is_tail:
-                            for o_id in object_ids:
-                                record(seed_id, path_key, o_id)
-                        if not is_last_round:
-                            extended = (seed_id, path_key)
-                            for o_id in object_ids:
-                                next_frontier[o_id].add(extended)
-        frontier = next_frontier
-
-    if pool is not None:
-        pool.shutdown()
+                tasks = [
+                    ShardScanTask(
+                        shard=i,
+                        frontier=slices[i] if slices is not None else frontier,
+                        tail_ids=tail_ids,
+                        is_last_round=is_last_round,
+                        # self-contained tasks carry their table; payload-
+                        # backed process pools and shared-memory backends
+                        # read it worker-side / by reference
+                        table=store.shard_table(i)
+                        if (self_contained or exec_backend.kind != "process")
+                        else None,
+                    )
+                    for i in range(n_shards)
+                ]
+                for result in exec_backend.map(scan_shard, tasks):
+                    # merged in shard order (Executor.map preserves order)
+                    for seed_id, path_key, o_id in result.records:
+                        record(seed_id, path_key, o_id)
+                    for o_id, extended in result.additions:
+                        next_frontier[o_id].add(extended)
+            frontier = next_frontier
+    finally:
+        if owned and exec_backend is not None:
+            exec_backend.close()
     return expanded
 
 

@@ -201,6 +201,15 @@ class ShardedTripleStore(BackendBase):
         """Grouped id-keyed scan restricted to one subject shard."""
         return self._shards[shard].spo_items_ids()
 
+    def shard_table(self, shard: int) -> dict[int, dict[int, set[int]]]:
+        """One shard's grouped SPO table (read-only view).
+
+        The picklable shared-nothing unit the process-parallel expansion
+        ships to workers: the table holds only dictionary ids, and each
+        subject lives in exactly one shard, so the N tables partition the KB.
+        """
+        return self._shards[shard]._spo
+
     # -- Scans -------------------------------------------------------------
 
     def triples(self) -> Iterator[Triple]:

@@ -237,6 +237,12 @@ class TripleStore(BackendBase):
             raise IndexError(f"TripleStore has 1 shard, got shard index {shard}")
         return iter(self._spo.items())
 
+    def shard_table(self, shard: int) -> dict[int, dict[int, set[int]]]:
+        """The whole SPO table (shard 0 is the whole store; read-only view)."""
+        if shard != 0:
+            raise IndexError(f"TripleStore has 1 shard, got shard index {shard}")
+        return self._spo
+
     # -- Scans ---------------------------------------------------------------
 
     def triples(self) -> Iterator[Triple]:

@@ -22,7 +22,16 @@ from repro.serve.async_answerer import (
     normalized_key,
 )
 from repro.serve.app import BackgroundServer, KBQAServer, result_payload, run_smoke
-from repro.serve.loadgen import LoadSpec, build_request_stream, run_load, run_load_cell
+from repro.serve.loadgen import (
+    LoadSpec,
+    OpenLoadSpec,
+    build_request_stream,
+    latency_percentiles,
+    run_load,
+    run_load_cell,
+    run_open_load,
+    run_open_load_cell,
+)
 
 __all__ = [
     "AnswerTarget",
@@ -30,13 +39,17 @@ __all__ = [
     "BackgroundServer",
     "KBQAServer",
     "LoadSpec",
+    "OpenLoadSpec",
     "OverloadedError",
     "ServeConfig",
     "ServeStats",
     "build_request_stream",
+    "latency_percentiles",
     "normalized_key",
     "result_payload",
     "run_load",
     "run_load_cell",
+    "run_open_load",
+    "run_open_load_cell",
     "run_smoke",
 ]

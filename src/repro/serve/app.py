@@ -412,5 +412,6 @@ def run_smoke(
         "coalesced": serve_stats["coalesced"],
         "batches": serve_stats["batches"],
         "max_batch_seen": serve_stats["max_batch_seen"],
+        "executor": serve_stats["executor"],
         "clean_shutdown": True,
     }

@@ -12,8 +12,10 @@ mechanisms:
   Eq 7 evaluation and one executor round trip.
 * **micro-batching** — distinct pending questions are drained into
   ``answer_many`` batches of up to ``max_batch`` and dispatched to a bounded
-  thread-executor pool, amortizing the event-loop/executor handoff and the
-  serving-cache probes across the batch.
+  execution backend (`repro.exec`): a thread pool by default, or — for real
+  CPU scaling of the pure-python Eq 7 loop — a shared-nothing process pool
+  evaluating epoch-tagged frozen answerer snapshots, amortizing the
+  event-loop/executor handoff and the serving-cache probes across the batch.
 * **admission control** — at most ``max_pending`` evaluations may be queued
   or executing; beyond that :meth:`AsyncAnswerer.answer` raises
   :class:`OverloadedError` *immediately* (the deterministic overload
@@ -38,11 +40,12 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Protocol, Sequence
 
 from repro.core.online import AnswerResult
+from repro.exec.backend import EXEC_KINDS, Executor, make_executor
+from repro.exec.snapshot import AnswerBatchTask, SnapshotManager, evaluate_frozen_batch
 from repro.nlp.tokenizer import tokenize
 
 
@@ -79,8 +82,17 @@ class ServeConfig:
     ``max_batch`` bounds distinct questions per ``answer_many`` dispatch;
     ``max_pending`` is the admission bound on evaluations queued or
     executing (coalesced joiners are free and never rejected);
-    ``workers`` sizes the thread executor; ``coalesce`` toggles duplicate
-    sharing (off exists for the A/B in the QPS benchmark);
+    ``workers`` sizes the evaluation pool; ``executor`` picks its backend —
+    ``"thread"`` (the default: shared-memory, cheap handoff, GIL-bound),
+    ``"process"`` (shared-nothing workers evaluating epoch-tagged frozen
+    answerer snapshots — real CPU parallelism for the pure-python Eq 7
+    loop; the target must be picklable), or ``"serial"`` (inline on the
+    event loop; the determinism baseline for tests).  None means
+    ``"thread"`` — deliberately *not* the ``KBQA_EXEC`` environment, so a
+    suite-wide env override cannot silently flip serving tests onto a
+    backend their scripted targets cannot pickle for; the CLI resolves the
+    environment into an explicit value instead.  ``coalesce`` toggles
+    duplicate sharing (off exists for the A/B in the QPS benchmark);
     ``batch_window_ms`` optionally lingers before dispatching an
     under-filled batch, trading latency for fuller batches;
     ``max_stale_retries`` bounds re-evaluation when invalidations keep
@@ -94,6 +106,7 @@ class ServeConfig:
     coalesce: bool = True
     batch_window_ms: float = 0.0
     max_stale_retries: int = 5
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -107,6 +120,10 @@ class ServeConfig:
         if self.max_stale_retries < 1:
             raise ValueError(
                 f"max_stale_retries must be >= 1, got {self.max_stale_retries}"
+            )
+        if self.executor is not None and self.executor not in EXEC_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXEC_KINDS} or None, got {self.executor!r}"
             )
 
 
@@ -146,7 +163,9 @@ class AsyncAnswerer:
         self.stats = ServeStats()
         self._key = key
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._executor: ThreadPoolExecutor | None = None
+        self._exec_kind: str = self.config.executor or "thread"
+        self._executor: Executor | None = None
+        self._snapshots: SnapshotManager | None = None
         # (key, question, future) triples not yet dispatched; one entry per
         # distinct in-flight key when coalescing is on.
         self._queue: deque[tuple[str, str, asyncio.Future]] = deque()
@@ -165,13 +184,25 @@ class AsyncAnswerer:
     # -- Lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind to the running loop and start the dispatcher."""
+        """Bind to the running loop and start the dispatcher.
+
+        The process backend freezes an epoch-0 snapshot *now*, so an
+        unpicklable target fails here, loudly, instead of inside the first
+        dispatched batch.
+        """
         if self._running:
             raise RuntimeError("AsyncAnswerer already started")
         self._loop = asyncio.get_running_loop()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.workers, thread_name_prefix="kbqa-serve"
-        )
+        self._executor = make_executor(self._exec_kind, self.config.workers)
+        if self._exec_kind == "process":
+            self._snapshots = SnapshotManager(self.target)
+            try:
+                self._snapshots.freeze(self._epoch)
+            except Exception:
+                self._executor.close()
+                self._executor = None
+                self._snapshots = None
+                raise
         self._wakeup = asyncio.Event()
         self._quiesced = asyncio.Event()
         self._quiesced.set()
@@ -207,8 +238,9 @@ class AsyncAnswerer:
             self._quiesced.clear()
             await self._quiesced.wait()
         assert self._executor is not None
-        self._executor.shutdown(wait=True)
+        self._executor.close()  # joins thread *and* process workers
         self._executor = None
+        self._snapshots = None
 
     async def __aenter__(self) -> "AsyncAnswerer":
         await self.start()
@@ -306,10 +338,15 @@ class AsyncAnswerer:
     async def apply(self, mutation: Callable[[], object]) -> object:
         """Run ``mutation`` with write-quiescence; returns its result.
 
-        Dispatch pauses, in-flight batches drain, the mutation runs on the
-        executor (so synchronous change listeners — expansion refresh, cache
-        clears — never block the event loop), the epoch bumps, dispatch
-        resumes.  Writers serialize against each other on an async lock.
+        Dispatch pauses, in-flight batches drain, the mutation runs off the
+        event loop (so synchronous change listeners — expansion refresh,
+        cache clears — never block it), the epoch bumps, dispatch resumes.
+        Writers serialize against each other on an async lock.
+
+        The mutation always runs in *this* process: it must mutate the live
+        KB, and a closure is not picklable anyway — under the process
+        backend it goes to the loop's default thread pool, and the workers
+        pick the change up through the next epoch's refrozen snapshot.
         """
         if not self._running:
             raise RuntimeError("AsyncAnswerer is not running (call start())")
@@ -321,7 +358,11 @@ class AsyncAnswerer:
                     assert self._quiesced is not None
                     self._quiesced.clear()
                     await self._quiesced.wait()
-                result = await self._loop.run_in_executor(self._executor, mutation)
+                if self._exec_kind == "thread":
+                    assert self._executor is not None
+                    result = await asyncio.wrap_future(self._executor.submit(mutation))
+                else:
+                    result = await self._loop.run_in_executor(None, mutation)
                 self._invalidate_on_loop()
                 self.stats.applies += 1
                 return result
@@ -360,6 +401,38 @@ class AsyncAnswerer:
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
 
+    async def _evaluate(self, questions: list[str], epoch: int) -> list[AnswerResult]:
+        """One ``answer_many`` evaluation on the configured backend.
+
+        * ``serial`` — inline on the event loop (blocks it; the determinism
+          baseline for tests and a degenerate single-user mode);
+        * ``thread`` — the live target on a pool thread (shared memory);
+        * ``process`` — an epoch-tagged frozen snapshot on a process worker:
+          the task carries the blob frozen for ``epoch``, the worker caches
+          the thawed answerer per epoch, and a bumped epoch re-freezes from
+          the live (already mutated) target before the retry dispatch.  The
+          ``pickle.dumps`` of a large system is not cheap, so a re-freeze
+          runs on a side thread — only the batch that triggers it waits;
+          the event loop keeps accepting and completing other requests.
+        """
+        if self._exec_kind == "serial":
+            return self.target.answer_many(questions)
+        assert self._executor is not None
+        if self._exec_kind == "process":
+            assert self._snapshots is not None and self._loop is not None
+            blob = self._snapshots.cached_blob(epoch)
+            if blob is None:
+                blob = await self._loop.run_in_executor(
+                    None, self._snapshots.freeze, epoch
+                )
+            task = AnswerBatchTask(epoch=epoch, blob=blob, questions=tuple(questions))
+            return await asyncio.wrap_future(
+                self._executor.submit(evaluate_frozen_batch, task)
+            )
+        return await asyncio.wrap_future(
+            self._executor.submit(self.target.answer_many, questions)
+        )
+
     async def _run_batch(
         self,
         batch: list[tuple[str, str, asyncio.Future]],
@@ -370,7 +443,9 @@ class AsyncAnswerer:
         The freshness invariant lives in the retry loop: a result set is
         delivered only if the epoch did not change between dispatch and
         completion, otherwise the batch re-evaluates against the (already
-        invalidated, hence refreshed) target caches.  Retries are capped at
+        invalidated, hence refreshed) target caches — and, on the process
+        backend, against a snapshot *re-frozen at the new epoch*, so worker
+        copies can never pin pre-invalidation state.  Retries are capped at
         ``max_stale_retries`` so a writer mutating faster than one epoch
         bump per evaluation degrades to *bounded staleness* (the freshest
         attempt is delivered, ``stale_delivered`` counts it) instead of
@@ -381,10 +456,7 @@ class AsyncAnswerer:
             retries = 0
             while True:
                 epoch = self._epoch
-                assert self._loop is not None
-                results = await self._loop.run_in_executor(
-                    self._executor, self.target.answer_many, questions
-                )
+                results = await self._evaluate(questions, epoch)
                 self.stats.evaluated += len(questions)
                 if epoch == self._epoch:
                     break
@@ -435,4 +507,9 @@ class AsyncAnswerer:
             "epoch": self._epoch,
             "running": self._running,
             "coalesce": self.config.coalesce,
+            "executor": self._exec_kind,
+            "workers": self.config.workers,
+            "snapshot_refreezes": (
+                self._snapshots.refreezes if self._snapshots is not None else 0
+            ),
         }

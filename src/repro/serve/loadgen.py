@@ -1,27 +1,40 @@
-"""Closed-loop load generator for the serving layer (QPS measurement).
+"""Load generators for the serving layer: closed-loop QPS and open-loop latency.
 
 Drives an :class:`~repro.serve.async_answerer.AsyncAnswerer` in-process with
-``concurrency`` client coroutines pulling from one deterministic request
-stream.  The stream models head-heavy question traffic with one knob,
-``duplicate_rate``: each request is, with that probability, drawn from a
-small *hot set*, otherwise the next question from the full pool.  Sweeping
-``duplicate_rate`` x ``concurrency`` with coalescing on/off is exactly the
-``qps`` section of ``BENCH_perf.json`` (see ``benchmarks/bench_qps.py``).
+one deterministic request stream.  The stream models head-heavy question
+traffic with one knob, ``duplicate_rate``: each request is, with that
+probability, drawn from a small *hot set*, otherwise the next question from
+the full pool.  Sweeping ``duplicate_rate`` x ``concurrency`` with
+coalescing on/off is exactly the ``qps`` section of ``BENCH_perf.json``
+(see ``benchmarks/bench_qps.py``).
 
-The generator is closed-loop (a client issues its next request only after
-the previous one resolves), so measured QPS is throughput under
-``concurrency`` outstanding requests, not an open-loop arrival-rate fiction.
+Two arrival disciplines:
+
+* **closed-loop** (:func:`run_load`) — ``concurrency`` client coroutines,
+  each issuing its next request only after the previous one resolves;
+  measured QPS is throughput under that many outstanding requests.
+* **open-loop** (:func:`run_open_load`) — fixed-rate Poisson arrivals
+  (seeded exponential inter-arrival gaps) that do *not* wait for responses,
+  which is how real traffic behaves; the deliverable is the p50/p99
+  response-latency distribution at an offered rate, the ROADMAP's "serving
+  latency trajectory" item.
+
 Admission rejections are counted, never retried — a rejected request is a
-served (negative) response from the client's point of view.
+served (negative) response from the client's point of view.  Worker counts
+default through :func:`repro.exec.backend.resolve_workers` (explicit arg >
+``KBQA_WORKERS`` > fallback, clamped >= 1), so CI can pin them for
+determinism.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import statistics
 import time
 from dataclasses import dataclass
 
+from repro.exec.backend import resolve_workers
 from repro.serve.async_answerer import AsyncAnswerer, OverloadedError
 
 
@@ -126,13 +139,16 @@ def run_load_cell(
     *,
     coalesce: bool = True,
     max_batch: int = 16,
-    workers: int = 2,
+    workers: int | None = None,
+    executor: str | None = None,
 ) -> dict:
     """Synchronous one-call cell: fresh answerer, fresh loop, one stream.
 
     ``target`` is anything with ``answer_many`` (typically an
     ``OnlineAnswerer`` with the answer cache disabled, so the measured
     effect is the *serving layer's* coalescing, not the target's cache).
+    ``workers`` resolves through ``KBQA_WORKERS`` and clamps >= 1;
+    ``executor`` picks the evaluation backend (None = thread).
     """
     from repro.serve.async_answerer import ServeConfig
 
@@ -140,8 +156,9 @@ def run_load_cell(
     config = ServeConfig(
         max_batch=max_batch,
         max_pending=max(spec.concurrency * 2, 64),
-        workers=workers,
+        workers=resolve_workers(workers, fallback=2),
         coalesce=coalesce,
+        executor=executor,
     )
 
     async def _run() -> dict:
@@ -152,4 +169,150 @@ def run_load_cell(
     result["coalesce"] = coalesce
     result["concurrency"] = spec.concurrency
     result["duplicate_rate"] = spec.duplicate_rate
+    result["executor"] = config.executor or "thread"
+    result["workers"] = config.workers
+    return result
+
+
+# -- Open-loop (fixed-rate Poisson) ----------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class OpenLoadSpec:
+    """One open-loop latency cell.
+
+    ``rate_qps`` is the offered Poisson arrival rate; ``requests`` arrivals
+    are generated with seeded exponential gaps, sharing the closed-loop
+    stream model for question selection (``duplicate_rate`` / ``hot_set``).
+    """
+
+    rate_qps: float = 200.0
+    requests: int = 256
+    duplicate_rate: float = 0.5
+    hot_set: int = 8
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate_qps must be > 0, got {self.rate_qps}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate must be in [0, 1], got {self.duplicate_rate}")
+        if self.hot_set < 1:
+            raise ValueError(f"hot_set must be >= 1, got {self.hot_set}")
+
+
+def latency_percentiles(latencies_ms: list[float]) -> dict:
+    """p50/p95/p99/max of a latency sample (safe for 0- and 1-element
+    samples, which ``statistics.quantiles`` rejects)."""
+    if not latencies_ms:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None, "max_ms": None}
+    ordered = sorted(latencies_ms)
+    if len(ordered) == 1:
+        only = round(ordered[0], 3)
+        return {"p50_ms": only, "p95_ms": only, "p99_ms": only, "max_ms": only}
+    quantile = statistics.quantiles(ordered, n=100, method="inclusive")
+    return {
+        "p50_ms": round(quantile[49], 3),
+        "p95_ms": round(quantile[94], 3),
+        "p99_ms": round(quantile[98], 3),
+        "max_ms": round(ordered[-1], 3),
+    }
+
+
+async def run_open_load(
+    answerer: AsyncAnswerer, stream: list[str], rate_qps: float, *, seed: int = 7
+) -> dict:
+    """Fire the stream at a Poisson ``rate_qps`` against a started answerer.
+
+    Arrivals never wait for earlier responses (open loop): each request is
+    spawned as its own task after a seeded exponential gap.  Returns the
+    response-latency percentiles over completed requests, the achieved
+    arrival/completion rates, and the rejection count — under overload the
+    honest signal is p99 latency growth plus 503s, not a throughput number.
+    """
+    rng = random.Random(seed)
+    latencies_ms: list[float] = []
+    rejected = 0
+    answered = 0
+
+    async def one(question: str) -> None:
+        nonlocal rejected, answered
+        start = time.perf_counter()
+        try:
+            result = await answerer.answer(question)
+        except OverloadedError:
+            rejected += 1
+            return
+        latencies_ms.append((time.perf_counter() - start) * 1000.0)
+        if result.answered:
+            answered += 1
+
+    start = time.perf_counter()
+    tasks = []
+    for question in stream:
+        tasks.append(asyncio.ensure_future(one(question)))
+        await asyncio.sleep(rng.expovariate(rate_qps))
+    arrival_wall_s = time.perf_counter() - start
+    await asyncio.gather(*tasks)
+    wall_s = time.perf_counter() - start
+
+    completed = len(latencies_ms)
+    return {
+        "requests": len(stream),
+        "completed": completed,
+        "answered": answered,
+        "rejected": rejected,
+        "offered_qps": round(rate_qps, 1),
+        "achieved_arrival_qps": (
+            round(len(stream) / arrival_wall_s, 1) if arrival_wall_s > 0 else None
+        ),
+        "completion_qps": round(completed / wall_s, 1) if wall_s > 0 else None,
+        "wall_s": round(wall_s, 4),
+        **latency_percentiles(latencies_ms),
+    }
+
+
+def run_open_load_cell(
+    target,
+    questions: list[str],
+    spec: OpenLoadSpec,
+    *,
+    coalesce: bool = True,
+    max_batch: int = 16,
+    workers: int | None = None,
+    executor: str | None = None,
+    max_pending: int = 256,
+) -> dict:
+    """Synchronous one-call open-loop cell (fresh answerer, fresh loop)."""
+    from repro.serve.async_answerer import ServeConfig
+
+    stream = build_request_stream(
+        questions,
+        LoadSpec(
+            requests=spec.requests,
+            concurrency=1,  # arrival discipline replaces closed-loop clients
+            duplicate_rate=spec.duplicate_rate,
+            hot_set=spec.hot_set,
+            seed=spec.seed,
+        ),
+    )
+    config = ServeConfig(
+        max_batch=max_batch,
+        max_pending=max_pending,
+        workers=resolve_workers(workers, fallback=2),
+        coalesce=coalesce,
+        executor=executor,
+    )
+
+    async def _run() -> dict:
+        async with AsyncAnswerer(target, config) as answerer:
+            return await run_open_load(answerer, stream, spec.rate_qps, seed=spec.seed)
+
+    result = asyncio.run(_run())
+    result["duplicate_rate"] = spec.duplicate_rate
+    result["coalesce"] = coalesce
+    result["executor"] = config.executor or "thread"
+    result["workers"] = config.workers
     return result

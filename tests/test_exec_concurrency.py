@@ -1,0 +1,274 @@
+"""Process-pool serving under churn: freshness, stress, clean shutdown.
+
+Extends the ``tests/test_serve.py`` scripted-target patterns across the
+process boundary.  The hard invariant under test: a request admitted after
+a KB mutation + invalidation can never observe a pre-mutation answer, even
+though process workers evaluate against *frozen snapshot copies* — the
+epoch-tagged refreeze protocol (`repro.exec.snapshot`) must re-freeze from
+the live target before any stale batch re-evaluates.
+
+Cross-process timing windows are held open deterministically with sentinel
+files (a worker process cannot share a ``threading.Event``): the worker
+reports "mid-batch" by writing a file and blocks until the test writes the
+release file.
+
+Shutdown hygiene: stopping an answerer (or closing an executor) must join
+every worker — ``multiprocessing.active_children()`` is the leak detector —
+and repeated start/stop cycles must not accumulate processes or strand
+queued requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.online import AnswerResult
+from repro.exec.backend import ProcessExecutor
+from repro.serve import AsyncAnswerer, ServeConfig
+
+TIMEOUT_S = 30.0
+
+
+def _result(question: str, value: str) -> AnswerResult:
+    return AnswerResult(
+        question=question,
+        value=value,
+        values=(value,),
+        score=1.0,
+        entity="e",
+        template="t",
+        predicate=None,
+        found_predicate=True,
+    )
+
+
+class FileGatedTarget:
+    """A picklable scripted target whose workers signal through the FS.
+
+    Each ``answer_many`` appends a line to ``started_path`` (visible to the
+    test as "a worker is mid-batch on some snapshot") and then blocks until
+    ``gate_path`` exists.  The answered value is whatever ``value`` was when
+    the instance was *frozen* — exactly the staleness the epoch protocol
+    must defeat.
+    """
+
+    def __init__(self, value: str, started_path: str, gate_path: str) -> None:
+        self.value = value
+        self.started_path = started_path
+        self.gate_path = gate_path
+
+    def answer_many(self, questions):
+        """Report mid-batch, hold until released, answer with frozen value."""
+        with open(self.started_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{self.value}\n")
+        deadline = time.monotonic() + TIMEOUT_S
+        while not os.path.exists(self.gate_path):
+            if time.monotonic() > deadline:
+                raise RuntimeError("gate never opened")
+            time.sleep(0.005)
+        return [_result(q, self.value) for q in questions]
+
+
+class VersionedTarget:
+    """Picklable target answering with its version counter at freeze time."""
+
+    def __init__(self) -> None:
+        self.version = 0
+
+    def bump(self) -> int:
+        """One live 'KB write': increment the served version."""
+        self.version += 1
+        return self.version
+
+    def answer_many(self, questions):
+        """Answer every question with the frozen version counter."""
+        return [_result(q, str(self.version)) for q in questions]
+
+
+async def _wait_for(path: str, lines: int = 1) -> None:
+    deadline = time.monotonic() + TIMEOUT_S
+    while True:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                if len(handle.readlines()) >= lines:
+                    return
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {path} x{lines}")
+        await asyncio.sleep(0.005)
+
+
+class TestSnapshotFreshness:
+    def test_mutation_during_inflight_batch_forces_refrozen_retry(self, tmp_path):
+        """The satellite case: a worker delays mid-batch while the 'KB'
+        mutates; the delivered answer must come from a *post-mutation*
+        snapshot (the stale-epoch retry re-freezes), never the frozen v1."""
+        started = str(tmp_path / "started")
+        gate = str(tmp_path / "gate")
+        target = FileGatedTarget("v1", started, gate)
+        config = ServeConfig(executor="process", workers=1, max_batch=4)
+
+        async def main():
+            async with AsyncAnswerer(target, config) as answerer:
+                pending = asyncio.ensure_future(answerer.answer("what is x?"))
+                await _wait_for(started, lines=1)  # worker mid-batch on v1
+                target.value = "v2"  # live mutation in the serving process
+                answerer.invalidate()  # epoch bump -> v1 batch is stale
+                (tmp_path / "gate").write_text("go\n")
+                result = await pending
+                return result, answerer.snapshot()
+
+        result, stats = asyncio.run(main())
+        assert result.value == "v2"
+        assert stats["stale_retries"] >= 1
+        assert stats["snapshot_refreezes"] >= 2  # epoch-0 freeze + refreeze
+        # the retry really re-ran on a v2 snapshot, in a worker
+        with open(started, encoding="utf-8") as handle:
+            assert handle.read().splitlines()[-1] == "v2"
+
+    def test_post_apply_requests_always_see_the_write(self):
+        """Churn loop: after every apply() the next answer must carry the
+        new version — the write-quiescence + refreeze path, repeated."""
+        target = VersionedTarget()
+        config = ServeConfig(executor="process", workers=2, max_batch=4)
+
+        async def main():
+            async with AsyncAnswerer(target, config) as answerer:
+                for round_index in range(5):
+                    version = await answerer.apply(target.bump)
+                    result = await answerer.answer(f"round {round_index}?")
+                    assert result.value == str(version), (
+                        f"round {round_index} served stale version "
+                        f"{result.value} != {version}"
+                    )
+                return answerer.snapshot()
+
+        stats = asyncio.run(main())
+        assert stats["applies"] == 5
+        assert stats["snapshot_refreezes"] >= 6
+
+    def test_concurrent_churn_never_time_travels(self):
+        """Readers flooding the pool while a writer bumps versions: every
+        delivered answer is a version that existed, and versions observed
+        by successive post-apply probes never decrease."""
+        target = VersionedTarget()
+        config = ServeConfig(
+            executor="process", workers=2, max_batch=4, max_pending=512
+        )
+
+        async def main():
+            async with AsyncAnswerer(target, config) as answerer:
+                observed: list[int] = []
+
+                async def reader(index: int) -> None:
+                    result = await answerer.answer(f"q{index}?")
+                    assert 0 <= int(result.value) <= 3
+                    observed.append(int(result.value))
+
+                readers = [asyncio.ensure_future(reader(i)) for i in range(24)]
+                floor = 0
+                for _ in range(3):
+                    version = await answerer.apply(target.bump)
+                    probe = await answerer.answer(f"probe {version}?")
+                    assert int(probe.value) == version >= floor
+                    floor = version
+                await asyncio.gather(*readers)
+                return observed
+
+        observed = asyncio.run(main())
+        assert len(observed) == 24
+
+    def test_unpicklable_target_fails_fast_at_start(self):
+        """A target the process backend cannot freeze errors at start(),
+        before any request is admitted (no worker tracebacks later)."""
+
+        class Unpicklable:
+            def __init__(self):
+                self.gate = multiprocessing.get_context().Lock()
+
+            def answer_many(self, questions):
+                return [_result(q, "x") for q in questions]
+
+        async def main():
+            answerer = AsyncAnswerer(Unpicklable(), ServeConfig(executor="process"))
+            with pytest.raises(Exception):
+                await answerer.start()
+            assert not answerer._running
+            assert answerer._executor is None
+
+        asyncio.run(main())
+        assert multiprocessing.active_children() == []
+
+
+class TestCleanShutdown:
+    def test_stop_leaves_no_worker_processes(self):
+        target = VersionedTarget()
+        config = ServeConfig(executor="process", workers=2)
+
+        async def main():
+            async with AsyncAnswerer(target, config) as answerer:
+                await answerer.answer_many([f"q{i}" for i in range(8)])
+            assert answerer._executor is None
+
+        asyncio.run(main())
+        for _ in range(100):  # children unregister as they are reaped
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
+    def test_repeated_cycles_do_not_accumulate_workers(self):
+        target = VersionedTarget()
+
+        async def one_cycle(index: int):
+            async with AsyncAnswerer(
+                target, ServeConfig(executor="process", workers=2)
+            ) as answerer:
+                result = await answerer.answer(f"cycle {index}?")
+                assert result.value == "0"
+
+        for index in range(3):
+            asyncio.run(one_cycle(index))
+        assert multiprocessing.active_children() == []
+
+    def test_executor_close_joins_children(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map(_identity, [1, 2, 3, 4]) == [1, 2, 3, 4]
+        assert multiprocessing.active_children() == []
+
+    def test_stop_fails_queued_requests_deterministically(self, tmp_path):
+        """Queued-but-undispatched requests fail with 'serving stopped'
+        (not a hang) even when a process worker holds the only slot."""
+        started = str(tmp_path / "started")
+        gate = str(tmp_path / "gate")
+        target = FileGatedTarget("v", started, gate)
+        config = ServeConfig(executor="process", workers=1, max_batch=1)
+
+        async def main():
+            answerer = AsyncAnswerer(target, config)
+            await answerer.start()
+            inflight = asyncio.ensure_future(answerer.answer("first?"))
+            await _wait_for(started)  # slot taken, worker blocked on gate
+            queued = asyncio.ensure_future(answerer.answer("second, queued?"))
+            await asyncio.sleep(0.02)  # let the queued entry land
+            # begin shutdown while the worker still holds the gate: the
+            # queued request must fail *before* the slot could free up
+            stop_task = asyncio.ensure_future(answerer.stop())
+            with pytest.raises(RuntimeError, match="serving stopped"):
+                await queued
+            (tmp_path / "gate").write_text("go\n")
+            await stop_task
+            first = await inflight  # in-flight batch completed on stop
+            assert first.value == "v"
+            return True
+
+        assert asyncio.run(main())
+        assert multiprocessing.active_children() == []
+
+
+def _identity(x):
+    return x

@@ -376,3 +376,125 @@ class TestLoadGenerator:
         assert on["completed"] == off["completed"] == 128
         assert on["evaluated"] < off["evaluated"]
         assert on["coalesced"] > 0
+
+
+class TestProcessBackendIntegration:
+    """The scripted-target patterns above, crossed with the process backend
+    against a *real* trained system (see tests/test_exec_concurrency.py for
+    the deterministic cross-process timing cases)."""
+
+    @pytest.fixture()
+    def live_process_system(self, suite):
+        """A trained system over a private KB copy, safe to mutate."""
+        from repro.data.compile import compile_freebase_like
+        from repro.core.system import KBQA
+
+        kb = compile_freebase_like(suite.world)
+        system = KBQA.train(kb, suite.corpus, suite.conceptualizer)
+        yield system
+        system.close()
+
+    def test_facts_applied_through_process_pool_are_served_fresh(
+        self, suite, live_process_system
+    ):
+        """apply(delete_fact) on a process-backed answerer: the next request
+        evaluates on a refrozen snapshot without the deleted edge, and the
+        restore brings the original answer back — all cross-process."""
+        system = live_process_system
+        question = cvt = partner = None
+        for entity in suite.world.of_type("person"):
+            spouses = system.kb.store.objects(entity.node, "marriage")
+            if spouses:
+                cvt = next(iter(spouses))
+                partner = next(iter(system.kb.store.objects(cvt, "person")))
+                question = f"who is the spouse of {entity.name}?"
+                if system.answer(question).answered:
+                    break
+        assert question is not None, "no answerable spouse question in the suite"
+
+        async def main():
+            config = ServeConfig(executor="process", workers=1, max_batch=4)
+            async with AsyncAnswerer(system, config) as answerer:
+                before = await answerer.answer(question)
+                deleted = await answerer.apply(
+                    lambda: system.delete_fact(cvt, "person", partner)
+                )
+                after = await answerer.answer(question)
+                restored_fact = await answerer.apply(
+                    lambda: system.add_fact(cvt, "person", partner)
+                )
+                restored = await answerer.answer(question)
+                return before, deleted, after, restored_fact, restored, answerer.snapshot()
+
+        before, deleted, after, restored_fact, restored, stats = run(main())
+        assert before.answered and deleted is True and restored_fact is True
+        assert before.value not in after.values
+        assert restored.value == before.value
+        assert stats["executor"] == "process"
+        assert stats["applies"] == 2
+        assert stats["snapshot_refreezes"] >= 3
+
+    def test_process_stats_surface_executor_fields(self, kbqa_fb):
+        async def main():
+            async with AsyncAnswerer(
+                kbqa_fb, ServeConfig(executor="process", workers=2)
+            ) as answerer:
+                await answerer.answer("who is anyone ?")
+                return answerer.snapshot()
+
+        stats = run(main())
+        assert stats["executor"] == "process"
+        assert stats["workers"] == 2
+        assert stats["snapshot_refreezes"] >= 1
+
+
+class TestOpenLoopLoadGenerator:
+    def test_open_loop_cell_reports_latency_percentiles(self, kbqa_fb, suite):
+        from repro.serve.loadgen import OpenLoadSpec, run_open_load_cell
+
+        pool = [q.question for q in suite.benchmark("qald3").bfqs()]
+        spec = OpenLoadSpec(rate_qps=4000.0, requests=64, duplicate_rate=0.5, seed=3)
+        cell = run_open_load_cell(kbqa_fb.answerer, pool, spec, max_batch=8, workers=2)
+        assert cell["requests"] == 64
+        assert cell["completed"] + cell["rejected"] == 64
+        assert cell["p50_ms"] is not None
+        assert cell["p99_ms"] >= cell["p50_ms"]
+        assert cell["workers"] == 2
+
+    def test_worker_counts_clamp_and_follow_env(self, kbqa_fb, suite, monkeypatch):
+        """Satellite contract: a nonsense KBQA_WORKERS (0) still yields a
+        working 1-worker pool, and a sane value is honored."""
+        from repro.serve.loadgen import run_load_cell
+
+        pool = [q.question for q in suite.benchmark("qald3").bfqs()]
+        spec = LoadSpec(requests=16, concurrency=4, duplicate_rate=0.0, seed=2)
+        monkeypatch.setenv("KBQA_WORKERS", "0")
+        cell = run_load_cell(kbqa_fb.answerer, pool, spec)
+        assert cell["workers"] == 1
+        assert cell["completed"] == 16
+        monkeypatch.setenv("KBQA_WORKERS", "3")
+        cell = run_load_cell(kbqa_fb.answerer, pool, spec)
+        assert cell["workers"] == 3
+
+    def test_latency_percentiles_empty_safe(self):
+        from repro.serve.loadgen import latency_percentiles
+
+        empty = latency_percentiles([])
+        assert empty == {"p50_ms": None, "p95_ms": None, "p99_ms": None, "max_ms": None}
+        single = latency_percentiles([5.0])  # statistics.quantiles needs >= 2
+        assert single == {"p50_ms": 5.0, "p95_ms": 5.0, "p99_ms": 5.0, "max_ms": 5.0}
+        sample = latency_percentiles([1.0, 2.0, 3.0, 4.0])
+        assert sample["p50_ms"] == 2.5
+        assert sample["max_ms"] == 4.0
+
+    def test_single_request_open_loop_cell(self, kbqa_fb, suite):
+        """A one-arrival cell (the minimum OpenLoadSpec allows) must return
+        a well-formed cell, not a StatisticsError."""
+        from repro.serve.loadgen import OpenLoadSpec, run_open_load_cell
+
+        pool = [q.question for q in suite.benchmark("qald3").bfqs()]
+        cell = run_open_load_cell(
+            kbqa_fb.answerer, pool, OpenLoadSpec(rate_qps=100.0, requests=1)
+        )
+        assert cell["completed"] == 1
+        assert cell["p50_ms"] == cell["p99_ms"] is not None
