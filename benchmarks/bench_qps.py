@@ -55,6 +55,7 @@ from repro.suite import build_suite
 DEFAULT_CONCURRENCY = [4, 16, 64]
 DEFAULT_DUP_RATES = [0.0, 0.5, 0.9]
 DEFAULT_OPEN_RATES = [100.0, 400.0, 1600.0]
+DEFAULT_WINDOWS_MS = [0.0, 2.0, 5.0]
 HIGH_DUP = 0.9
 
 
@@ -207,6 +208,98 @@ def measure_open_loop(
     }
 
 
+def measure_batch_window(
+    system: KBQA,
+    questions: list[str],
+    *,
+    windows_ms: list[float] | None = None,
+    rates: list[float] | None = None,
+    requests: int = 192,
+    duplicate_rate: float = 0.5,
+    max_batch: int = 16,
+    workers: int | None = None,
+    seed: int = 7,
+) -> dict:
+    """The ``batch_window`` section: ``batch_window_ms`` x offered rate.
+
+    The linger knob trades first-request latency for fuller batches: an
+    under-filled micro-batch waits ``batch_window_ms`` for more arrivals
+    before dispatching.  Each cell replays the same seeded Poisson stream
+    at one offered rate under one window and records the latency
+    percentiles *and* the realized batching (dispatch count, mean batch
+    size), so the trade is visible on both axes — at low rates a window
+    only adds latency; near saturation it amortizes dispatch overhead into
+    larger batches.  Closes the ROADMAP "batch_window_ms sweep" item.
+    """
+    windows_ms = windows_ms if windows_ms is not None else DEFAULT_WINDOWS_MS
+    rates = rates or DEFAULT_OPEN_RATES
+    workers = resolve_workers(workers, fallback=2)
+    cells = []
+    for window_ms in windows_ms:
+        for rate in rates:
+            spec = OpenLoadSpec(
+                rate_qps=rate,
+                requests=requests,
+                duplicate_rate=duplicate_rate,
+                seed=seed,
+            )
+            cell = run_open_load_cell(
+                _fresh_target(system),
+                questions,
+                spec,
+                max_batch=max_batch,
+                workers=workers,
+                batch_window_ms=window_ms,
+            )
+            batches = max(cell.get("batches", 0), 1)
+            cells.append(
+                {
+                    "batch_window_ms": window_ms,
+                    "offered_qps": cell["offered_qps"],
+                    "completed": cell["completed"],
+                    "rejected": cell["rejected"],
+                    "completion_qps": cell["completion_qps"],
+                    "p50_ms": cell["p50_ms"],
+                    "p95_ms": cell["p95_ms"],
+                    "p99_ms": cell["p99_ms"],
+                    "batches": cell.get("batches", 0),
+                    "mean_batch": round(cell.get("evaluated", 0) / batches, 2),
+                    "max_batch_seen": cell.get("max_batch_seen", 0),
+                }
+            )
+    return {
+        "requests_per_cell": requests,
+        "duplicate_rate": duplicate_rate,
+        "max_batch": max_batch,
+        "workers": workers,
+        "seed": seed,
+        "note": (
+            "open-loop Poisson arrivals per cell; same seeded stream across "
+            "windows at a given rate, so latency deltas are the linger's — "
+            "mean_batch shows what the window buys in batching"
+        ),
+        "cells": cells,
+    }
+
+
+def print_batch_window(payload: dict) -> None:
+    """Human-readable window x rate table."""
+    print(
+        f"batch_window sweep ({payload['requests_per_cell']} req/cell, "
+        f"dup {payload['duplicate_rate']}, workers {payload['workers']})"
+    )
+    print(
+        f"{'win_ms':>7} {'offered':>8} {'p50ms':>8} {'p99ms':>8} "
+        f"{'batches':>8} {'mean_b':>7}"
+    )
+    for cell in payload["cells"]:
+        print(
+            f"{cell['batch_window_ms']:>7} {cell['offered_qps']:>8} "
+            f"{cell['p50_ms']:>8} {cell['p99_ms']:>8} "
+            f"{cell['batches']:>8} {cell['mean_batch']:>7}"
+        )
+
+
 def measure_http_qps(
     system: KBQA,
     questions: list[str],
@@ -349,6 +442,10 @@ def main(argv: list[str] | None = None) -> int:
         help="arrivals per open-loop cell",
     )
     parser.add_argument(
+        "--windows-ms", type=float, nargs="+", default=DEFAULT_WINDOWS_MS,
+        help="batch_window_ms values for the linger x rate sweep",
+    )
+    parser.add_argument(
         "--http-clients", type=int, default=None,
         help="closed-loop HTTP clients for the socket cell "
              "(default: $KBQA_WORKERS, else 8; clamped >= 1)",
@@ -382,6 +479,15 @@ def main(argv: list[str] | None = None) -> int:
         workers=workers,
         seed=args.seed,
     )
+    payload["batch_window"] = measure_batch_window(
+        system,
+        questions,
+        windows_ms=args.windows_ms,
+        rates=args.open_rates,
+        max_batch=args.max_batch,
+        workers=workers,
+        seed=args.seed,
+    )
     payload["http_e2e"] = measure_http_qps(
         system,
         questions,
@@ -391,6 +497,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print_qps(payload)
     print_open_loop(payload["open_loop"])
+    print_batch_window(payload["batch_window"])
     http = payload["http_e2e"]
     print(
         f"http e2e: {http['qps']} qps over {http['clients']} clients "

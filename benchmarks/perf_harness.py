@@ -22,10 +22,14 @@ on the same machine and the same inputs:
   (``benchmarks/bench_qps.py``);
 * **proc_sweep** — the execution-backend A/B (`repro.exec`): the Sec 6.2
   expansion scan on the 4-shard bench KB under serial / thread / process
-  backends across worker counts, and a serving cell dispatching
+  backends across worker counts — each process cell measured both
+  *per-call* (fresh pool + table shipping every expansion) and on a
+  *persistent* :class:`~repro.exec.pool.ExecutorPool` (warm workers, one
+  shared-memory shard-table publish) — and a serving cell dispatching
   ``answer_many`` micro-batches to thread vs process workers.  Records
   ``cpus`` alongside, because process scaling is physically bounded by the
-  cores the runner actually has.
+  cores the runner actually has.  The ``qps.batch_window`` section sweeps
+  the ``batch_window_ms`` linger knob against offered Poisson rates.
 
 Usage::
 
@@ -142,6 +146,7 @@ def _proc_sweep(suite, system, seeds, questions, proc_workers, repeats) -> dict:
     process_cells: dict[str, dict] = {}
     for workers in proc_workers:
         workers = resolve_workers(workers)
+        # per-call: every expansion pays pool start + per-worker table pickle
         process_s, process_expanded = _best_of(
             lambda: expand_predicates(
                 kb.store, seeds, max_length=3, executor="process", workers=workers
@@ -149,10 +154,29 @@ def _proc_sweep(suite, system, seeds, questions, proc_workers, repeats) -> dict:
             repeats,
         )
         assert len(process_expanded) == reference_spo, "process equivalence violated"
+        # persistent: one warm pool + one shared-memory shard-table publish
+        # serve every timed call (the KBQA-owned ExecutorPool steady state)
+        from repro.exec.pool import ExecutorPool
+
+        with ExecutorPool("process", workers) as pool:
+            warm = expand_predicates(kb.store, seeds, max_length=3, executor=pool)
+            assert len(warm) == reference_spo, "pool equivalence violated"
+            persistent_s, persistent_expanded = _best_of(
+                lambda: expand_predicates(kb.store, seeds, max_length=3, executor=pool),
+                repeats,
+            )
+            assert len(persistent_expanded) == reference_spo, "pool equivalence violated"
+            pool_starts, pool_publishes = pool.starts, pool.publishes
         process_cells[str(workers)] = {
             "workers": workers,
             "expand_s": round(process_s, 4),
             "speedup_vs_serial": round(serial_s / max(process_s, 1e-9), 2),
+            "persistent_expand_s": round(persistent_s, 4),
+            "speedup_persistent_vs_per_call": round(
+                process_s / max(persistent_s, 1e-9), 2
+            ),
+            "pool_starts": pool_starts,  # 1 = all timed calls reused the pool
+            "pool_publishes": pool_publishes,  # 1 = tables crossed once
         }
 
     spec = LoadSpec(requests=256, concurrency=32, duplicate_rate=0.0, seed=7)
@@ -211,6 +235,7 @@ def measure(
     qps_concurrency: list[int] | None = None,
     qps_dup_rates: list[float] | None = None,
     proc_workers: list[int] | None = None,
+    windows_ms: list[float] | None = None,
 ) -> dict:
     """Run every measurement; returns the BENCH_perf payload."""
     suite = build_suite(scale, seed=seed)
@@ -297,7 +322,12 @@ def measure(
     )
 
     # -- serving QPS: coalescing A/B under concurrency x duplicate rate ------
-    from benchmarks.bench_qps import measure_http_qps, measure_open_loop, measure_qps
+    from benchmarks.bench_qps import (
+        measure_batch_window,
+        measure_http_qps,
+        measure_open_loop,
+        measure_qps,
+    )
 
     qps = measure_qps(
         system,
@@ -310,6 +340,13 @@ def measure(
     qps["open_loop"] = measure_open_loop(
         system, questions, requests=min(qps_requests, 256), seed=seed
     )
+    qps["batch_window"] = measure_batch_window(
+        system,
+        questions,
+        windows_ms=windows_ms,
+        requests=min(qps_requests, 192),
+        seed=seed,
+    )
     qps["http_e2e"] = measure_http_qps(system, questions)
 
     return {
@@ -319,6 +356,7 @@ def measure(
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "kb_triples": len(store),
         "offline_train_s": round(offline_train_s, 3),
         "expansion": expansion,
@@ -356,6 +394,11 @@ def main(argv: list[str] | None = None) -> int:
         "--proc-workers", type=int, nargs="+", default=[1, 2, 4],
         help="process-pool worker counts for the exec-backend sweep",
     )
+    parser.add_argument(
+        "--windows-ms", type=float, nargs="+", default=None,
+        help="batch_window_ms values for the linger x rate sweep "
+             "(default: 0 2 5)",
+    )
     parser.add_argument("--output", default="BENCH_perf.json")
     args = parser.parse_args(argv)
 
@@ -368,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
         qps_concurrency=args.qps_concurrency,
         qps_dup_rates=args.qps_dup_rates,
         proc_workers=args.proc_workers,
+        windows_ms=args.windows_ms,
     )
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
@@ -402,8 +446,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     for key, cell in proc["process"].items():
         print(
-            f"  process x{key}: {cell['expand_s']}s "
-            f"({cell['speedup_vs_serial']}x vs serial)"
+            f"  process x{key}: {cell['expand_s']}s per-call / "
+            f"{cell['persistent_expand_s']}s persistent pool "
+            f"({cell['speedup_vs_serial']}x vs serial, "
+            f"{cell['speedup_persistent_vs_per_call']}x persistent vs per-call)"
         )
     print(
         f"  serve process/thread qps: "

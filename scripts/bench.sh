@@ -25,10 +25,15 @@ QPS_CONCURRENCY="${BENCH_QPS_CONCURRENCY:-4 16 64}"
 QPS_DUP_RATES="${BENCH_QPS_DUP_RATES:-0.0 0.5 0.9}"
 QPS_REQUESTS="${BENCH_QPS_REQUESTS:-512}"
 
-# shellcheck disable=SC2086  # SHARDS / PROC_WORKERS / QPS_* are word-split lists
+# batch_window_ms linger values for the window x offered-rate sweep
+# (`qps.batch_window` in BENCH_perf.json); cpus is recorded top-level.
+WINDOWS_MS="${BENCH_WINDOWS_MS:-0 2 5}"
+
+# shellcheck disable=SC2086  # SHARDS / PROC_WORKERS / QPS_* / WINDOWS_MS are word-split lists
 python -m benchmarks.perf_harness --scale "$SCALE" --shards $SHARDS \
     --proc-workers $PROC_WORKERS \
     --qps-requests "$QPS_REQUESTS" --qps-concurrency $QPS_CONCURRENCY \
-    --qps-dup-rates $QPS_DUP_RATES --output BENCH_perf.json
+    --qps-dup-rates $QPS_DUP_RATES --windows-ms $WINDOWS_MS \
+    --output BENCH_perf.json
 python -m pytest tests/test_perf_speedups.py -m perf -q
 python -m pytest benchmarks/bench_offline_timecost.py benchmarks/bench_table14_timecost.py -q "$@"

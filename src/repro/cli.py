@@ -115,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-length", type=int, default=3,
         help="maximum expanded-predicate length k (paper default: 3)",
     )
+    expand.add_argument(
+        "--expanded-format", default=None, choices=["v1", "v2"],
+        help="artifact format for --save: v1 (line JSON) or v2 (mmap-ready "
+             "struct-packed id arrays); default: $KBQA_EXPANDED_FORMAT, "
+             "else v1.  --load sniffs the format from the file",
+    )
     expand.set_defaults(handler=_cmd_expand)
 
     decompose = sub.add_parser(
@@ -152,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-coalesce", action="store_true",
         help="disable duplicate-request coalescing (benchmark A/B)",
+    )
+    serve.add_argument(
+        "--procs", type=int, default=1,
+        help="server processes sharing the port via SO_REUSEPORT (each with "
+             "its own event loop and executor; POSIX only; default: 1)",
     )
     serve.add_argument(
         "--smoke", action="store_true",
@@ -335,7 +346,7 @@ def _cmd_serve(args) -> int:
     if args.smoke:
         questions = [q.question for q in suite.benchmark("qald3").bfqs()][:12]
         try:
-            summary = run_smoke(system, questions, config=config)
+            summary = run_smoke(system, questions, config=config, procs=args.procs)
         except RuntimeError as error:
             print(f"kbqa serve: smoke failed: {error}", file=sys.stderr)
             return 1
@@ -344,8 +355,18 @@ def _cmd_serve(args) -> int:
         print("serving smoke: OK")
         return 0
 
-    with BackgroundServer(system, config, host=args.host, port=args.port) as bg:
-        print(f"serving on {bg.url}")
+    if args.procs > 1:
+        from repro.serve import MultiProcessServer
+
+        front = MultiProcessServer(
+            system, config, host=args.host, port=args.port, procs=args.procs
+        )
+    else:
+        front = BackgroundServer(system, config, host=args.host, port=args.port)
+    with front as bg:
+        print(f"serving on {bg.url}" + (
+            f" ({args.procs} SO_REUSEPORT processes)" if args.procs > 1 else ""
+        ))
         print(f"  POST {bg.url}/answer   {{\"question\": \"...\"}}")
         print(f"  POST {bg.url}/batch    {{\"questions\": [...]}}")
         print(f"  POST {bg.url}/facts    {{\"op\": \"add|delete\", ...}}")
@@ -384,7 +405,7 @@ def _cmd_expand(args) -> int:
                 executor=args.exec_backend,
                 workers=args.workers,
             )
-            expanded.save(args.save)
+            expanded.save(args.save, format=args.expanded_format)
             print(f"saved expansion to {args.save}")
         else:
             expanded = ExpandedStore.load(args.load)

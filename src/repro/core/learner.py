@@ -105,6 +105,7 @@ class OfflineLearner:
         config: LearnerConfig | None = None,
         *,
         precomputed_expansion: ExpandedStore | None = None,
+        exec_pool=None,
     ) -> None:
         self.kb = kb
         self.conceptualizer = conceptualizer
@@ -112,6 +113,12 @@ class OfflineLearner:
         # a persisted ExpandedStore (ExpandedStore.load) skips the Sec 6.2
         # scan entirely — offline training resumes from the saved artifact
         self.precomputed_expansion = precomputed_expansion
+        # a persistent ExecutorPool (repro.exec.pool) for the expansion
+        # scan: warm workers reused across calls, shard tables published
+        # into shared memory once per KB generation.  KBQA.train wires the
+        # pool it owns through here; without one, every call resolves its
+        # own backend from config.executor (and starts a pool per call).
+        self.exec_pool = exec_pool
 
     def learn(self, corpus: QACorpus) -> LearnResult:
         """Run the full offline pipeline over ``corpus``."""
@@ -159,7 +166,11 @@ class OfflineLearner:
                     self.kb.store,
                     seeds,
                     max_length=self.config.max_path_length,
-                    executor=self.config.executor,
+                    executor=(
+                        self.exec_pool
+                        if self.exec_pool is not None
+                        else self.config.executor
+                    ),
                     workers=self.config.workers,
                 )
         kbview = KBView(self.kb.store, expanded)

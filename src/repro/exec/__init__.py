@@ -5,12 +5,18 @@
   :class:`ProcessExecutor`, plus the uniform selection rules
   (explicit arg > ``KBQA_EXEC``/``KBQA_WORKERS`` environment > default,
   worker counts always clamped to >= 1);
+* :mod:`repro.exec.pool` — :class:`ExecutorPool`, the persistent lease:
+  warm workers reused across calls plus generation-tagged shared-memory
+  payload publication (owned by ``KBQA`` / ``KBQAServer``);
+* :mod:`repro.exec.shm` — the zero-copy blob transport over
+  ``multiprocessing.shared_memory`` (publish once per change, attach by
+  name, unpickle in place);
 * :mod:`repro.exec.tasks` — picklable frozen shard-scan payloads for the
   Sec 6.2 expansion (``repro.kb.expansion`` routes its per-round fan-out
   through them);
 * :mod:`repro.exec.snapshot` — epoch-tagged frozen answerer snapshots for
   process-pool serving (``repro.serve.async_answerer`` dispatches
-  micro-batches through them).
+  micro-batches through them; shared-memory publication per epoch).
 """
 
 from repro.exec.backend import (
@@ -26,6 +32,8 @@ from repro.exec.backend import (
     resolve_workers,
     worker_payload,
 )
+from repro.exec.pool import ExecutorPool
+from repro.exec.shm import AttachedBlob, PublishedBlob, SegmentUnavailable, attach_blob
 from repro.exec.snapshot import (
     AnswerBatchTask,
     SnapshotManager,
@@ -41,16 +49,21 @@ from repro.exec.tasks import (
 
 __all__ = [
     "AnswerBatchTask",
+    "AttachedBlob",
     "EXEC_ENV",
     "EXEC_KINDS",
     "Executor",
+    "ExecutorPool",
     "ProcessExecutor",
+    "PublishedBlob",
+    "SegmentUnavailable",
     "SerialExecutor",
     "ShardScanResult",
     "ShardScanTask",
     "SnapshotManager",
     "ThreadExecutor",
     "WORKERS_ENV",
+    "attach_blob",
     "evaluate_frozen_batch",
     "freeze_target",
     "make_executor",

@@ -1,0 +1,172 @@
+"""Persistent, reusable executor pools — warm workers across calls.
+
+PR 4 built an executor *per expansion call*: every ``expand_predicates``
+on a process backend paid pool start (N ``fork``/``spawn``\\ s) plus a
+per-worker pickle of the shard tables, which is exactly why the
+``proc_sweep`` bench recorded overhead instead of scaling.  An
+:class:`ExecutorPool` amortizes both:
+
+* the underlying :class:`~repro.exec.backend.Executor` is built lazily on
+  first use and **reused** by every subsequent call until :meth:`close` —
+  repeated expansions and serving batches land on already-warm workers;
+* bulk payloads (encoded shard tables, frozen serving snapshots) are
+  *published* into shared memory (`repro.exec.shm`) instead of shipped per
+  worker or per task: :meth:`publish` caches one
+  :class:`~repro.exec.shm.PublishedBlob` per key per *generation*, so a
+  payload crosses the process boundary once per change, not once per call.
+
+The generation counter is the pool's invalidation protocol: owners bump it
+(:meth:`invalidate`) when the state behind a published payload mutates —
+``KBQA`` wires its KB change stream here — and the next :meth:`publish`
+for that key republishes into a fresh segment while unlinking the stale
+one.  Workers attach segments by name, so they observe republication
+naturally (new tasks carry the new name).
+
+Lifecycle: the pool is owned by a long-lived object (``KBQA`` /
+``KBQAServer``), closed with it, and safe to reuse after :meth:`close`
+(the next call simply starts a fresh executor) — so a closed system's pool
+never strands workers, and a restarted server does not need a new pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.exec.backend import (
+    Executor,
+    make_executor,
+    resolve_exec_kind,
+    resolve_workers,
+)
+from repro.exec.shm import PublishedBlob
+
+
+class ExecutorPool:
+    """A lazily-started, persistent executor plus its published payloads.
+
+    ``kind``/``workers`` resolve once at construction (explicit argument >
+    ``KBQA_EXEC``/``KBQA_WORKERS`` environment > ``default``), so every
+    lease sees the same backend.  Thread-safe: leases, publishes and
+    invalidations may come from the event loop, worker threads and change
+    listeners concurrently.
+    """
+
+    def __init__(
+        self,
+        kind: str | None = None,
+        workers: int | None = None,
+        *,
+        default: str = "serial",
+    ) -> None:
+        self.kind = resolve_exec_kind(kind, default=default)
+        self.workers = 1 if self.kind == "serial" else resolve_workers(workers)
+        self._executor: Executor | None = None
+        self._generation = 0
+        # key -> (generation, blob) for the current generation's publishes
+        self._published: dict[str, tuple[int, PublishedBlob]] = {}
+        # key -> the previous publish, kept attachable for one republication
+        # (a grace window for tasks already in flight against it)
+        self._retired: dict[str, PublishedBlob] = {}
+        self._lock = threading.Lock()
+        self.starts = 0  # executors actually built (pool-start events)
+        self.leases = 0  # executor() calls served
+        self.publishes = 0  # shared-memory publications (republish events)
+
+    # -- Executor lease ----------------------------------------------------
+
+    def executor(self) -> Executor:
+        """The live executor, building it on first use (warm thereafter)."""
+        with self._lock:
+            self.leases += 1
+            if self._executor is None:
+                self._executor = make_executor(self.kind, self.workers)
+                self.starts += 1
+            return self._executor
+
+    # -- Payload publication -----------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Current payload generation (bumped by :meth:`invalidate`)."""
+        return self._generation
+
+    def invalidate(self) -> None:
+        """Mark every published payload stale (state behind them mutated).
+
+        Cheap and synchronous — stale segments are unlinked lazily, on the
+        next :meth:`publish` of their key, so a burst of KB changes costs
+        one republication, not one per change.
+        """
+        with self._lock:
+            self._generation += 1
+
+    def publish(self, key: str, make_bytes: Callable[[], bytes]) -> str:
+        """Segment name of ``key``'s payload for the current generation.
+
+        Calls ``make_bytes`` only when the cached publish is missing or
+        stale, and only ever caches a blob under the generation that was
+        current *before* serialization began — if :meth:`invalidate` lands
+        while ``make_bytes`` runs, the (now possibly stale) bytes are
+        thrown away and serialization restarts, so a post-mutation caller
+        can never be handed pre-mutation state under the new generation.
+        The superseded segment is *retired* (still attachable, for tasks
+        already in flight against it) and the one retired before that is
+        unlinked, mirroring the snapshot manager's grace window.
+        """
+        while True:
+            with self._lock:
+                generation = self._generation
+                cached = self._published.get(key)
+                if cached is not None and cached[0] == generation:
+                    return cached[1].name
+            data = make_bytes()  # outside the lock: serialization can be slow
+            with self._lock:
+                if self._generation != generation:
+                    continue  # state mutated mid-serialization: redo
+                current = self._published.get(key)
+                if current is not None and current[0] == generation:
+                    return current[1].name  # a racing publisher won
+                blob = PublishedBlob(data, tag=generation)
+                stale = self._retired.pop(key, None)
+                if current is not None:
+                    self._retired[key] = current[1]
+                self._published[key] = (generation, blob)
+                self.publishes += 1
+            if stale is not None:
+                stale.unlink()
+            return blob.name
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def release(self) -> None:
+        """Join the warm workers and unlink published payloads at a natural
+        quiesce point (e.g. the end of a training run), without retiring
+        the pool: the next lease starts fresh and stays warm through its
+        own burst.  Owners call this so an *idle* system holds no worker
+        processes; :meth:`close` is the terminal spelling of the same
+        operation."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every published segment.
+
+        Idempotent, and the pool remains usable: a later :meth:`executor`
+        or :meth:`publish` simply starts fresh.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            blobs = [blob for _generation, blob in self._published.values()]
+            blobs.extend(self._retired.values())
+            self._published.clear()
+            self._retired.clear()
+        if executor is not None:
+            executor.close()
+        for blob in blobs:
+            blob.unlink()
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

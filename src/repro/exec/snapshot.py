@@ -2,7 +2,7 @@
 
 A process worker cannot share the live ``KBQA``/``OnlineAnswerer`` — it
 evaluates against a *snapshot*: the picklable answering state (model, KB
-view, NER, conceptualizer; see ``OnlineAnswerer.__getstate__``) pickled once
+view, NER, conceptualizer; see ``OnlineAnswerer.__getstate__``) frozen once
 per serving epoch.  The protocol that keeps live ``add``/``delete`` correct:
 
 * every KB invalidation bumps the :class:`AsyncAnswerer` epoch (unchanged
@@ -16,10 +16,24 @@ per serving epoch.  The protocol that keeps live ``add``/``delete`` correct:
   change listeners — so the re-evaluation path of the serving layer's
   stale-batch retry observes post-mutation state, never a stale snapshot.
 
-The blob rides inside every task (bytes are cheap to re-pickle; the
-expensive ``pickle.dumps`` of the answerer happens once per epoch in the
-parent, and ``pickle.loads`` once per epoch per worker).  Pool processes are
-private to one :class:`AsyncAnswerer`, so epochs never mix across managers.
+Two transports for the frozen bytes:
+
+* **shared memory** (``use_shm=True``, the serving default) — the blob is
+  *published* once per epoch into a `repro.exec.shm` segment; micro-batches
+  carry only ``(epoch, segment_name)``, and each worker attaches the
+  segment by name and unpickles **in place** (zero copy of the blob per
+  batch, one ``pickle.loads`` per epoch per worker).  Refreeze on
+  invalidation republishes into a fresh segment; the previous epoch's
+  segment is retired one publish later (a grace window for batches already
+  dispatched against it), and a worker that loses the race gets
+  :class:`~repro.exec.shm.SegmentUnavailable` — which the serving retry
+  loop treats exactly like a stale epoch.
+* **inline bytes** (``use_shm=False``) — the blob rides inside the task,
+  the PR 4 behaviour, kept for caller-owned executors and as the pickle
+  contract exercised by ``tests/test_exec_pickle.py``.
+
+Pool processes are private to one :class:`AsyncAnswerer`, so epochs never
+mix across managers.
 """
 
 from __future__ import annotations
@@ -29,17 +43,24 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.exec.shm import PublishedBlob, attach_blob
+
 if TYPE_CHECKING:
     from repro.core.online import AnswerResult
 
 
 @dataclass(frozen=True, slots=True)
 class AnswerBatchTask:
-    """One serving micro-batch bound for a process worker."""
+    """One serving micro-batch bound for a process worker.
+
+    Exactly one of ``blob`` (inline pickled target) and ``segment`` (name
+    of a shared-memory publish tagged with ``epoch``) is set.
+    """
 
     epoch: int
-    blob: bytes  # pickled answer target, frozen at `epoch`
     questions: tuple[str, ...]
+    blob: bytes | None = None
+    segment: str | None = None
 
 
 # Worker-resident deserialized snapshot: (epoch, answer target).  One entry —
@@ -48,11 +69,21 @@ _SNAPSHOT: tuple[int, object] | None = None
 
 
 def evaluate_frozen_batch(task: AnswerBatchTask) -> list["AnswerResult"]:
-    """Worker entry point: thaw (or reuse) the snapshot, answer the batch."""
+    """Worker entry point: thaw (or reuse) the snapshot, answer the batch.
+
+    In segment mode the unpickle reads straight out of the shared mapping
+    (no blob copy); a vanished segment raises
+    :class:`~repro.exec.shm.SegmentUnavailable` back through the result
+    pipe, which the dispatcher converts into a fresh-epoch retry.
+    """
     global _SNAPSHOT
     snapshot = _SNAPSHOT
     if snapshot is None or snapshot[0] != task.epoch:
-        snapshot = (task.epoch, pickle.loads(task.blob))
+        if task.segment is not None:
+            buffer: object = attach_blob(task.segment, expected_tag=task.epoch).data
+        else:
+            buffer = task.blob
+        snapshot = (task.epoch, pickle.loads(buffer))
         _SNAPSHOT = snapshot
     return snapshot[1].answer_many(list(task.questions))
 
@@ -72,48 +103,106 @@ def freeze_target(target: object) -> bytes:
 
 
 class SnapshotManager:
-    """Caches the frozen blob of one target, re-freezing per epoch.
+    """Caches the frozen state of one target, re-freezing per epoch.
 
-    The serving dispatcher asks for the blob of the epoch it will compare
-    against after evaluation; the blob handed out is always frozen at (or
+    The serving dispatcher asks for the task of the epoch it will compare
+    against after evaluation; the state handed out is always frozen at (or
     after) that epoch's mutations (a mutation racing in *after* the freeze
     just bumps the epoch again and triggers the stale-batch retry).
 
     A large system's ``pickle.dumps`` is not cheap, so :meth:`freeze` is
     thread-safe and meant to be called *off* the event loop (the serving
-    layer runs it on a side thread); :meth:`cached_blob` is the loop-side
+    layer runs it on a side thread); :meth:`cached_task` is the loop-side
     fast path that never serializes.
+
+    With ``use_shm=True`` each freeze also *publishes* the blob into a
+    shared-memory segment, and tasks reference it by name instead of
+    carrying the bytes.  :meth:`close` unlinks every live segment — leaked
+    ``/dev/shm`` entries after close are a bug
+    (``tests/test_exec_concurrency.py`` asserts none).
     """
 
-    def __init__(self, target: object) -> None:
+    def __init__(self, target: object, *, use_shm: bool = False) -> None:
         self.target = target
+        self.use_shm = use_shm
         self._epoch: int | None = None
         self._blob: bytes | None = None
+        self._segment: PublishedBlob | None = None
+        self._retired: PublishedBlob | None = None
         self._lock = threading.Lock()
         self.refreezes = 0
+        self.publishes = 0
 
-    def cached_blob(self, epoch: int) -> bytes | None:
-        """The blob already frozen for ``epoch``, or None (never freezes)."""
+    def _task(self, epoch: int, questions: Sequence[str]) -> AnswerBatchTask:
+        if self.use_shm:
+            assert self._segment is not None
+            return AnswerBatchTask(
+                epoch=epoch, questions=tuple(questions), segment=self._segment.name
+            )
+        return AnswerBatchTask(epoch=epoch, questions=tuple(questions), blob=self._blob)
+
+    def cached_task(
+        self, epoch: int, questions: Sequence[str]
+    ) -> AnswerBatchTask | None:
+        """A task for state already frozen at ``epoch``, or None (never
+        serializes — safe on the event loop)."""
         with self._lock:
-            if self._blob is not None and self._epoch == epoch:
-                return self._blob
-            return None
+            if self._epoch != epoch:
+                return None
+            if (self._segment is None) if self.use_shm else (self._blob is None):
+                return None
+            return self._task(epoch, questions)
 
     def freeze(self, epoch: int) -> bytes:
-        """Freeze now (or reuse the blob already frozen for ``epoch``).
+        """Freeze now (or reuse the state already frozen for ``epoch``).
 
         Concurrent callers for the same epoch serialize on the lock; the
-        loser reuses the winner's blob instead of pickling twice.
+        loser reuses the winner's freeze instead of pickling twice.  In
+        shared-memory mode the previous epoch's segment is *retired* (still
+        attachable) and the one retired before that is unlinked — in-flight
+        batches of epoch N-1 keep working while N dispatches.
         """
+        stale: PublishedBlob | None = None
         with self._lock:
-            if self._blob is None or self._epoch != epoch:
-                self._blob = freeze_target(self.target)
+            if self._epoch != epoch or (self._blob is None and self._segment is None):
+                blob = freeze_target(self.target)
                 self._epoch = epoch
                 self.refreezes += 1
-            return self._blob
+                if self.use_shm:
+                    stale, self._retired = self._retired, self._segment
+                    self._segment = PublishedBlob(blob, tag=epoch)
+                    self.publishes += 1
+                    self._blob = None
+                else:
+                    self._blob = blob
+            result = self._blob if not self.use_shm else b""
+        if stale is not None:
+            stale.unlink()
+        assert result is not None
+        return result
 
     def task_for(self, epoch: int, questions: Sequence[str]) -> AnswerBatchTask:
-        """Build the micro-batch task for one dispatch at ``epoch``."""
-        return AnswerBatchTask(
-            epoch=epoch, blob=self.freeze(epoch), questions=tuple(questions)
-        )
+        """Build the micro-batch task for one dispatch at ``epoch``
+        (freezing/publishing first if needed)."""
+        self.freeze(epoch)
+        with self._lock:
+            return self._task(epoch, questions)
+
+    def close(self) -> None:
+        """Unlink every published segment and drop the cache (idempotent)."""
+        with self._lock:
+            segments = [s for s in (self._segment, self._retired) if s is not None]
+            self._segment = None
+            self._retired = None
+            self._blob = None
+            self._epoch = None
+        for segment in segments:
+            segment.unlink()
+
+    # -- Introspection -----------------------------------------------------
+
+    def segment_name(self) -> str | None:
+        """Name of the currently published segment (None when not in
+        shared-memory mode or before the first freeze)."""
+        with self._lock:
+            return self._segment.name if self._segment is not None else None

@@ -7,13 +7,19 @@ integers — no strings, no store objects — so the same task runs unchanged on
 a serial, thread or process backend, and the result buffers merge in shard
 order to a byte-identical expansion (``tests/test_exec_backends.py``).
 
-Two shipping modes for the shard table:
+Three shipping modes for the shard table:
 
-* ``table=None`` — the table is *resident* in the worker: the pool was
-  built with ``payload=<tuple of shard tables>`` (pickled once per worker at
-  pool start), and :func:`scan_shard` fetches ``payload[task.shard]``.  This
-  is the process-backend hot path: per-round tasks carry only the frontier
-  slice that can match the shard (``subject_id % n_shards == shard``).
+* ``tables_ref=<segment>`` — the tables live in a shared-memory publish
+  (`repro.exec.shm`): the persistent-pool hot path.  The worker attaches
+  the segment by name, unpickles the tuple of shard tables **once per
+  publication** (cached across tasks, rounds and expansion calls), and the
+  task carries only the name plus its frontier slice.  This is what lets a
+  warm :class:`~repro.exec.pool.ExecutorPool` run repeated expansions with
+  zero per-call table shipping.
+* ``table=None`` without a ref — the table is *resident* in the worker: the
+  pool was built with ``payload=<tuple of shard tables>`` (pickled once per
+  worker at pool start), and :func:`scan_shard` fetches
+  ``payload[task.shard]``.  The per-call process-pool path.
 * ``table=<mapping>`` — the task is self-contained (used by the serial and
   thread backends, where "shipping" is a pointer copy, and by caller-owned
   process executors that were built without a payload).
@@ -21,9 +27,11 @@ Two shipping modes for the shard table:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 from repro.exec.backend import worker_payload
+from repro.exec.shm import attach_blob
 
 # frontier entry: node id -> {(seed_id, prefix predicate-id tuple)}
 Provenance = set[tuple[int, tuple[int, ...]]]
@@ -39,6 +47,7 @@ class ShardScanTask:
     tail_ids: frozenset[int]
     is_last_round: bool
     table: ShardTable | None = None
+    tables_ref: str | None = None  # shared-memory publish of all shard tables
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,13 +74,16 @@ def scan_shard(task: ShardScanTask) -> ShardScanResult:
     """
     table = task.table
     if table is None:
-        tables = worker_payload()
-        if tables is None:
-            raise RuntimeError(
-                "ShardScanTask has no table and the worker holds no resident "
-                "shard payload (build the executor with payload=shard tables)"
-            )
-        table = tables[task.shard]
+        if task.tables_ref is not None:
+            table = _fetch_tables(task.tables_ref)[task.shard]
+        else:
+            tables = worker_payload()
+            if tables is None:
+                raise RuntimeError(
+                    "ShardScanTask has no table and the worker holds no resident "
+                    "shard payload (build the executor with payload=shard tables)"
+                )
+            table = tables[task.shard]
     frontier = task.frontier
     tail_ids = task.tail_ids
     is_last_round = task.is_last_round
@@ -93,6 +105,25 @@ def scan_shard(task: ShardScanTask) -> ShardScanResult:
                     for o_id in object_ids:
                         additions.append((o_id, extended))
     return ShardScanResult(shard=task.shard, records=records, additions=additions)
+
+
+# Worker-resident thawed shard tables, keyed on the segment name that
+# published them.  Names are unique per publication, so one entry per live
+# generation suffices; keeping the previous one covers the republication
+# window where in-flight rounds still reference it.
+_TABLES_CACHE: dict[str, tuple[ShardTable, ...]] = {}
+_TABLES_CACHE_MAX = 2
+
+
+def _fetch_tables(segment: str) -> tuple[ShardTable, ...]:
+    """Attach + unpickle a published tuple of shard tables (cached)."""
+    tables = _TABLES_CACHE.get(segment)
+    if tables is None:
+        tables = pickle.loads(attach_blob(segment).data)
+        if len(_TABLES_CACHE) >= _TABLES_CACHE_MAX:
+            _TABLES_CACHE.pop(next(iter(_TABLES_CACHE)))
+        _TABLES_CACHE[segment] = tables
+    return tables
 
 
 def split_frontier_by_shard(

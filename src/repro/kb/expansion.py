@@ -42,13 +42,19 @@ Two paper-mandated restrictions are honoured:
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
+import pickle
 from collections import defaultdict
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.exec.backend import Executor, make_executor, resolve_exec_kind, resolve_workers
+from repro.exec.pool import ExecutorPool
+from repro.exec.shm import SegmentUnavailable
 from repro.exec.tasks import ShardScanTask, scan_shard, split_frontier_by_shard
+from repro.kb import expanded_v2
 from repro.kb.backend import KBBackend
 from repro.kb.dictionary import Dictionary
 from repro.kb.paths import PredicatePath
@@ -59,6 +65,23 @@ _EMPTY_FROZEN: frozenset = frozenset()
 
 EXPANSION_MAGIC = "KBQA-EXPANDED"
 EXPANSION_FORMAT_VERSION = 1
+
+EXPANSION_FORMATS = ("v1", "v2")
+EXPANDED_FORMAT_ENV = "KBQA_EXPANDED_FORMAT"
+
+
+def resolve_expanded_format(fmt: str | None = None) -> str:
+    """Effective artifact format: explicit arg > ``KBQA_EXPANDED_FORMAT`` >
+    ``"v1"``.  Raises :class:`ValueError` on an unknown format so a typo in
+    a flag or the environment fails loudly."""
+    if fmt is None:
+        fmt = os.environ.get(EXPANDED_FORMAT_ENV) or "v1"
+    fmt = fmt.strip().lower()
+    if fmt not in EXPANSION_FORMATS:
+        raise ValueError(
+            f"unknown expansion format {fmt!r} (choose from {', '.join(EXPANSION_FORMATS)})"
+        )
+    return fmt
 
 # frontier: node id -> set of (seed_id, prefix-key) provenance entries;
 # the empty prefix marks a seed node at round 0.
@@ -262,10 +285,20 @@ class ExpandedStore:
 
     # -- Persistence -------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, format: str | None = None) -> None:
         """Serialize the id-encoded buffers together with the dictionary.
 
-        The format is canonical: paths are written in sorted key order,
+        ``format`` selects the artifact layout: ``"v1"`` (this method's
+        line-oriented JSON, the default), ``"v2"`` (the mmap-friendly
+        struct-packed id arrays of `repro.kb.expanded_v2`), or None —
+        which defers to the ``KBQA_EXPANDED_FORMAT`` environment variable
+        and finally to v1.  Both formats carry identical content in the
+        same canonical order and :meth:`load` routes on the file magic, so
+        the choice is purely a wire/reload-speed trade
+        (``tests/test_expansion_persistence.py`` proves the round-trip
+        byte-equivalence both ways).
+
+        The v1 format is canonical: paths are written in sorted key order,
         subjects in id order, object sets sorted — so two stores whose
         dictionaries assign the same term ids (e.g. a single-store and a
         sharded expansion over KBs built by the same add sequence)
@@ -284,6 +317,9 @@ class ExpandedStore:
             [s, [[p, [o...]], ...]] x subjects  # triples, grouped + sorted
             [node, [seed...]] x reach           # reach index, sorted
         """
+        if resolve_expanded_format(format) == "v2":
+            expanded_v2.save_v2(self, path)
+            return
         # canonical path order: sort interned keys, remap to file-local ids
         sorted_keys = sorted(self._path_keys)
         file_path_id = {key: i for i, key in enumerate(sorted_keys)}
@@ -330,7 +366,13 @@ class ExpandedStore:
         learner (``KBQA.train(..., expanded=...)``) to skip the Sec 6.2 scan
         entirely.  Raises :class:`ValueError` on a bad magic, an unsupported
         version, or count mismatches.
+
+        The format is sniffed from the file magic: binary v2 artifacts
+        (`repro.kb.expanded_v2`) reload through the mmap reader, anything
+        else takes the v1 line-JSON path below.
         """
+        if expanded_v2.is_v2_file(path):
+            return expanded_v2.load_v2(cls, path)
         text = Path(path).read_text(encoding="utf-8")
         lines = text.splitlines()
         if not lines:
@@ -520,33 +562,76 @@ class ExpandedStore:
         }
 
 
+# Monotonic per-store payload tokens: an ExecutorPool caches published shard
+# tables per (store, generation), and tokens — unlike id() — are never reused
+# after a store is garbage-collected, so a recycled address can't alias a
+# fresh store onto a stale publish.
+_payload_token_counter = 0
+
+
+def _store_payload_token(store: KBBackend) -> int:
+    global _payload_token_counter
+    token = getattr(store, "_expansion_payload_token", None)
+    if token is None:
+        _payload_token_counter += 1
+        token = _payload_token_counter
+        store._expansion_payload_token = token
+    return token
+
+
 def _scan_executor(
     store: KBBackend,
-    executor: str | Executor | None,
+    executor: str | Executor | ExecutorPool | None,
     workers: int | None,
-) -> tuple[Executor | None, bool, bool]:
+) -> tuple[Executor | None, bool, bool, Callable[[], str] | None]:
     """Resolve the execution backend for one expansion call.
 
-    Returns ``(executor, owned, self_contained)``.  ``executor`` is None for
-    the inline serial fast path (scan ``store.spo_items_ids()`` directly —
-    zero task overhead, and shard-chained order equals the shard-ordered
-    merge).  ``owned`` marks executors built here (closed on return);
-    ``self_contained`` marks process executors the caller built without a
-    resident shard payload, whose tasks must carry their own tables.
+    Returns ``(executor, owned, self_contained, publish_tables)``.
+    ``executor`` is None for the inline serial fast path (scan
+    ``store.spo_items_ids()`` directly — zero task overhead, and
+    shard-chained order equals the shard-ordered merge).  ``owned`` marks
+    executors built here (closed on return); ``self_contained`` marks
+    process executors the caller built without a resident shard payload,
+    whose tasks must carry their own tables; ``publish_tables`` (set only
+    when an :class:`~repro.exec.pool.ExecutorPool` serves the call) returns
+    the shared-memory publish of the shard tables for the pool's *current*
+    generation — warm workers attach it by name, so repeated expansions on
+    one pool pay neither pool start nor per-call table shipping, and a
+    mid-flight republication is recoverable by calling it again.
     """
+    if isinstance(executor, ExecutorPool):
+        if executor.kind == "serial":
+            return None, False, False, None
+        leased = executor.executor()
+        if leased.kind != "process":
+            return leased, False, False, None
+        pool = executor
+        n_shards = store.n_shards
+        key = f"shard_tables:{_store_payload_token(store)}:{n_shards}"
+
+        def publish_tables() -> str:
+            return pool.publish(
+                key,
+                lambda: pickle.dumps(
+                    tuple(store.shard_table(i) for i in range(n_shards)),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+
+        return leased, False, False, publish_tables
     if executor is not None and not isinstance(executor, str):
-        return executor, False, executor.kind == "process"
+        return executor, False, executor.kind == "process", None
     n_shards = store.n_shards
     kind = resolve_exec_kind(executor, default="thread" if n_shards > 1 else "serial")
     if kind == "serial":
-        return None, False, False
+        return None, False, False, None
     workers = resolve_workers(workers, fallback=n_shards)
     payload = None
     if kind == "process":
         # the shard tables ship once per worker at pool start; per-round
         # tasks then carry only their frontier slice
         payload = tuple(store.shard_table(i) for i in range(n_shards))
-    return make_executor(kind, workers, payload=payload), True, False
+    return make_executor(kind, workers, payload=payload), True, False, None
 
 
 def expand_predicates(
@@ -557,7 +642,7 @@ def expand_predicates(
     *,
     into: ExpandedStore | None = None,
     record_reach: bool = False,
-    executor: str | Executor | None = None,
+    executor: str | Executor | ExecutorPool | None = None,
     workers: int | None = None,
 ) -> ExpandedStore:
     """Generate all ``(s, p+, o)`` with ``s`` in ``seeds``, ``|p+| <= max_length``.
@@ -572,7 +657,11 @@ def expand_predicates(
 
     ``executor`` selects the execution backend for the per-round shard
     fan-out: ``"serial"`` / ``"thread"`` / ``"process"``, a pre-built
-    :class:`~repro.exec.backend.Executor`, or None — which defers to the
+    :class:`~repro.exec.backend.Executor`, a persistent
+    :class:`~repro.exec.pool.ExecutorPool` (warm workers reused across
+    calls, shard tables published once per KB generation into shared
+    memory — the repeated-expansion hot path owned by ``KBQA``), or None —
+    which defers to the
     ``KBQA_EXEC`` environment variable and finally to the historical default
     (thread pool on a sharded backend, inline serial otherwise).  ``workers``
     sizes a backend built here (default: one per shard, clamped >= 1; the
@@ -630,7 +719,10 @@ def expand_predicates(
     record = expanded.record_encoded
     note_reach = expanded.note_reach
     n_shards = store.n_shards
-    exec_backend, owned, self_contained = _scan_executor(store, executor, workers)
+    exec_backend, owned, self_contained, publish_tables = _scan_executor(
+        store, executor, workers
+    )
+    tables_ref = publish_tables() if publish_tables is not None else None
     prune_frontier = exec_backend is not None and (
         exec_backend.kind == "process" or self_contained
     )
@@ -677,15 +769,36 @@ def expand_predicates(
                         tail_ids=tail_ids,
                         is_last_round=is_last_round,
                         # self-contained tasks carry their table; payload-
-                        # backed process pools and shared-memory backends
+                        # backed process pools and shared-memory publishes
                         # read it worker-side / by reference
                         table=store.shard_table(i)
-                        if (self_contained or exec_backend.kind != "process")
+                        if tables_ref is None
+                        and (self_contained or exec_backend.kind != "process")
                         else None,
+                        tables_ref=tables_ref,
                     )
                     for i in range(n_shards)
                 ]
-                for result in exec_backend.map(scan_shard, tasks):
+                attempts = 0
+                while True:
+                    try:
+                        results = exec_backend.map(scan_shard, tasks)
+                        break
+                    except SegmentUnavailable:
+                        # the pool republished the shard tables (a KB
+                        # generation bump) and retired this call's segment
+                        # mid-flight; re-reference the current publish and
+                        # redo the round (map materializes fully, so no
+                        # partial merge happened)
+                        attempts += 1
+                        if publish_tables is None or attempts > 3:
+                            raise
+                        tables_ref = publish_tables()
+                        tasks = [
+                            dataclasses.replace(task, tables_ref=tables_ref)
+                            for task in tasks
+                        ]
+                for result in results:
                     # merged in shard order (Executor.map preserves order)
                     for seed_id, path_key, o_id in result.records:
                         record(seed_id, path_key, o_id)

@@ -10,7 +10,11 @@ The serving story in three layers:
   front (``/answer``, ``/batch``, ``/facts``, ``/healthz``, ``/stats``)
   behind ``kbqa serve``, plus :class:`BackgroundServer` and the CI smoke;
 * :mod:`repro.serve.loadgen` — the deterministic closed-loop QPS load
-  generator behind ``benchmarks/bench_qps.py``.
+  generator behind ``benchmarks/bench_qps.py``;
+* :mod:`repro.serve.multiproc` — :class:`MultiProcessServer`: N forked
+  server replicas sharing one port via ``SO_REUSEPORT``, with writes
+  replicated through a shared op log + epoch counter (``kbqa serve
+  --procs N``).
 """
 
 from repro.serve.async_answerer import (
@@ -22,6 +26,7 @@ from repro.serve.async_answerer import (
     normalized_key,
 )
 from repro.serve.app import BackgroundServer, KBQAServer, result_payload, run_smoke
+from repro.serve.multiproc import MultiProcessServer, multiproc_available
 from repro.serve.loadgen import (
     LoadSpec,
     OpenLoadSpec,
@@ -39,12 +44,14 @@ __all__ = [
     "BackgroundServer",
     "KBQAServer",
     "LoadSpec",
+    "MultiProcessServer",
     "OpenLoadSpec",
     "OverloadedError",
     "ServeConfig",
     "ServeStats",
     "build_request_stream",
     "latency_percentiles",
+    "multiproc_available",
     "normalized_key",
     "result_payload",
     "run_load",

@@ -27,9 +27,10 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.online import AnswerResult
+from repro.exec.pool import ExecutorPool
 from repro.serve.async_answerer import AsyncAnswerer, OverloadedError, ServeConfig
 from repro.serve.http import BadRequest, HTTPRequest, read_request, response_bytes
 
@@ -57,6 +58,16 @@ class KBQAServer:
 
     ``port=0`` binds an ephemeral port (read ``server.port`` after
     :meth:`start`).  Use ``async with`` or pair :meth:`start`/:meth:`stop`.
+
+    The server owns a persistent :class:`~repro.exec.pool.ExecutorPool` for
+    its evaluation backend: answerer restarts within the server's lifetime
+    reuse the same warm workers, and :meth:`stop` is the single point that
+    joins them.  ``reuse_port=True`` binds the listening socket with
+    ``SO_REUSEPORT`` so N sibling server processes can share one port (the
+    `repro.serve.multiproc` front); ``fact_listener`` is called after every
+    successful ``/facts`` mutation with ``(op, subject, predicate, object)``
+    — the hook the multi-process front uses to replicate writes to its
+    siblings.
     """
 
     def __init__(
@@ -65,12 +76,23 @@ class KBQAServer:
         config: ServeConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        reuse_port: bool = False,
+        fact_listener: "Callable[[str, str, str, str], None] | None" = None,
     ) -> None:
         self.system = system
         self.config = config or ServeConfig()
         self.host = host
         self.port = port
-        self.answerer = AsyncAnswerer(system, self.config)
+        self.reuse_port = reuse_port
+        self.fact_listener = fact_listener
+        # the pool kind is resolved here, explicitly, so ServeConfig's
+        # deliberate env-blindness is preserved (the CLI resolves KBQA_EXEC
+        # into config.executor before constructing the server)
+        self.exec_pool = ExecutorPool(
+            self.config.executor or "thread", self.config.workers
+        )
+        self.answerer = AsyncAnswerer(system, self.config, pool=self.exec_pool)
         self._server: asyncio.Server | None = None
         self._unsubscribe = None
         self._connections: set[asyncio.Task] = set()
@@ -88,7 +110,12 @@ class KBQAServer:
             lambda _change: self.answerer.invalidate(),
             lambda _changes: self.answerer.invalidate(),
         )
-        self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self.port,
+            reuse_port=self.reuse_port or None,
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_monotonic = time.monotonic()
 
@@ -107,6 +134,8 @@ class KBQAServer:
             self._unsubscribe()
             self._unsubscribe = None
         await self.answerer.stop()
+        # the answerer borrows the pool; the server joins the workers
+        self.exec_pool.close()
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the CLI's foreground mode)."""
@@ -228,6 +257,8 @@ class KBQAServer:
         else:
             mutation = lambda: self.system.delete_fact(subject, predicate, obj)  # noqa: E731
         changed = await self.answerer.apply(mutation)
+        if changed and self.fact_listener is not None:
+            self.fact_listener(op, subject, predicate, obj)
         return 200, {"op": op, "changed": bool(changed)}
 
 
@@ -322,6 +353,7 @@ def run_smoke(
     threads: int = 8,
     requests_per_thread: int = 4,
     config: ServeConfig | None = None,
+    procs: int = 1,
 ) -> dict:
     """Start a server, hammer it from ``threads`` concurrent clients, stop.
 
@@ -331,8 +363,14 @@ def run_smoke(
     ``RuntimeError`` on any non-200, mismatched payload, or unclean
     shutdown; returns a summary dict on success.  This is the CI serving
     smoke test and the ``kbqa serve --smoke`` implementation.
+
+    ``procs > 1`` runs the same client traffic against a
+    :class:`~repro.serve.multiproc.MultiProcessServer` — N forked replicas
+    sharing the port via ``SO_REUSEPORT`` — and additionally asserts every
+    replica process exited (the CI ``--procs 2`` smoke step).
     """
     import json
+    import multiprocessing
     import urllib.error
     import urllib.request
 
@@ -354,7 +392,16 @@ def run_smoke(
     statuses: list[int] = []
     lock = threading.Lock()
 
-    with BackgroundServer(system, config) as bg:
+    if procs > 1:
+        from repro.serve.multiproc import MultiProcessServer
+
+        front: "BackgroundServer | MultiProcessServer" = MultiProcessServer(
+            system, config, procs=procs
+        )
+    else:
+        front = BackgroundServer(system, config)
+
+    with front as bg:
         answer_url = bg.url + "/answer"
 
         def client(worker: int) -> None:
@@ -398,10 +445,16 @@ def run_smoke(
                 failures.append(f"/healthz -> {resp.status}")
         with urllib.request.urlopen(bg.url + "/stats", timeout=30) as resp:
             stats = json.loads(resp.read().decode("utf-8"))
-        thread = bg._thread
+        thread = bg._thread if isinstance(bg, BackgroundServer) else None
 
     if thread is not None and thread.is_alive():
         failures.append("server thread still alive after shutdown")
+    if procs > 1:
+        leftovers = [c for c in multiprocessing.active_children() if c.is_alive()]
+        if leftovers:
+            failures.append(
+                f"{len(leftovers)} server process(es) still alive after shutdown"
+            )
     if failures:
         raise RuntimeError("serving smoke failed: " + "; ".join(failures))
     serve_stats = stats["serve"]
@@ -413,5 +466,6 @@ def run_smoke(
         "batches": serve_stats["batches"],
         "max_batch_seen": serve_stats["max_batch_seen"],
         "executor": serve_stats["executor"],
+        "procs": procs,
         "clean_shutdown": True,
     }

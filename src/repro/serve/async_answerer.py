@@ -45,7 +45,9 @@ from typing import Callable, Protocol, Sequence
 
 from repro.core.online import AnswerResult
 from repro.exec.backend import EXEC_KINDS, Executor, make_executor
-from repro.exec.snapshot import AnswerBatchTask, SnapshotManager, evaluate_frozen_batch
+from repro.exec.pool import ExecutorPool
+from repro.exec.shm import SegmentUnavailable
+from repro.exec.snapshot import SnapshotManager, evaluate_frozen_batch
 from repro.nlp.tokenizer import tokenize
 
 
@@ -157,13 +159,20 @@ class AsyncAnswerer:
         target: AnswerTarget,
         config: ServeConfig | None = None,
         key: Callable[[str], str] = normalized_key,
+        pool: ExecutorPool | None = None,
     ) -> None:
         self.target = target
         self.config = config or ServeConfig()
         self.stats = ServeStats()
         self._key = key
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._exec_kind: str = self.config.executor or "thread"
+        # A borrowed ExecutorPool (owned by KBQAServer / the caller) decides
+        # the backend and provides warm workers that survive this answerer's
+        # stop(); without one the answerer builds and owns its executor.
+        self._pool = pool
+        self._exec_kind: str = (
+            pool.kind if pool is not None else (self.config.executor or "thread")
+        )
         self._executor: Executor | None = None
         self._snapshots: SnapshotManager | None = None
         # (key, question, future) triples not yet dispatched; one entry per
@@ -193,14 +202,21 @@ class AsyncAnswerer:
         if self._running:
             raise RuntimeError("AsyncAnswerer already started")
         self._loop = asyncio.get_running_loop()
-        self._executor = make_executor(self._exec_kind, self.config.workers)
+        if self._pool is not None:
+            self._executor = self._pool.executor()
+        else:
+            self._executor = make_executor(self._exec_kind, self.config.workers)
         if self._exec_kind == "process":
-            self._snapshots = SnapshotManager(self.target)
+            # snapshots publish into shared memory: micro-batches carry only
+            # (epoch, segment name); the blob crosses once per epoch
+            self._snapshots = SnapshotManager(self.target, use_shm=True)
             try:
                 self._snapshots.freeze(self._epoch)
             except Exception:
-                self._executor.close()
+                if self._pool is None:
+                    self._executor.close()
                 self._executor = None
+                self._snapshots.close()
                 self._snapshots = None
                 raise
         self._wakeup = asyncio.Event()
@@ -238,9 +254,12 @@ class AsyncAnswerer:
             self._quiesced.clear()
             await self._quiesced.wait()
         assert self._executor is not None
-        self._executor.close()  # joins thread *and* process workers
+        if self._pool is None:
+            self._executor.close()  # joins thread *and* process workers
         self._executor = None
-        self._snapshots = None
+        if self._snapshots is not None:
+            self._snapshots.close()  # unlinks every published segment
+            self._snapshots = None
 
     async def __aenter__(self) -> "AsyncAnswerer":
         await self.start()
@@ -408,24 +427,25 @@ class AsyncAnswerer:
           baseline for tests and a degenerate single-user mode);
         * ``thread`` — the live target on a pool thread (shared memory);
         * ``process`` — an epoch-tagged frozen snapshot on a process worker:
-          the task carries the blob frozen for ``epoch``, the worker caches
-          the thawed answerer per epoch, and a bumped epoch re-freezes from
-          the live (already mutated) target before the retry dispatch.  The
-          ``pickle.dumps`` of a large system is not cheap, so a re-freeze
-          runs on a side thread — only the batch that triggers it waits;
-          the event loop keeps accepting and completing other requests.
+          the task carries only ``(epoch, segment name)`` of the snapshot
+          *published into shared memory* for ``epoch`` (the blob crosses
+          the pipe never, and the segment once per epoch per worker); a
+          bumped epoch re-freezes from the live (already mutated) target
+          and republishes before the retry dispatch.  The ``pickle.dumps``
+          of a large system is not cheap, so a re-freeze runs on a side
+          thread — only the batch that triggers it waits; the event loop
+          keeps accepting and completing other requests.
         """
         if self._exec_kind == "serial":
             return self.target.answer_many(questions)
         assert self._executor is not None
         if self._exec_kind == "process":
             assert self._snapshots is not None and self._loop is not None
-            blob = self._snapshots.cached_blob(epoch)
-            if blob is None:
-                blob = await self._loop.run_in_executor(
-                    None, self._snapshots.freeze, epoch
+            task = self._snapshots.cached_task(epoch, questions)
+            if task is None:
+                task = await self._loop.run_in_executor(
+                    None, self._snapshots.task_for, epoch, questions
                 )
-            task = AnswerBatchTask(epoch=epoch, blob=blob, questions=tuple(questions))
             return await asyncio.wrap_future(
                 self._executor.submit(evaluate_frozen_batch, task)
             )
@@ -456,7 +476,18 @@ class AsyncAnswerer:
             retries = 0
             while True:
                 epoch = self._epoch
-                results = await self._evaluate(questions, epoch)
+                try:
+                    results = await self._evaluate(questions, epoch)
+                except SegmentUnavailable:
+                    # the shared-memory publish for `epoch` was retired by a
+                    # newer epoch while this batch dispatched — same meaning
+                    # as a stale epoch, so retry against the fresh publish
+                    # (bounded: re-raise past the cap instead of spinning)
+                    self.stats.stale_retries += 1
+                    retries += 1
+                    if retries > self.config.max_stale_retries:
+                        raise
+                    continue
                 self.stats.evaluated += len(questions)
                 if epoch == self._epoch:
                     break
@@ -512,4 +543,8 @@ class AsyncAnswerer:
             "snapshot_refreezes": (
                 self._snapshots.refreezes if self._snapshots is not None else 0
             ),
+            "snapshot_publishes": (
+                self._snapshots.publishes if self._snapshots is not None else 0
+            ),
+            "pooled": self._pool is not None,
         }

@@ -284,8 +284,15 @@ def run_open_load_cell(
     workers: int | None = None,
     executor: str | None = None,
     max_pending: int = 256,
+    batch_window_ms: float = 0.0,
 ) -> dict:
-    """Synchronous one-call open-loop cell (fresh answerer, fresh loop)."""
+    """Synchronous one-call open-loop cell (fresh answerer, fresh loop).
+
+    ``batch_window_ms`` is the dispatch linger: an under-filled micro-batch
+    waits that long for more arrivals before dispatching — the
+    latency/throughput trade the ``batch_window`` sweep in
+    ``benchmarks/bench_qps.py`` charts per offered rate.
+    """
     from repro.serve.async_answerer import ServeConfig
 
     stream = build_request_stream(
@@ -304,15 +311,24 @@ def run_open_load_cell(
         workers=resolve_workers(workers, fallback=2),
         coalesce=coalesce,
         executor=executor,
+        batch_window_ms=batch_window_ms,
     )
 
     async def _run() -> dict:
         async with AsyncAnswerer(target, config) as answerer:
-            return await run_open_load(answerer, stream, spec.rate_qps, seed=spec.seed)
+            result = await run_open_load(
+                answerer, stream, spec.rate_qps, seed=spec.seed
+            )
+            snapshot = answerer.snapshot()
+            result["batches"] = snapshot["batches"]
+            result["evaluated"] = snapshot["evaluated"]
+            result["max_batch_seen"] = snapshot["max_batch_seen"]
+            return result
 
     result = asyncio.run(_run())
     result["duplicate_rate"] = spec.duplicate_rate
     result["coalesce"] = coalesce
     result["executor"] = config.executor or "thread"
     result["workers"] = config.workers
+    result["batch_window_ms"] = batch_window_ms
     return result

@@ -1,0 +1,330 @@
+"""SO_REUSEPORT multi-process serving front: N loops, one port.
+
+PR 3/4 scale *evaluation* (thread/process pools behind one asyncio loop),
+but a single loop still owns the socket: HTTP parsing, JSON encoding and
+stream writes are serialized on one core.  This module forks N full server
+processes — each with its own event loop, its own
+:class:`~repro.serve.app.KBQAServer` and its own executor pool — all
+listening on the **same** host:port via ``SO_REUSEPORT``, so the kernel
+load-balances accepted connections across the processes and the whole
+serving stack scales with cores.
+
+Topology and protocols:
+
+* **fork-and-inherit** — the parent trains (or receives) the system once;
+  children are forked and inherit the trained state by copy-on-write
+  (nothing is pickled; a live ``KBQA`` deliberately refuses pickling).
+  Requires the ``fork`` start method and ``SO_REUSEPORT`` (both POSIX);
+  :func:`multiproc_available` reports support.
+* **port reservation** — with ``port=0`` the parent binds a placeholder
+  ``SO_REUSEPORT`` socket first to fix the ephemeral port; the placeholder
+  never listens, so it takes no connections, and every child binds its own
+  listening socket to the reserved port.
+* **cross-process writes** — each child registers a
+  ``KBQAServer.fact_listener``: a successful ``/facts`` mutation is
+  appended (under a global lock) to a shared operation log and a shared
+  epoch counter (``multiprocessing.Value``) is bumped.  Every child polls
+  the counter from its loop and replays foreign log entries through
+  :meth:`AsyncAnswerer.apply` — the same write-quiescence path a local
+  mutation takes — so an edit served by any process becomes visible on all
+  of them (bounded by the poll interval), and each child's serving epoch
+  bumps exactly as if the write were local.  Replay skips a child's own
+  entries (already applied before they were logged).
+* **shutdown** — the parent sets a shared stop event; children drain their
+  servers (which joins their pools and unlinks their snapshot segments)
+  and exit; the parent joins every child and escalates to ``terminate``
+  only past a deadline.  ``tests/test_serve_http.py`` asserts no child
+  survives.
+
+The log-replay protocol is best-effort ordered (entries apply in global log
+order on every replica, but a replica's *own* write applies at its local
+time): concurrent writers to semantically conflicting facts should
+serialize at a higher layer.  For the read-heavy QA workload this targets,
+writes are rare and idempotent (``add``/``delete`` of explicit triples).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import tempfile
+import time
+from typing import TYPE_CHECKING
+
+from repro.serve.async_answerer import ServeConfig
+
+if TYPE_CHECKING:
+    from repro.core.system import KBQA
+
+DEFAULT_POLL_INTERVAL_S = 0.02
+
+
+def multiproc_available() -> bool:
+    """True when this platform can run the multi-process front
+    (``SO_REUSEPORT`` + the ``fork`` start method)."""
+    return hasattr(socket, "SO_REUSEPORT") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def _append_op(oplog_path: str, op_lock, op_count, entry: dict) -> int:
+    """Append one op under the global lock; returns its log index."""
+    with op_lock:
+        index = op_count.value
+        with open(oplog_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        op_count.value = index + 1
+    return index
+
+
+async def _replay_ops(
+    server, oplog_path: str, op_lock, op_count, applied: int, own: set[int]
+) -> int:
+    """Apply foreign log entries from ``applied`` onward; returns the new
+    cursor.  Each entry goes through the quiesced ``apply`` path, so the
+    local serving epoch bumps exactly as for a local write.
+
+    The read happens under the global op lock and is capped at the
+    published count, so a sibling's in-progress append can never be
+    observed as a torn line."""
+    with op_lock:
+        target = op_count.value
+        with open(oplog_path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()[:target]
+    for index in range(applied, len(lines)):
+        if index in own:
+            own.discard(index)
+            continue
+        entry = json.loads(lines[index])
+        subject, predicate, obj = entry["s"], entry["p"], entry["o"]
+        if entry["op"] == "add":
+            mutation = lambda s=subject, p=predicate, o=obj: server.system.add_fact(s, p, o)  # noqa: E731
+        else:
+            mutation = lambda s=subject, p=predicate, o=obj: server.system.delete_fact(s, p, o)  # noqa: E731
+        await server.answerer.apply(mutation)
+    return len(lines)
+
+
+def _child_main(
+    system: "KBQA",
+    config: ServeConfig | None,
+    host: str,
+    port: int,
+    index: int,
+    op_count,
+    op_lock,
+    stop_event,
+    ready,
+    errors,
+    oplog_path: str,
+    poll_interval_s: float,
+) -> None:
+    """Entry point of one forked server process."""
+    import asyncio
+    import signal
+
+    # the parent coordinates shutdown through the stop event; a terminal
+    # Ctrl-C must not race it with KeyboardInterrupts in every child
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    async def serve() -> None:
+        from repro.serve.app import KBQAServer
+
+        applied = 0
+        own: set[int] = set()
+        server = KBQAServer(system, config, host, port, reuse_port=True)
+
+        def on_fact(op: str, subject: str, predicate: str, obj: str) -> None:
+            own.add(
+                _append_op(
+                    oplog_path,
+                    op_lock,
+                    op_count,
+                    {"op": op, "s": subject, "p": predicate, "o": obj},
+                )
+            )
+
+        server.fact_listener = on_fact
+        await server.start()
+        ready.release()
+        try:
+            while not stop_event.is_set():
+                if op_count.value > applied:
+                    applied = await _replay_ops(
+                        server, oplog_path, op_lock, op_count, applied, own
+                    )
+                await asyncio.sleep(poll_interval_s)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except BaseException as error:  # surface child failures to the parent
+        try:
+            errors.put(f"server process {index}: {type(error).__name__}: {error}")
+        except Exception:
+            pass
+        raise SystemExit(1)
+    raise SystemExit(0)
+
+
+class MultiProcessServer:
+    """``procs`` forked :class:`~repro.serve.app.KBQAServer` replicas
+    sharing one ``SO_REUSEPORT`` port.  Synchronous context manager::
+
+        with MultiProcessServer(system, procs=4) as front:
+            urllib.request.urlopen(front.url + "/healthz")
+
+    Entering forks and blocks until every replica's socket is bound (or
+    raises with the children's startup errors); exiting stops and joins
+    every child, so leaked server processes are impossible.
+    """
+
+    def __init__(
+        self,
+        system: "KBQA",
+        config: ServeConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        procs: int = 2,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        ready_timeout_s: float = 120.0,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        if not multiproc_available():
+            raise ValueError(
+                "multi-process serving needs SO_REUSEPORT and the fork start "
+                "method (POSIX); use a single-process server here"
+            )
+        self._system = system
+        self._config = config
+        self.host = host
+        self.port = port
+        self.procs = procs
+        self._poll_interval_s = poll_interval_s
+        self._ready_timeout_s = ready_timeout_s
+        self._ctx = multiprocessing.get_context("fork")
+        self._children: list = []
+        self._placeholder: socket.socket | None = None
+        self._oplog_path: str | None = None
+        self._stop_event = None
+        self._errors = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MultiProcessServer":
+        # Reserve the port: bound (never listening) with SO_REUSEPORT so the
+        # children can bind their listening sockets to the same address.
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            placeholder.bind((self.host, self.port))
+        except OSError:
+            placeholder.close()
+            raise
+        self._placeholder = placeholder
+        self.port = placeholder.getsockname()[1]
+
+        fd, self._oplog_path = tempfile.mkstemp(prefix="kbqa-oplog-", suffix=".jsonl")
+        os.close(fd)
+        op_count = self._ctx.Value("Q", 0)
+        op_lock = self._ctx.Lock()
+        self._stop_event = self._ctx.Event()
+        ready = self._ctx.Semaphore(0)
+        self._errors = self._ctx.Queue()
+
+        try:
+            for index in range(self.procs):
+                child = self._ctx.Process(
+                    target=_child_main,
+                    args=(
+                        self._system,
+                        self._config,
+                        self.host,
+                        self.port,
+                        index,
+                        op_count,
+                        op_lock,
+                        self._stop_event,
+                        ready,
+                        self._errors,
+                        self._oplog_path,
+                        self._poll_interval_s,
+                    ),
+                    # not daemonic: a replica configured with a process
+                    # executor must be allowed to start its own worker pool
+                    name=f"kbqa-serve-{index}",
+                    daemon=False,
+                )
+                child.start()
+                self._children.append(child)
+
+            deadline = time.monotonic() + self._ready_timeout_s
+            for _ in range(self.procs):
+                if not ready.acquire(
+                    timeout=max(deadline - time.monotonic(), 0.001)
+                ):
+                    failures = self._drain_errors()
+                    raise RuntimeError(
+                        "multi-process server failed to start"
+                        + (": " + "; ".join(failures) if failures else "")
+                    )
+        except BaseException:
+            # a failed fork or a replica that never became ready must not
+            # leak the ones that did start, the port, or the op log
+            self._teardown(force=True)
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._teardown(force=False)
+        failures = self._drain_errors()
+        if failures:
+            raise RuntimeError("server process failed: " + "; ".join(failures))
+
+    # -- Internals ---------------------------------------------------------
+
+    def _drain_errors(self) -> list[str]:
+        failures: list[str] = []
+        if self._errors is not None:
+            try:
+                while True:
+                    failures.append(self._errors.get_nowait())
+            except Exception:
+                pass
+        return failures
+
+    def _teardown(self, *, force: bool) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+        deadline = time.monotonic() + (5.0 if force else 30.0)
+        for child in self._children:
+            while True:
+                try:
+                    child.join(timeout=max(deadline - time.monotonic(), 0.001))
+                    break
+                except KeyboardInterrupt:
+                    # a repeated Ctrl-C lands mid-join (terminals signal the
+                    # whole group); shorten the deadline and keep joining so
+                    # children are never orphaned by an impatient operator
+                    deadline = min(deadline, time.monotonic() + 2.0)
+        for child in self._children:
+            if child.is_alive():  # escalate only past the deadline
+                child.terminate()
+                child.join(timeout=5.0)
+        self._children.clear()
+        if self._placeholder is not None:
+            self._placeholder.close()
+            self._placeholder = None
+        if self._oplog_path is not None:
+            try:
+                os.unlink(self._oplog_path)
+            except OSError:
+                pass
+            self._oplog_path = None

@@ -29,9 +29,25 @@ import pytest
 
 from repro.core.online import AnswerResult
 from repro.exec.backend import ProcessExecutor
+from repro.exec.pool import ExecutorPool
+from repro.exec.shm import PublishedBlob, SegmentUnavailable, attach_blob
+from repro.exec.snapshot import SnapshotManager
 from repro.serve import AsyncAnswerer, ServeConfig
 
 TIMEOUT_S = 30.0
+
+
+def _worker_pid(_task) -> int:
+    return os.getpid()
+
+
+def _assert_no_children() -> None:
+    """Children unregister as they are reaped; poll briefly, then assert."""
+    for _ in range(200):
+        if not multiprocessing.active_children():
+            break
+        time.sleep(0.02)
+    assert multiprocessing.active_children() == []
 
 
 def _result(question: str, value: str) -> AnswerResult:
@@ -202,6 +218,158 @@ class TestSnapshotFreshness:
 
         asyncio.run(main())
         assert multiprocessing.active_children() == []
+
+
+class TestPersistentPool:
+    """The warm-worker invariants: one pool start serves many calls, the
+    same worker processes survive across calls, and published payloads
+    republish only on invalidation."""
+
+    def test_same_worker_pids_across_calls(self):
+        with ExecutorPool("process", 2) as pool:
+            first = set(pool.executor().map(_worker_pid, range(8)))
+            second = set(pool.executor().map(_worker_pid, range(8)))
+            # warm workers, never new ones (a fast second map may use only a
+            # subset of the pool, so subset — not equality — is the invariant)
+            assert first and second and second <= first
+            assert os.getpid() not in first  # really out-of-process
+            assert pool.starts == 1 and pool.leases == 2
+        _assert_no_children()
+
+    def test_repeated_expansions_reuse_pool_and_publish_once(self, suite):
+        from repro.data.compile import compile_freebase_like
+        from repro.kb.expansion import expand_predicates
+
+        kb = compile_freebase_like(suite.world, shards=3)
+        seeds = [e.node for e in suite.world.of_type("person")[:10]]
+        reference = expand_predicates(kb.store, seeds, max_length=3)
+        with ExecutorPool("process", 2) as pool:
+            outputs = [
+                expand_predicates(kb.store, seeds, max_length=3, executor=pool)
+                for _ in range(3)
+            ]
+            for expanded in outputs:
+                assert set(expanded.triples()) == set(reference.triples())
+            # one pool start and one shard-table publish served all calls
+            assert pool.starts == 1
+            assert pool.publishes == 1
+            pool.invalidate()  # a KB mutation would flow through here
+            again = expand_predicates(kb.store, seeds, max_length=3, executor=pool)
+            assert set(again.triples()) == set(reference.triples())
+            assert pool.publishes == 2  # republished for the new generation
+        _assert_no_children()
+
+    def test_kbqa_owns_an_invalidating_pool(self, suite):
+        """The system facade owns the pool and routes KB changes into its
+        generation counter.  A private system: the mutation must not intern
+        terms into the session fixtures' shared dictionary."""
+        from repro.core.system import KBQA
+        from repro.data.compile import compile_freebase_like
+
+        kb = compile_freebase_like(suite.world)
+        with KBQA.train(kb, suite.corpus, suite.conceptualizer) as system:
+            pool = system.exec_pool
+            assert isinstance(pool, ExecutorPool)
+            before = pool.generation
+            assert system.add_fact("pool-town", "population", '"1"')
+            assert pool.generation > before
+            assert system.delete_fact("pool-town", "population", '"1"')
+            assert pool.generation > before + 1
+
+    def test_publish_never_caches_pre_invalidation_bytes(self):
+        """An invalidation landing while make_bytes serializes must force a
+        re-serialization — the new generation can never be served bytes
+        frozen from pre-mutation state."""
+        with ExecutorPool("process", 1) as pool:
+            serializations = []
+
+            def make() -> bytes:
+                serializations.append(len(serializations))
+                if len(serializations) == 1:
+                    pool.invalidate()  # the mutation races the serialization
+                return f"state-{len(serializations)}".encode()
+
+            name = pool.publish("k", make)
+            assert len(serializations) == 2  # the stale first pass was discarded
+            assert bytes(attach_blob(name).data) == b"state-2"
+
+    def test_pool_usable_again_after_close(self):
+        pool = ExecutorPool("process", 1)
+        assert set(pool.executor().map(_worker_pid, [0])) != {os.getpid()}
+        pool.close()
+        _assert_no_children()
+        # a closed pool restarts lazily instead of erroring
+        assert set(pool.executor().map(_worker_pid, [0])) != {os.getpid()}
+        pool.close()
+        _assert_no_children()
+
+
+class TestSharedMemoryHygiene:
+    """Segment lifecycle: publishes attach from anywhere, unlink is
+    authoritative, and close() leaks nothing."""
+
+    def test_publish_attach_unlink_cycle(self):
+        from repro.exec.shm import AttachedBlob
+
+        blob = PublishedBlob(b"payload-bytes", tag=7)
+        attached = attach_blob(blob.name, expected_tag=7)
+        assert bytes(attached.data) == b"payload-bytes"
+        with pytest.raises(SegmentUnavailable, match="tag"):
+            attach_blob(blob.name, expected_tag=8)
+        blob.unlink()
+        # a fresh (uncached) attach observes the unlink
+        with pytest.raises(SegmentUnavailable):
+            AttachedBlob(blob.name)
+
+    def test_pool_close_unlinks_published_segments(self):
+        with ExecutorPool("process", 1) as pool:
+            name = pool.publish("k", lambda: b"table-bytes")
+            assert bytes(attach_blob(name).data) == b"table-bytes"
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_snapshot_manager_close_unlinks_segments(self):
+        target = VersionedTarget()
+        manager = SnapshotManager(target, use_shm=True)
+        manager.freeze(0)
+        first = manager.segment_name()
+        assert first is not None
+        target.bump()
+        manager.freeze(1)
+        second = manager.segment_name()
+        assert second != first
+        manager.close()
+        from multiprocessing import shared_memory
+
+        for name in (first, second):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_answerer_stop_unlinks_snapshot_segment_and_children(self):
+        """Acceptance: after stop() no shared-memory segment and no worker
+        process survives."""
+        target = VersionedTarget()
+        config = ServeConfig(executor="process", workers=2)
+
+        async def main():
+            answerer = AsyncAnswerer(target, config)
+            await answerer.start()
+            await answerer.answer_many([f"q{i}" for i in range(6)])
+            name = answerer._snapshots.segment_name()
+            assert name is not None
+            stats = answerer.snapshot()
+            assert stats["snapshot_publishes"] >= 1
+            await answerer.stop()
+            return name
+
+        name = asyncio.run(main())
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        _assert_no_children()
 
 
 class TestCleanShutdown:

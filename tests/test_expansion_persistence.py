@@ -1,12 +1,24 @@
 """ExpandedStore persistence: save -> load round trip, format guards, and
 training resumption (``KBQA.train(..., expanded=...)`` must answer without
-re-running ``expand_predicates``)."""
+re-running ``expand_predicates``).
+
+Two artifact formats are locked down here: the v1 line-JSON layout and the
+binary mmap v2 layout (`repro.kb.expanded_v2`).  The v1<->v2 equivalence
+suite proves the formats are interchangeable to the byte: converting in
+either direction reproduces the other side's canonical bytes, content
+(seeds, tails, reach) survives, and systems trained from either artifact
+answer identically.
+"""
+
+import struct
 
 import pytest
 
 import repro.core.learner as learner_module
 from repro.core.system import KBQA
+from repro.kb.expanded_v2 import EXPANSION_V2_MAGIC, EXPANSION_V2_VERSION, is_v2_file
 from repro.kb.expansion import (
+    EXPANDED_FORMAT_ENV,
     EXPANSION_FORMAT_VERSION,
     EXPANSION_MAGIC,
     ExpandedStore,
@@ -107,7 +119,7 @@ class TestFormatGuards:
 
     def test_rejects_truncated_triples(self, expanded, tmp_path):
         path = tmp_path / "truncated.kbqa"
-        expanded.save(path)
+        expanded.save(path, format="v1")  # this test edits v1 lines
         lines = path.read_text().splitlines()
         # drop the final subject group line but keep the header counts
         n_reach = sum(1 for _ in expanded.reach_items())
@@ -123,7 +135,7 @@ class TestFormatGuards:
         kb.add("s", "name", make_literal("x"))
         expanded = expand_predicates(kb, ["s"], max_length=1)
         path = tmp_path / "corrupt.kbqa"
-        expanded.save(path)
+        expanded.save(path, format="v1")  # this test edits v1 lines
         lines = path.read_text().splitlines()
         # the last line is the single subject group: [s, [[p, [o]]]] — point
         # its object id far past the dictionary
@@ -159,6 +171,156 @@ class TestFormatGuards:
         expanded.save(path)
         loaded = ExpandedStore.load(path)
         assert loaded.objects("s", PredicatePath.single("name")) == {tricky}
+
+
+class TestV2Format:
+    """The binary mmap v2 artifact: byte-level v1<->v2 equivalence plus the
+    rejection paths a corrupted/foreign v2 file must take."""
+
+    def test_v1_v2_round_trip_is_byte_identical_both_ways(self, expanded, tmp_path):
+        """Acceptance: converting v2 -> v1 reproduces the direct v1 bytes,
+        and v1 -> v2 reproduces the direct v2 bytes."""
+        v1, v2 = tmp_path / "a.v1", tmp_path / "a.v2"
+        expanded.save(v1, format="v1")
+        expanded.save(v2, format="v2")
+        assert is_v2_file(v2) and not is_v2_file(v1)
+        via_v2 = tmp_path / "b.v1"
+        ExpandedStore.load(v2).save(via_v2, format="v1")
+        assert via_v2.read_bytes() == v1.read_bytes()
+        via_v1 = tmp_path / "b.v2"
+        ExpandedStore.load(v1).save(via_v1, format="v2")
+        assert via_v1.read_bytes() == v2.read_bytes()
+
+    def test_v2_save_is_deterministic(self, expanded, tmp_path):
+        first, second = tmp_path / "first.v2", tmp_path / "second.v2"
+        expanded.save(first, format="v2")
+        expanded.save(second, format="v2")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_seeds_tails_and_reach_survive_v2(self, expanded, tmp_path):
+        path = tmp_path / "expansion.v2"
+        expanded.save(path, format="v2")
+        loaded = ExpandedStore.load(path)
+        assert loaded.tail_predicates == expanded.tail_predicates
+        assert loaded.max_length == expanded.max_length
+        assert loaded.stats() == expanded.stats()
+        decode_old, decode_new = expanded.dictionary.decode, loaded.dictionary.decode
+        assert {decode_new(s) for s in loaded.seed_ids} == {
+            decode_old(s) for s in expanded.seed_ids
+        }
+        assert {
+            decode_new(n): {decode_new(s) for s in seeds}
+            for n, seeds in loaded.reach_items()
+        } == {
+            decode_old(n): {decode_old(s) for s in seeds}
+            for n, seeds in expanded.reach_items()
+        }
+        assert {(s, str(p), o) for s, p, o in loaded.triples()} == {
+            (s, str(p), o) for s, p, o in expanded.triples()
+        }
+
+    def test_answer_many_identical_from_v1_and_v2_artifacts(
+        self, suite, kbqa_fb, tmp_path
+    ):
+        """Acceptance: systems resumed from a v1 and a v2 artifact of the
+        same expansion answer the qald3 BFQ set identically."""
+        expanded = kbqa_fb.learn_result.expanded
+        v1, v2 = tmp_path / "e.v1", tmp_path / "e.v2"
+        expanded.save(v1, format="v1")
+        expanded.save(v2, format="v2")
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+        with KBQA.train(
+            suite.freebase, suite.corpus, suite.conceptualizer,
+            expanded=ExpandedStore.load(v1),
+        ) as from_v1, KBQA.train(
+            suite.freebase, suite.corpus, suite.conceptualizer,
+            expanded=ExpandedStore.load(v2),
+        ) as from_v2:
+            assert from_v1.answer_many(questions) == from_v2.answer_many(questions)
+            assert from_v2.answer_many(questions) == kbqa_fb.answer_many(questions)
+
+    def test_special_characters_round_trip_v2(self, tmp_path):
+        kb = TripleStore()
+        tricky = make_literal('line\nbreak "and\ttab" é中')
+        kb.add("s", "name", tricky)
+        expanded = expand_predicates(kb, ["s"], max_length=1)
+        path = tmp_path / "tricky.v2"
+        expanded.save(path, format="v2")
+        loaded = ExpandedStore.load(path)
+        assert loaded.objects("s", PredicatePath.single("name")) == {tricky}
+
+    def test_env_selects_v2_default(self, expanded, tmp_path, monkeypatch):
+        """The CI leg's KBQA_EXPANDED_FORMAT=v2 must flip the *default*
+        save format while format= stays authoritative."""
+        monkeypatch.setenv(EXPANDED_FORMAT_ENV, "v2")
+        by_env = tmp_path / "by_env.kbqa"
+        expanded.save(by_env)
+        assert is_v2_file(by_env)
+        pinned = tmp_path / "pinned.kbqa"
+        expanded.save(pinned, format="v1")
+        assert not is_v2_file(pinned)
+        monkeypatch.setenv(EXPANDED_FORMAT_ENV, "v3")
+        with pytest.raises(ValueError, match="unknown expansion format"):
+            expanded.save(tmp_path / "nope.kbqa")
+
+    def test_rejects_truncated_v2(self, expanded, tmp_path):
+        path = tmp_path / "whole.v2"
+        expanded.save(path, format="v2")
+        data = path.read_bytes()
+        for cut in (len(data) - 7, len(data) // 2, 40):
+            clipped = tmp_path / f"clipped-{cut}.v2"
+            clipped.write_bytes(data[:cut])
+            with pytest.raises(ValueError, match="truncat|header"):
+                ExpandedStore.load(clipped)
+
+    def test_rejects_version_mismatch_v2(self, expanded, tmp_path):
+        path = tmp_path / "future.v2"
+        expanded.save(path, format="v2")
+        data = bytearray(path.read_bytes())
+        # the version is the first u32 after the 8-byte magic
+        struct.pack_into("<I", data, len(EXPANSION_V2_MAGIC), EXPANSION_V2_VERSION + 1)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            ExpandedStore.load(path)
+
+    def test_rejects_out_of_bounds_ids_v2(self, tmp_path):
+        """A corrupt object id past the dictionary fails the documented
+        load-time ValueError, before any decode uses it."""
+        kb = TripleStore()
+        kb.add("s", "name", make_literal("x"))
+        expanded = expand_predicates(kb, ["s"], max_length=1)
+        path = tmp_path / "corrupt.v2"
+        expanded.save(path, format="v2")
+        data = bytearray(path.read_bytes())
+        # the single object id is the last u32 before the (empty) reach
+        # sections; with one triple and no reach it is the final u32
+        struct.pack_into("<I", data, len(data) - 4, 9999)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="out of range"):
+            ExpandedStore.load(path)
+
+    def test_rejects_trailing_garbage_v2(self, expanded, tmp_path):
+        path = tmp_path / "padded.v2"
+        expanded.save(path, format="v2")
+        path.write_bytes(path.read_bytes() + b"\x00\x00\x00\x00")
+        with pytest.raises(ValueError, match="trailing"):
+            ExpandedStore.load(path)
+
+    def test_cli_expand_save_v2_and_sniffing_load(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "expansion.v2"
+        code = main(
+            ["expand", "--scale", "small", "--save", str(path),
+             "--expanded-format", "v2"]
+        )
+        assert code == 0 and is_v2_file(path)
+        saved = capsys.readouterr().out
+        assert "saved expansion" in saved and "spo_triples=" in saved
+        assert main(["expand", "--load", str(path)]) == 0
+        loaded = capsys.readouterr().out
+        # identical inventory whichever format backed the artifact
+        assert saved.splitlines()[1:] == loaded.splitlines()[1:]
 
 
 class TestTrainingResumption:

@@ -9,7 +9,9 @@ pool for the concurrency case), exactly what CI's smoke step exercises.
 
 import http.client
 import json
+import multiprocessing
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -18,7 +20,14 @@ import pytest
 from repro.core.system import KBQA
 from repro.data.compile import compile_freebase_like
 from repro.kb.triple import make_literal
-from repro.serve import BackgroundServer, OverloadedError, ServeConfig, run_smoke
+from repro.serve import (
+    BackgroundServer,
+    MultiProcessServer,
+    OverloadedError,
+    ServeConfig,
+    multiproc_available,
+    run_smoke,
+)
 from repro.serve.app import KBQAServer
 from repro.serve.http import HTTPRequest
 
@@ -215,6 +224,115 @@ class TestConcurrency:
         status, payload = asyncio.run(main())
         assert status == 503
         assert payload == {"error": "overloaded", "max_pending": 7}
+
+
+needs_multiproc = pytest.mark.skipif(
+    not multiproc_available(),
+    reason="multi-process serving needs SO_REUSEPORT + fork (POSIX)",
+)
+
+
+@needs_multiproc
+class TestMultiProcess:
+    """The SO_REUSEPORT front: N forked replicas answer like one process,
+    replicate writes, and shut down without leaking a single child."""
+
+    def test_n_process_answers_match_single_process(self, serve_system, suite):
+        """Acceptance: identical answer payloads from a 2-process front,
+        the 1-process server, and the synchronous path — across enough
+        fresh connections for the kernel to spread load over replicas."""
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()][:6]
+        sync_payloads = []
+        with BackgroundServer(serve_system, ServeConfig(workers=2)) as single:
+            for question in questions:
+                status, payload = _post(single.url + "/answer", {"question": question})
+                assert status == 200
+                sync_payloads.append(payload)
+        with MultiProcessServer(serve_system, ServeConfig(workers=2), procs=2) as front:
+            for round_index in range(3):  # fresh connections spread across replicas
+                for question, reference in zip(questions, sync_payloads):
+                    status, payload = _post(
+                        front.url + "/answer", {"question": question}
+                    )
+                    assert status == 200
+                    assert payload == reference, (
+                        f"replica answer diverged on {question!r} "
+                        f"(round {round_index})"
+                    )
+
+    def test_cross_process_invalidation_after_facts_apply(self, serve_system, suite):
+        """A /facts write served by one replica must become visible on all
+        replicas (shared epoch counter + op-log replay), and the delete
+        must restore the original answer everywhere."""
+        entity = next(e for e in suite.world.of_type("city"))
+        question = f"what is the population of {entity.name}?"
+        procs = 3
+
+        def until_streak(url, predicate, what, streak_target=2 * procs):
+            deadline = time.monotonic() + 30
+            streak = 0
+            while streak < streak_target:
+                assert time.monotonic() < deadline, f"{what} never converged"
+                status, payload = _post(url + "/answer", {"question": question})
+                assert status == 200
+                streak = streak + 1 if predicate(payload) else 0
+                time.sleep(0.01)
+            return payload
+
+        with MultiProcessServer(
+            serve_system, ServeConfig(workers=2), procs=procs
+        ) as front:
+            before = _post(front.url + "/answer", {"question": question})[1]
+            assert before["answered"] is True
+            fact = {
+                "subject": before["entity"],
+                "predicate": "population",
+                "object": make_literal("31337"),
+            }
+            status, payload = _post(front.url + "/facts", {"op": "add", **fact})
+            assert (status, payload["changed"]) == (200, True)
+            until_streak(
+                front.url, lambda p: "31337" in p["values"], "the added fact"
+            )
+            status, payload = _post(front.url + "/facts", {"op": "delete", **fact})
+            assert (status, payload["changed"]) == (200, True)
+            restored = until_streak(
+                front.url,
+                lambda p: "31337" not in p["values"],
+                "the delete",
+            )
+            assert restored["values"] == before["values"]
+
+    def test_clean_shutdown_leaves_no_children(self, serve_system):
+        baseline = {c.pid for c in multiprocessing.active_children()}
+        with MultiProcessServer(serve_system, ServeConfig(workers=2), procs=2) as front:
+            assert _get(front.url + "/healthz")[0] == 200
+            during = multiprocessing.active_children()
+            assert len(during) >= 2  # the replicas are real processes
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            leftover = {
+                c.pid for c in multiprocessing.active_children()
+            } - baseline
+            if not leftover:
+                break
+            time.sleep(0.02)
+        assert {c.pid for c in multiprocessing.active_children()} - baseline == set()
+
+    def test_run_smoke_multiproc(self, serve_system, suite):
+        """The CI --procs 2 smoke body: concurrent clients against the
+        forked front, asserted responses, all replicas exited."""
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()][:6]
+        summary = run_smoke(
+            serve_system, questions, threads=4, requests_per_thread=3, procs=2
+        )
+        assert summary["clean_shutdown"] is True
+        assert summary["procs"] == 2
+        assert summary["http_200"] == summary["requests"] == 12
+
+    def test_procs_validation(self, serve_system):
+        with pytest.raises(ValueError, match="procs"):
+            MultiProcessServer(serve_system, procs=0)
 
 
 class TestShutdownAndSmoke:
