@@ -169,7 +169,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="start on an ephemeral port, run concurrent self-requests, "
              "assert clean shutdown, exit (the CI serving smoke test)",
     )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="default per-request deadline in ms (0 disables; requests past "
+             "it get a 504; the X-KBQA-Deadline-Ms header overrides)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    shm_gc = sub.add_parser(
+        "shm-gc",
+        help="unlink kbqa-* shared-memory segments whose publisher is dead "
+             "(leaked by SIGKILL'd runs; live publishes are never touched)",
+    )
+    shm_gc.set_defaults(handler=_cmd_shm_gc)
     return parser
 
 
@@ -341,6 +353,7 @@ def _cmd_serve(args) -> int:
         executor=resolve_exec_kind(args.exec_backend, default="thread"),
         workers=resolve_workers(args.workers, fallback=2),
         coalesce=not args.no_coalesce,
+        deadline_ms=args.deadline_ms,
     )
     system, suite = _train_system(args)
     if args.smoke:
@@ -377,6 +390,21 @@ def _cmd_serve(args) -> int:
                 time.sleep(3600)
         except KeyboardInterrupt:
             print("\nshutting down")
+    return 0
+
+
+def _cmd_shm_gc(args) -> int:
+    """Reclaim ``kbqa-*`` shared-memory segments orphaned by crashed runs.
+
+    Pool starts sweep automatically; this command is the manual spelling
+    for operators inspecting ``/dev/shm`` after a hard kill.
+    """
+    from repro.exec.shm import sweep_orphans
+
+    removed = sweep_orphans()
+    for name in removed:
+        print(f"unlinked /dev/shm/{name}")
+    print(f"shm-gc: {len(removed)} orphaned segment(s) reclaimed")
     return 0
 
 

@@ -202,6 +202,24 @@ class OnlineAnswerer:
             return result
         return self._answer_tokens(question, tokens)
 
+    def cached_answer(self, question: str) -> AnswerResult | None:
+        """Answer-cache probe: the cached result for ``question`` or None.
+
+        Never evaluates — the degraded-mode path of the serving layer uses
+        this to keep answering head-of-distribution questions while the
+        evaluation backend is down or overloaded, without adding load.
+        """
+        if self.answer_cache_size <= 0:
+            return None
+        key = " ".join(tokenize(question))
+        with self._cache_lock:
+            cached = self._answer_cache.get(key)
+            if cached is not None:
+                self._answer_cache.move_to_end(key)
+        if cached is not None and cached.question != question:
+            cached = replace(cached, question=question)
+        return cached
+
     def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
         """Batch API: answer every question through the warm caches.
 

@@ -16,7 +16,11 @@
   through them);
 * :mod:`repro.exec.snapshot` — epoch-tagged frozen answerer snapshots for
   process-pool serving (``repro.serve.async_answerer`` dispatches
-  micro-batches through them; shared-memory publication per epoch).
+  micro-batches through them; shared-memory publication per epoch);
+* :mod:`repro.exec.faults` — the deterministic fault-injection harness
+  (``KBQA_FAULTS``): named fault points in workers, replicas and the shm
+  transport that can kill/exit/sleep/raise on demand, inherited across
+  ``fork`` so chaos tests steer crashes from the parent.
 """
 
 from repro.exec.backend import (
@@ -27,13 +31,28 @@ from repro.exec.backend import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    bind_to_parent_death,
     make_executor,
     resolve_exec_kind,
     resolve_workers,
     worker_payload,
 )
+from repro.exec.faults import (
+    FAULTS_ENV,
+    Fault,
+    fault_point,
+    faults_active,
+    inject_faults,
+    parse_faults,
+)
 from repro.exec.pool import ExecutorPool
-from repro.exec.shm import AttachedBlob, PublishedBlob, SegmentUnavailable, attach_blob
+from repro.exec.shm import (
+    AttachedBlob,
+    PublishedBlob,
+    SegmentUnavailable,
+    attach_blob,
+    sweep_orphans,
+)
 from repro.exec.snapshot import (
     AnswerBatchTask,
     SnapshotManager,
@@ -54,6 +73,8 @@ __all__ = [
     "EXEC_KINDS",
     "Executor",
     "ExecutorPool",
+    "FAULTS_ENV",
+    "Fault",
     "ProcessExecutor",
     "PublishedBlob",
     "SegmentUnavailable",
@@ -64,12 +85,18 @@ __all__ = [
     "ThreadExecutor",
     "WORKERS_ENV",
     "attach_blob",
+    "bind_to_parent_death",
     "evaluate_frozen_batch",
+    "fault_point",
+    "faults_active",
     "freeze_target",
+    "inject_faults",
     "make_executor",
+    "parse_faults",
     "resolve_exec_kind",
     "resolve_workers",
     "scan_shard",
     "split_frontier_by_shard",
+    "sweep_orphans",
     "worker_payload",
 ]

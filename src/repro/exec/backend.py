@@ -36,6 +36,8 @@ environment or ``os.cpu_count()`` report.
 from __future__ import annotations
 
 import os
+import signal
+import sys
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
 
@@ -57,6 +59,37 @@ _WORKER_PAYLOAD: object | None = None
 def _install_payload(payload: object) -> None:
     global _WORKER_PAYLOAD
     _WORKER_PAYLOAD = payload
+
+
+_PR_SET_PDEATHSIG = 1  # linux/prctl.h
+
+
+def bind_to_parent_death() -> None:
+    """Best-effort ``PR_SET_PDEATHSIG``: die when the owning process dies.
+
+    A pool worker (or a forked server replica) whose parent is SIGKILL'd is
+    otherwise orphaned on a call-queue read that can never see EOF — every
+    sibling holds the pipe's write end — and outlives ``stop()`` forever.
+    Linux-only; elsewhere (and on any prctl failure) this is a silent no-op,
+    and the caller's join/terminate path remains the cleanup of record.
+    """
+    if not sys.platform.startswith("linux"):
+        return
+    try:
+        import ctypes
+
+        ctypes.CDLL(None, use_errno=True).prctl(_PR_SET_PDEATHSIG, signal.SIGTERM)
+    except Exception:  # pragma: no cover - no libc/prctl: nothing to bind
+        return
+    if os.getppid() == 1:  # parent died between fork and prctl
+        os._exit(1)
+
+
+def _init_worker(payload: object | None = None) -> None:
+    """Process-pool worker initializer: parent-death binding + payload."""
+    bind_to_parent_death()
+    if payload is not None:
+        _install_payload(payload)
 
 
 def worker_payload() -> object | None:
@@ -180,10 +213,12 @@ class ProcessExecutor:
 
     def __init__(self, workers: int | None = None, payload: object | None = None) -> None:
         self.workers = resolve_workers(workers)
+        # the initializer always runs: every worker binds to this process's
+        # death (PR_SET_PDEATHSIG) so a SIGKILL'd owner cannot leak workers
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
-            initializer=_install_payload if payload is not None else None,
-            initargs=(payload,) if payload is not None else (),
+            initializer=_init_worker,
+            initargs=(payload,),
         )
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:

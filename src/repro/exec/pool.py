@@ -26,12 +26,25 @@ Lifecycle: the pool is owned by a long-lived object (``KBQA`` /
 ``KBQAServer``), closed with it, and safe to reuse after :meth:`close`
 (the next call simply starts a fresh executor) — so a closed system's pool
 never strands workers, and a restarted server does not need a new pool.
+
+Supervision: a SIGKILL'd (or OOM-killed) worker breaks the whole underlying
+``ProcessPoolExecutor`` — every in-flight and subsequent call raises
+``BrokenProcessPool``.  The pool absorbs that: :meth:`respawn` retires the
+broken executor (published shared-memory payloads survive — this process,
+the publisher, did not die) and the next lease starts fresh workers;
+:meth:`run` is the supervised ``map`` that does the
+detect/respawn/retry dance itself with a bounded retry budget, so callers
+like the expansion scan never see a crash a respawn can absorb.  Each pool
+start also sweeps ``kbqa-*`` shared-memory segments orphaned by *previous*
+crashed runs (:func:`repro.exec.shm.sweep_orphans`), so leaked segments
+never rely solely on atexit hooks that a SIGKILL skips.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from concurrent.futures import BrokenExecutor
+from typing import Callable, Sequence
 
 from repro.exec.backend import (
     Executor,
@@ -39,7 +52,7 @@ from repro.exec.backend import (
     resolve_exec_kind,
     resolve_workers,
 )
-from repro.exec.shm import PublishedBlob
+from repro.exec.shm import PublishedBlob, sweep_orphans
 
 
 class ExecutorPool:
@@ -72,6 +85,8 @@ class ExecutorPool:
         self.starts = 0  # executors actually built (pool-start events)
         self.leases = 0  # executor() calls served
         self.publishes = 0  # shared-memory publications (republish events)
+        self.respawns = 0  # broken executors retired by supervision
+        self.swept = 0  # orphaned kbqa-* segments reclaimed at pool starts
 
     # -- Executor lease ----------------------------------------------------
 
@@ -80,9 +95,57 @@ class ExecutorPool:
         with self._lock:
             self.leases += 1
             if self._executor is None:
+                # reclaim segments leaked by prior crashed runs before
+                # spending fresh ones (atexit never runs under SIGKILL)
+                self.swept += len(sweep_orphans())
                 self._executor = make_executor(self.kind, self.workers)
                 self.starts += 1
             return self._executor
+
+    def respawn(self, broken: Executor | None = None) -> bool:
+        """Retire a broken executor so the next lease starts fresh workers.
+
+        Pass the executor that raised ``BrokenExecutor``: concurrent
+        batches crashing on the *same* broken pool all call in, but only
+        the first retires it (identity-checked) — the rest re-lease the
+        replacement.  ``broken=None`` retires unconditionally.  Published
+        shared-memory payloads are untouched: this process (the publisher)
+        is alive, so every segment is still attachable by the fresh
+        workers.  Returns True when an executor was actually retired.
+        """
+        with self._lock:
+            if self._executor is None:
+                return False
+            if broken is not None and self._executor is not broken:
+                return False  # a sibling already respawned past this one
+            executor, self._executor = self._executor, None
+            self.respawns += 1
+        try:
+            executor.close()  # reaps whatever the crash left behind
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        return True
+
+    def run(self, fn: Callable, tasks: Sequence, *, crash_retries: int = 2) -> list:
+        """Supervised ``map``: on worker death, respawn and retry the call.
+
+        The retry is transparent — ``fn`` over ``tasks`` is re-dispatched
+        in full against fresh workers (``Executor.map`` materializes all
+        results before returning, so no partial output ever escaped) — and
+        bounded: past ``crash_retries`` respawns the ``BrokenExecutor``
+        propagates, because a workload that kills every pool it touches is
+        a bug to surface, not absorb.
+        """
+        attempts = 0
+        while True:
+            executor = self.executor()
+            try:
+                return executor.map(fn, tasks)
+            except BrokenExecutor:
+                attempts += 1
+                self.respawn(executor)
+                if attempts > crash_retries:
+                    raise
 
     # -- Payload publication -----------------------------------------------
 

@@ -37,17 +37,80 @@ Lifecycle rules:
   attach-side re-registration Python 3.11 performs is idempotent), and the
   publisher's unlink unregisters the name exactly once — no per-attach
   bookkeeping is needed, and none is done.
+* segments are **named** ``kbqa-<pid>-<token>`` so a segment orphaned by a
+  SIGKILL'd publisher (atexit never ran) is identifiable after the fact:
+  :func:`sweep_orphans` unlinks every ``kbqa-*`` segment whose publisher
+  pid is dead.  ``ExecutorPool`` sweeps on every pool start and the
+  ``kbqa shm-gc`` CLI exposes it directly, so a crashed run cannot bleed
+  ``/dev/shm`` forever.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
+import secrets
 import struct
 from collections import OrderedDict
 from multiprocessing import shared_memory
+from pathlib import Path
 
 SHM_MAGIC = b"KBQASHM1"
 _HEADER = struct.Struct("<8sqQ")
+
+SEGMENT_PREFIX = "kbqa-"
+_SHM_DIR = Path("/dev/shm")
+
+
+def _new_segment_name() -> str:
+    """A fresh publisher-owned segment name: ``kbqa-<pid>-<token>``.
+
+    The embedded pid is what makes orphans *decidable*: a sweeper unlinks a
+    ``kbqa-*`` segment exactly when its publisher is no longer alive.
+    """
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def publisher_pid(segment_name: str) -> int | None:
+    """The publisher pid embedded in a ``kbqa-*`` segment name (None when
+    the name does not follow the convention)."""
+    if not segment_name.startswith(SEGMENT_PREFIX):
+        return None
+    pid_text = segment_name[len(SEGMENT_PREFIX) :].partition("-")[0]
+    return int(pid_text) if pid_text.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's live process
+        return True
+    return True
+
+
+def sweep_orphans() -> list[str]:
+    """Unlink every ``kbqa-*`` segment whose publisher process is dead.
+
+    Returns the names removed.  Segments belonging to live processes (this
+    one included) are never touched, and non-``kbqa`` names are invisible to
+    the sweep.  A no-op on platforms without a ``/dev/shm`` (the shared-
+    memory data plane needs POSIX anyway).
+    """
+    if not _SHM_DIR.is_dir():
+        return []
+    removed: list[str] = []
+    for path in _SHM_DIR.glob(SEGMENT_PREFIX + "*"):
+        pid = publisher_pid(path.name)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:  # racing sweeper or vanished segment: already gone
+            continue
+        removed.append(path.name)
+    return removed
 
 
 class SegmentUnavailable(RuntimeError):
@@ -62,9 +125,15 @@ class PublishedBlob:
     def __init__(self, data: bytes, tag: int) -> None:
         self.tag = tag
         self.size = len(data)
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=_HEADER.size + max(len(data), 1)
-        )
+        size = _HEADER.size + max(len(data), 1)
+        while True:
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=size, name=_new_segment_name()
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 32-bit token collision
+                continue
         self.name = self._shm.name
         _HEADER.pack_into(self._shm.buf, 0, SHM_MAGIC, tag, len(data))
         self._shm.buf[_HEADER.size : _HEADER.size + len(data)] = data
@@ -123,6 +192,9 @@ _ATTACH_CACHE_MAX = 4
 
 def attach_blob(name: str, expected_tag: int | None = None) -> AttachedBlob:
     """Attach (or reuse this process's attachment of) a published segment."""
+    from repro.exec.faults import fault_point
+
+    fault_point("shm.attach")
     cached = _ATTACH_CACHE.get(name)
     if cached is not None:
         if expected_tag is not None and cached.tag != expected_tag:

@@ -43,6 +43,7 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.exec.faults import fault_point
 from repro.exec.shm import PublishedBlob, attach_blob
 
 if TYPE_CHECKING:
@@ -76,6 +77,7 @@ def evaluate_frozen_batch(task: AnswerBatchTask) -> list["AnswerResult"]:
     :class:`~repro.exec.shm.SegmentUnavailable` back through the result
     pipe, which the dispatcher converts into a fresh-epoch retry.
     """
+    fault_point("exec.worker.batch")
     global _SNAPSHOT
     snapshot = _SNAPSHOT
     if snapshot is None or snapshot[0] != task.epoch:

@@ -31,6 +31,7 @@ import pickle
 from dataclasses import dataclass
 
 from repro.exec.backend import worker_payload
+from repro.exec.faults import fault_point
 from repro.exec.shm import attach_blob
 
 # frontier entry: node id -> {(seed_id, prefix predicate-id tuple)}
@@ -72,6 +73,7 @@ def scan_shard(task: ShardScanTask) -> ShardScanResult:
     subject *group*, length-1 paths recorded unconditionally, longer paths
     only on a tail predicate, traversal through everything.
     """
+    fault_point("exec.worker.scan")
     table = task.table
     if table is None:
         if task.tables_ref is not None:

@@ -47,6 +47,7 @@ import json
 import os
 import pickle
 from collections import defaultdict
+from concurrent.futures import BrokenExecutor
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
@@ -583,10 +584,16 @@ def _scan_executor(
     store: KBBackend,
     executor: str | Executor | ExecutorPool | None,
     workers: int | None,
-) -> tuple[Executor | None, bool, bool, Callable[[], str] | None]:
+) -> tuple[
+    Executor | None,
+    bool,
+    bool,
+    Callable[[], str] | None,
+    Callable[[Executor], Executor] | None,
+]:
     """Resolve the execution backend for one expansion call.
 
-    Returns ``(executor, owned, self_contained, publish_tables)``.
+    Returns ``(executor, owned, self_contained, publish_tables, respawn)``.
     ``executor`` is None for the inline serial fast path (scan
     ``store.spo_items_ids()`` directly — zero task overhead, and
     shard-chained order equals the shard-ordered merge).  ``owned`` marks
@@ -598,14 +605,22 @@ def _scan_executor(
     generation — warm workers attach it by name, so repeated expansions on
     one pool pay neither pool start nor per-call table shipping, and a
     mid-flight republication is recoverable by calling it again.
+    ``respawn`` replaces an executor whose workers died mid-scan with a
+    fresh one (None when the executor is caller-owned and not ours to
+    restart — a crash then propagates to its owner).
     """
     if isinstance(executor, ExecutorPool):
         if executor.kind == "serial":
-            return None, False, False, None
-        leased = executor.executor()
-        if leased.kind != "process":
-            return leased, False, False, None
+            return None, False, False, None, None
         pool = executor
+        leased = pool.executor()
+
+        def respawn_from_pool(broken: Executor) -> Executor:
+            pool.respawn(broken)
+            return pool.executor()
+
+        if leased.kind != "process":
+            return leased, False, False, None, respawn_from_pool
         n_shards = store.n_shards
         key = f"shard_tables:{_store_payload_token(store)}:{n_shards}"
 
@@ -618,20 +633,28 @@ def _scan_executor(
                 ),
             )
 
-        return leased, False, False, publish_tables
+        return leased, False, False, publish_tables, respawn_from_pool
     if executor is not None and not isinstance(executor, str):
-        return executor, False, executor.kind == "process", None
+        return executor, False, executor.kind == "process", None, None
     n_shards = store.n_shards
     kind = resolve_exec_kind(executor, default="thread" if n_shards > 1 else "serial")
     if kind == "serial":
-        return None, False, False, None
+        return None, False, False, None, None
     workers = resolve_workers(workers, fallback=n_shards)
     payload = None
     if kind == "process":
         # the shard tables ship once per worker at pool start; per-round
         # tasks then carry only their frontier slice
         payload = tuple(store.shard_table(i) for i in range(n_shards))
-    return make_executor(kind, workers, payload=payload), True, False, None
+
+    def respawn_owned(broken: Executor) -> Executor:
+        try:
+            broken.close()
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        return make_executor(kind, workers, payload=payload)
+
+    return make_executor(kind, workers, payload=payload), True, False, None, respawn_owned
 
 
 def expand_predicates(
@@ -719,13 +742,14 @@ def expand_predicates(
     record = expanded.record_encoded
     note_reach = expanded.note_reach
     n_shards = store.n_shards
-    exec_backend, owned, self_contained, publish_tables = _scan_executor(
-        store, executor, workers
+    exec_backend, owned, self_contained, publish_tables, respawn_backend = (
+        _scan_executor(store, executor, workers)
     )
     tables_ref = publish_tables() if publish_tables is not None else None
     prune_frontier = exec_backend is not None and (
         exec_backend.kind == "process" or self_contained
     )
+    crash_attempts = 0  # whole-call budget for worker-death respawn retries
 
     try:
         for round_index in range(1, max_length + 1):
@@ -784,6 +808,15 @@ def expand_predicates(
                     try:
                         results = exec_backend.map(scan_shard, tasks)
                         break
+                    except BrokenExecutor:
+                        # a worker died mid-round (SIGKILL/OOM): the whole
+                        # pool is broken, but no partial merge happened
+                        # (map materializes fully) — respawn fresh workers
+                        # and re-dispatch the round, within a bounded budget
+                        crash_attempts += 1
+                        if respawn_backend is None or crash_attempts > 3:
+                            raise
+                        exec_backend = respawn_backend(exec_backend)
                     except SegmentUnavailable:
                         # the pool republished the shard tables (a KB
                         # generation bump) and retired this call's segment

@@ -20,6 +20,7 @@ The serving story in three layers:
 from repro.serve.async_answerer import (
     AnswerTarget,
     AsyncAnswerer,
+    DeadlineExceeded,
     OverloadedError,
     ServeConfig,
     ServeStats,
@@ -42,6 +43,7 @@ __all__ = [
     "AnswerTarget",
     "AsyncAnswerer",
     "BackgroundServer",
+    "DeadlineExceeded",
     "KBQAServer",
     "LoadSpec",
     "MultiProcessServer",

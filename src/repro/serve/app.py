@@ -3,9 +3,15 @@
 Endpoints (all JSON):
 
 * ``POST /answer``  ``{"question": "..."}`` -> one answer payload; ``503``
-  with ``{"error": "overloaded", ...}`` when admission control rejects.
+  with ``{"error": "overloaded", ...}`` when admission control rejects —
+  unless the answer cache holds the question, in which case the cached
+  result is served with ``"degraded": true`` (an answer beats a refusal).
+  An ``X-KBQA-Deadline-Ms`` header (or ``ServeConfig.deadline_ms``) bounds
+  the wait: past it the request gets a ``504``.
 * ``POST /batch``   ``{"questions": [...]}`` -> ``{"results": [...]}`` in
-  input order (each question goes through coalescing individually).
+  input order (each question goes through coalescing individually); the
+  deadline header applies per question, and the degraded fallback fires
+  only when *every* question is cached.
 * ``POST /facts``   ``{"op": "add"|"delete", "subject", "predicate",
   "object"}`` -> applies a live KB edit through the write-quiescence path,
   so the expansion refresh + cache invalidation happen with no evaluation
@@ -27,19 +33,30 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from concurrent.futures import BrokenExecutor
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.online import AnswerResult
 from repro.exec.pool import ExecutorPool
-from repro.serve.async_answerer import AsyncAnswerer, OverloadedError, ServeConfig
+from repro.serve.async_answerer import (
+    AsyncAnswerer,
+    DeadlineExceeded,
+    OverloadedError,
+    ServeConfig,
+)
 from repro.serve.http import BadRequest, HTTPRequest, read_request, response_bytes
 
 if TYPE_CHECKING:
     from repro.core.system import KBQA
 
 
-def result_payload(result: AnswerResult) -> dict:
-    """JSON shape of one answer (stable: clients and tests key off this)."""
+def result_payload(result: AnswerResult, *, degraded: bool = False) -> dict:
+    """JSON shape of one answer (stable: clients and tests key off this).
+
+    ``degraded=True`` marks an answer served from the answer cache while the
+    evaluation backend was unavailable — correct as of its caching, but not
+    freshly evaluated.
+    """
     return {
         "question": result.question,
         "answered": result.answered,
@@ -50,6 +67,7 @@ def result_payload(result: AnswerResult) -> dict:
         "template": result.template,
         "predicate": str(result.predicate) if result.predicate is not None else None,
         "found_predicate": result.found_predicate,
+        "degraded": degraded,
     }
 
 
@@ -97,6 +115,8 @@ class KBQAServer:
         self._unsubscribe = None
         self._connections: set[asyncio.Task] = set()
         self._started_monotonic = 0.0
+        self.bad_requests = 0  # malformed/truncated requests answered with 400
+        self.disconnects = 0  # connections dropped mid-request by the client
 
     # -- Lifecycle ---------------------------------------------------------
 
@@ -162,10 +182,17 @@ class KBQAServer:
                 try:
                     request = await read_request(reader)
                 except BadRequest as error:
-                    writer.write(
-                        response_bytes(400, {"error": str(error)}, keep_alive=False)
-                    )
-                    await writer.drain()
+                    # malformed/truncated bytes: a clean 400 (best-effort —
+                    # the writer may already be gone) and close, never a
+                    # traceback out of the connection task
+                    self.bad_requests += 1
+                    try:
+                        writer.write(
+                            response_bytes(400, {"error": str(error)}, keep_alive=False)
+                        )
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        self.disconnects += 1
                     break
                 if request is None:
                     break
@@ -175,14 +202,16 @@ class KBQAServer:
                 await writer.drain()
                 if not keep:
                     break
-        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
-            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown cancels open connections
+        except (ConnectionResetError, BrokenPipeError, TimeoutError, OSError):
+            self.disconnects += 1  # client went away mid-request/response
         finally:
             self._connections.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
                 pass
 
     # -- Routing -----------------------------------------------------------
@@ -200,6 +229,10 @@ class KBQAServer:
                     "serve": self.answerer.snapshot(),
                     "caches": self.system.answerer.cache_info(),
                     "kb": self.system.kb.store.stats(),
+                    "http": {
+                        "bad_requests": self.bad_requests,
+                        "disconnects": self.disconnects,
+                    },
                 }
             if route == ("POST", "/answer"):
                 return await self._handle_answer(request)
@@ -212,6 +245,8 @@ class KBQAServer:
             return 404, {"error": f"no route for {request.path}"}
         except BadRequest as error:
             return 400, {"error": str(error)}
+        except DeadlineExceeded as error:
+            return 504, {"error": "deadline exceeded", "detail": str(error)}
         except OverloadedError:
             return 503, {
                 "error": "overloaded",
@@ -220,12 +255,41 @@ class KBQAServer:
         except Exception as error:  # deterministic 500, never a hung socket
             return 500, {"error": f"{type(error).__name__}: {error}"}
 
+    @staticmethod
+    def _deadline_s(request: HTTPRequest) -> float | None:
+        """Per-request deadline from ``X-KBQA-Deadline-Ms`` (None: config
+        default applies)."""
+        raw = request.headers.get("x-kbqa-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise BadRequest(f"invalid X-KBQA-Deadline-Ms: {raw!r}") from None
+        if value <= 0:
+            raise BadRequest("X-KBQA-Deadline-Ms must be > 0")
+        return value / 1000.0
+
     async def _handle_answer(self, request: HTTPRequest) -> tuple[int, dict]:
         payload = request.json()
         question = payload.get("question")
         if not isinstance(question, str) or not question.strip():
             raise BadRequest("'question' must be a non-empty string")
-        result = await self.answerer.answer(question)
+        deadline_s = self._deadline_s(request)
+        try:
+            if deadline_s is None:  # config default applies inside answer()
+                result = await self.answerer.answer(question)
+            else:
+                result = await self.answerer.answer(question, deadline_s=deadline_s)
+        except (OverloadedError, BrokenExecutor) as error:
+            # degraded mode: the evaluation backend is saturated or its
+            # workers just died — a cached answer beats a refusal, so probe
+            # the answer cache (free) before surfacing the 503/500
+            cached = self.system.answerer.cached_answer(question)
+            if cached is None:
+                raise error
+            self.answerer.stats.degraded += 1
+            return 200, result_payload(cached, degraded=True)
         return 200, result_payload(result)
 
     async def _handle_batch(self, request: HTTPRequest) -> tuple[int, dict]:
@@ -237,7 +301,24 @@ class KBQAServer:
             or not all(isinstance(q, str) and q.strip() for q in questions)
         ):
             raise BadRequest("'questions' must be a non-empty list of strings")
-        results = await self.answerer.answer_many(questions)
+        deadline_s = self._deadline_s(request)
+        try:
+            if deadline_s is None:
+                results = await self.answerer.answer_many(questions)
+            else:
+                results = await self.answerer.answer_many(
+                    questions, deadline_s=deadline_s
+                )
+        except (OverloadedError, BrokenExecutor) as error:
+            # a batch degrades only whole: partially-cached output would be
+            # indistinguishable from a shorter result list
+            cached = [self.system.answerer.cached_answer(q) for q in questions]
+            if any(c is None for c in cached):
+                raise error
+            self.answerer.stats.degraded += len(cached)
+            return 200, {
+                "results": [result_payload(c, degraded=True) for c in cached]
+            }
         return 200, {"results": [result_payload(r) for r in results]}
 
     async def _handle_facts(self, request: HTTPRequest) -> tuple[int, dict]:

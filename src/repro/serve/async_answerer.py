@@ -22,6 +22,15 @@ mechanisms:
   response the HTTP front maps to 503), instead of letting latency grow
   without bound.
 
+The failure model (``tests/test_fault_tolerance.py``): a request may carry
+a **deadline** — past it the caller gets :class:`DeadlineExceeded` (HTTP
+504) while the evaluation itself keeps running for its coalesced siblings
+and the answer cache; a batch whose process workers were killed mid-flight
+(``BrokenProcessPool``) is **re-dispatched** against respawned workers
+after a jittered exponential backoff, bounded by ``max_crash_retries`` —
+the executor delivers nothing on a crash, so the retry is invisible to
+callers.
+
 Correctness under live KB updates rests on an epoch protocol: every
 invalidation (:meth:`AsyncAnswerer.invalidate`, thread-safe) bumps an epoch
 counter on the event loop; a batch whose evaluation straddled a bump is
@@ -39,7 +48,9 @@ workers, which touch nothing but the target's own (locked) caches.
 from __future__ import annotations
 
 import asyncio
+import random
 from collections import deque
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Protocol, Sequence
 
@@ -65,6 +76,27 @@ class OverloadedError(RuntimeError):
     in-process caller should back off and retry.  Raised *before* the
     request consumes any evaluation resources.
     """
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline expired before its evaluation completed.
+
+    The HTTP front maps this to a ``504``.  The underlying evaluation is
+    *not* cancelled — its batch carries other requests, and a coalesced
+    duplicate may still be waiting on it — the expired caller just stops
+    waiting.
+    """
+
+
+def _consume_failure(future: asyncio.Future) -> None:
+    """Mark an abandoned future's exception as retrieved.
+
+    A deadline-expired caller walks away from its future; if the batch
+    later fails and nobody else awaits it, the loop would log an
+    "exception was never retrieved" traceback at GC time.
+    """
+    if not future.cancelled():
+        future.exception()
 
 
 def normalized_key(question: str) -> str:
@@ -100,6 +132,16 @@ class ServeConfig:
     ``max_stale_retries`` bounds re-evaluation when invalidations keep
     landing mid-flight — past it the freshest attempt is delivered anyway
     (bounded staleness instead of livelock under sustained writes).
+
+    The failure-model knobs: ``deadline_ms`` is the default per-request
+    deadline (0 disables; the HTTP front's ``X-KBQA-Deadline-Ms`` header
+    overrides per request) after which the caller gets
+    :class:`DeadlineExceeded` (HTTP 504) instead of waiting forever;
+    ``max_crash_retries`` bounds how many times a batch whose pool workers
+    died (``BrokenProcessPool``) is re-dispatched against respawned
+    workers before the crash propagates; ``retry_backoff_ms`` is the base
+    of the jittered exponential backoff slept between those crash retries
+    (0 disables the sleep).
     """
 
     max_batch: int = 16
@@ -109,6 +151,9 @@ class ServeConfig:
     batch_window_ms: float = 0.0
     max_stale_retries: int = 5
     executor: str | None = None
+    deadline_ms: float = 0.0
+    max_crash_retries: int = 2
+    retry_backoff_ms: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -122,6 +167,16 @@ class ServeConfig:
         if self.max_stale_retries < 1:
             raise ValueError(
                 f"max_stale_retries must be >= 1, got {self.max_stale_retries}"
+            )
+        if self.deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0, got {self.deadline_ms}")
+        if self.max_crash_retries < 0:
+            raise ValueError(
+                f"max_crash_retries must be >= 0, got {self.max_crash_retries}"
+            )
+        if self.retry_backoff_ms < 0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
             )
         if self.executor is not None and self.executor not in EXEC_KINDS:
             raise ValueError(
@@ -143,6 +198,10 @@ class ServeStats:
     invalidations: int = 0  # epoch bumps observed
     applies: int = 0  # quiesced writes through apply()
     max_batch_seen: int = 0
+    deadline_expired: int = 0  # requests abandoned at their deadline (504s)
+    crash_retries: int = 0  # batch re-dispatches after pool-worker death
+    respawns: int = 0  # executors replaced after worker death
+    degraded: int = 0  # answer-cache hits served in degraded mode (by the app)
 
 
 class AsyncAnswerer:
@@ -270,21 +329,29 @@ class AsyncAnswerer:
 
     # -- Submission --------------------------------------------------------
 
-    async def answer(self, question: str) -> AnswerResult:
+    async def answer(
+        self, question: str, *, deadline_s: float | None = None
+    ) -> AnswerResult:
         """Answer one question through coalescing + micro-batching.
 
         Raises :class:`OverloadedError` when admission control rejects the
         request; otherwise resolves to exactly what the synchronous path
-        would return (equivalence-tested).
+        would return (equivalence-tested).  ``deadline_s`` bounds the wait
+        (defaulting from ``config.deadline_ms`` when that is > 0): past it
+        :class:`DeadlineExceeded` is raised and the caller walks away, but
+        the evaluation itself keeps running — its batch carries other
+        requests, and its result still warms the answer cache.
         """
         if not self._running:
             raise RuntimeError("AsyncAnswerer is not running (call start())")
+        if deadline_s is None and self.config.deadline_ms > 0:
+            deadline_s = self.config.deadline_ms / 1000.0
         key = self._key(question)
         shared = self._inflight.get(key) if self.config.coalesce else None
         if shared is not None:
             self.stats.requests += 1
             self.stats.coalesced += 1
-            result = await asyncio.shield(shared)
+            result = await self._await_result(shared, deadline_s)
             return result if result.question == question else replace(result, question=question)
         if self._pending >= self.config.max_pending:
             self.stats.rejected += 1
@@ -299,10 +366,33 @@ class AsyncAnswerer:
         self._pending += 1
         self.stats.requests += 1
         self._wakeup.set()
-        result = await asyncio.shield(future)
+        result = await self._await_result(future, deadline_s)
         return result if result.question == question else replace(result, question=question)
 
-    async def answer_many(self, questions: Sequence[str]) -> list[AnswerResult]:
+    async def _await_result(
+        self, future: asyncio.Future, deadline_s: float | None
+    ) -> AnswerResult:
+        """Await an evaluation future, abandoning it at the deadline.
+
+        ``shield`` keeps the future alive either way — a timeout cancels
+        only the waiter.  An abandoned future gets a consuming callback so
+        a later batch failure is not logged as an unretrieved exception.
+        """
+        if deadline_s is None:
+            return await asyncio.shield(future)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout=deadline_s)
+        except TimeoutError:
+            self.stats.deadline_expired += 1
+            future.add_done_callback(_consume_failure)
+            raise DeadlineExceeded(
+                f"deadline of {deadline_s * 1000.0:g} ms expired before the "
+                "evaluation completed"
+            ) from None
+
+    async def answer_many(
+        self, questions: Sequence[str], *, deadline_s: float | None = None
+    ) -> list[AnswerResult]:
         """Concurrent submission of a client batch (order preserved).
 
         Admission is checked for the *whole* batch up front: if the distinct
@@ -326,7 +416,11 @@ class AsyncAnswerer:
                 f"batch needs {needed} evaluations but only {max(free, 0)} "
                 f"of {self.config.max_pending} slots are free"
             )
-        return list(await asyncio.gather(*(self.answer(q) for q in questions)))
+        return list(
+            await asyncio.gather(
+                *(self.answer(q, deadline_s=deadline_s) for q in questions)
+            )
+        )
 
     # -- Invalidation + writes ---------------------------------------------
 
@@ -470,14 +564,35 @@ class AsyncAnswerer:
         bump per evaluation degrades to *bounded staleness* (the freshest
         attempt is delivered, ``stale_delivered`` counts it) instead of
         livelocking the batch's futures.
+
+        Worker death (``BrokenExecutor``) is the other retry arm: the
+        executor is respawned and the whole batch re-dispatched against the
+        fresh workers — ``Executor.map``/``submit`` deliver nothing on a
+        crash, so the retry is invisible to callers — after a jittered
+        exponential backoff, bounded by ``max_crash_retries``.
         """
         questions = [question for _key, question, _future in batch]
         try:
             retries = 0
+            crashes = 0
             while True:
                 epoch = self._epoch
+                executor = self._executor
                 try:
                     results = await self._evaluate(questions, epoch)
+                except BrokenExecutor:
+                    # pool workers died mid-batch (SIGKILL / OOM): respawn
+                    # and re-dispatch, bounded — a workload that kills every
+                    # pool it touches must surface, not loop
+                    crashes += 1
+                    if crashes > self.config.max_crash_retries:
+                        raise
+                    self.stats.crash_retries += 1
+                    self._respawn_executor(executor)
+                    backoff = self._backoff_s(crashes)
+                    if backoff > 0:
+                        await asyncio.sleep(backoff)
+                    continue
                 except SegmentUnavailable:
                     # the shared-memory publish for `epoch` was retired by a
                     # newer epoch while this batch dispatched — same meaning
@@ -517,6 +632,41 @@ class AsyncAnswerer:
                 assert self._quiesced is not None
                 self._quiesced.set()
 
+    def _respawn_executor(self, broken: Executor | None) -> None:
+        """Replace a crashed executor with fresh workers (event-loop only).
+
+        Identity-checked against ``broken``: concurrent batches that
+        crashed on the *same* dead pool all call in, but only the first
+        respawns — the rest pick up the replacement on their retry.  With
+        a borrowed pool the check (and the published-payload preservation)
+        lives in :meth:`ExecutorPool.respawn`.
+        """
+        if self._pool is not None:
+            if self._pool.respawn(broken):
+                self.stats.respawns += 1
+            self._executor = self._pool.executor()
+            return
+        if broken is None or self._executor is not broken:
+            return  # a sibling batch already replaced it
+        try:
+            broken.close()  # reaps whatever the crash left behind
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        self._executor = make_executor(self._exec_kind, self.config.workers)
+        self.stats.respawns += 1
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Jittered exponential backoff before crash-retry ``attempt``.
+
+        Doubles from ``retry_backoff_ms``, capped at 250 ms, with ±50%
+        jitter so concurrent crashed batches do not re-dispatch in
+        lockstep against the freshly respawned workers.
+        """
+        base = self.config.retry_backoff_ms / 1000.0
+        if base <= 0:
+            return 0.0
+        return min(base * (2 ** (attempt - 1)), 0.25) * random.uniform(0.5, 1.5)
+
     # -- Introspection -----------------------------------------------------
 
     def snapshot(self) -> dict[str, int | bool]:
@@ -532,6 +682,10 @@ class AsyncAnswerer:
             "invalidations": self.stats.invalidations,
             "applies": self.stats.applies,
             "max_batch_seen": self.stats.max_batch_seen,
+            "deadline_expired": self.stats.deadline_expired,
+            "crash_retries": self.stats.crash_retries,
+            "respawns": self.stats.respawns,
+            "degraded": self.stats.degraded,
             "pending": self._pending,
             "inflight_keys": len(self._inflight),
             "active_batches": self._active_batches,

@@ -28,6 +28,7 @@ _REASONS = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

@@ -35,7 +35,28 @@ import time
 from dataclasses import dataclass
 
 from repro.exec.backend import resolve_workers
-from repro.serve.async_answerer import AsyncAnswerer, OverloadedError
+from repro.serve.async_answerer import AsyncAnswerer, DeadlineExceeded, OverloadedError
+
+
+def _error_classes(
+    rejected: int, deadline: int, failed: int, snapshot: dict
+) -> dict:
+    """Per-class error/degradation counters for one load cell.
+
+    Client-observed classes (rejections, deadline expiries, hard failures)
+    plus the answerer's own retry/self-healing counters — the row the CI
+    perf harness publishes so a fault-injection leg can assert *which*
+    failure mode fired, not just a pass/fail.
+    """
+    return {
+        "rejected": rejected,
+        "deadline": deadline,
+        "failed": failed,
+        "stale_retries": snapshot["stale_retries"],
+        "crash_retries": snapshot["crash_retries"],
+        "respawns": snapshot["respawns"],
+        "degraded": snapshot["degraded"],
+    }
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,29 +103,45 @@ def build_request_stream(questions: list[str], spec: LoadSpec) -> list[str]:
     return stream
 
 
-async def run_load(answerer: AsyncAnswerer, stream: list[str], concurrency: int) -> dict:
+async def run_load(
+    answerer: AsyncAnswerer,
+    stream: list[str],
+    concurrency: int,
+    *,
+    deadline_s: float | None = None,
+) -> dict:
     """Run one closed-loop load cell against a started answerer.
 
-    Returns wall-clock QPS plus outcome counters and the answerer's own
-    serving counters (coalesced / batches / evaluated), which is what the
-    benchmark's coalescing A/B keys off.
+    Returns wall-clock QPS plus outcome counters, per-class error counts
+    and the answerer's own serving counters (coalesced / batches /
+    evaluated), which is what the benchmark's coalescing A/B keys off.
+    ``deadline_s`` attaches a per-request deadline; expiries are counted,
+    never retried (like rejections, an expiry is a served negative).
     """
     cursor = 0
     answered = 0
     no_answer = 0
     rejected = 0
+    deadline_expired = 0
+    failed = 0
 
     async def client() -> None:
-        nonlocal cursor, answered, no_answer, rejected
+        nonlocal cursor, answered, no_answer, rejected, deadline_expired, failed
         while True:
             if cursor >= len(stream):
                 return
             question = stream[cursor]
             cursor += 1
             try:
-                result = await answerer.answer(question)
+                result = await answerer.answer(question, deadline_s=deadline_s)
             except OverloadedError:
                 rejected += 1
+                continue
+            except DeadlineExceeded:
+                deadline_expired += 1
+                continue
+            except Exception:
+                failed += 1
                 continue
             if result.answered:
                 answered += 1
@@ -129,6 +166,7 @@ async def run_load(answerer: AsyncAnswerer, stream: list[str], concurrency: int)
         "batches": snapshot["batches"],
         "evaluated": snapshot["evaluated"],
         "max_batch_seen": snapshot["max_batch_seen"],
+        "error_classes": _error_classes(rejected, deadline_expired, failed, snapshot),
     }
 
 
@@ -222,28 +260,42 @@ def latency_percentiles(latencies_ms: list[float]) -> dict:
 
 
 async def run_open_load(
-    answerer: AsyncAnswerer, stream: list[str], rate_qps: float, *, seed: int = 7
+    answerer: AsyncAnswerer,
+    stream: list[str],
+    rate_qps: float,
+    *,
+    seed: int = 7,
+    deadline_s: float | None = None,
 ) -> dict:
     """Fire the stream at a Poisson ``rate_qps`` against a started answerer.
 
     Arrivals never wait for earlier responses (open loop): each request is
     spawned as its own task after a seeded exponential gap.  Returns the
     response-latency percentiles over completed requests, the achieved
-    arrival/completion rates, and the rejection count — under overload the
-    honest signal is p99 latency growth plus 503s, not a throughput number.
+    arrival/completion rates, and per-class error counts — under overload
+    the honest signal is p99 latency growth plus 503s (and, with
+    ``deadline_s`` set, deadline expiries), not a throughput number.
     """
     rng = random.Random(seed)
     latencies_ms: list[float] = []
     rejected = 0
     answered = 0
+    deadline_expired = 0
+    failed = 0
 
     async def one(question: str) -> None:
-        nonlocal rejected, answered
+        nonlocal rejected, answered, deadline_expired, failed
         start = time.perf_counter()
         try:
-            result = await answerer.answer(question)
+            result = await answerer.answer(question, deadline_s=deadline_s)
         except OverloadedError:
             rejected += 1
+            return
+        except DeadlineExceeded:
+            deadline_expired += 1
+            return
+        except Exception:
+            failed += 1
             return
         latencies_ms.append((time.perf_counter() - start) * 1000.0)
         if result.answered:
@@ -259,7 +311,9 @@ async def run_open_load(
     wall_s = time.perf_counter() - start
 
     completed = len(latencies_ms)
+    snapshot = answerer.snapshot()
     return {
+        "error_classes": _error_classes(rejected, deadline_expired, failed, snapshot),
         "requests": len(stream),
         "completed": completed,
         "answered": answered,

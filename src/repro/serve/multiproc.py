@@ -30,11 +30,22 @@ Topology and protocols:
   of them (bounded by the poll interval), and each child's serving epoch
   bumps exactly as if the write were local.  Replay skips a child's own
   entries (already applied before they were logged).
+* **supervision / self-healing** — the parent runs a supervisor thread
+  that polls the children: a replica that died (SIGKILL, OOM, crash) is
+  reaped, its orphaned shared-memory segments are reclaimed, and a
+  replacement is forked from the parent's pristine system.  The
+  replacement **catches up before it accepts traffic**: it replays the
+  full op log onto its inherited system synchronously, *then* binds its
+  ``SO_REUSEPORT`` socket — so a request load-balanced onto the healed
+  replica can never observe pre-crash KB state.  Respawns are bounded
+  (``max_respawns``) so a replica that dies deterministically on startup
+  degrades to fewer replicas instead of a fork loop.
 * **shutdown** — the parent sets a shared stop event; children drain their
   servers (which joins their pools and unlinks their snapshot segments)
-  and exit; the parent joins every child and escalates to ``terminate``
-  only past a deadline.  ``tests/test_serve_http.py`` asserts no child
-  survives.
+  and exit; the parent joins the supervisor, then every child, and
+  escalates to ``terminate`` only past a deadline; a final orphan sweep
+  reclaims segments a killed child could not unlink.
+  ``tests/test_serve_http.py`` asserts no child survives.
 
 The log-replay protocol is best-effort ordered (entries apply in global log
 order on every replica, but a replica's *own* write applies at its local
@@ -50,9 +61,13 @@ import multiprocessing
 import os
 import socket
 import tempfile
+import threading
 import time
 from typing import TYPE_CHECKING
 
+from repro.exec.backend import bind_to_parent_death
+from repro.exec.faults import fault_point
+from repro.exec.shm import sweep_orphans
 from repro.serve.async_answerer import ServeConfig
 
 if TYPE_CHECKING:
@@ -128,11 +143,32 @@ def _child_main(
     # the parent coordinates shutdown through the stop event; a terminal
     # Ctrl-C must not race it with KeyboardInterrupts in every child
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # and a SIGKILL'd parent must not leak replicas: die with it.  (For a
+    # replica forked by the supervisor thread the signal fires when that
+    # *thread* exits — which only happens at teardown, after the stop event
+    # is set, so it merely hastens an exit already in progress.)
+    bind_to_parent_death()
 
     async def serve() -> None:
         from repro.serve.app import KBQAServer
 
-        applied = 0
+        # Catch up before accepting traffic: a *respawned* replica forks
+        # from the parent's original (pre-crash) system, so every logged op
+        # is foreign to it and must land before the socket binds.  Nothing
+        # is running yet, so the replay is a plain synchronous loop — no
+        # quiescence protocol needed.  (First-generation children see an
+        # empty log; this is a no-op for them.)
+        with op_lock:
+            target = op_count.value
+            with open(oplog_path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()[:target]
+        for line in lines:
+            entry = json.loads(line)
+            if entry["op"] == "add":
+                system.add_fact(entry["s"], entry["p"], entry["o"])
+            else:
+                system.delete_fact(entry["s"], entry["p"], entry["o"])
+        applied = target
         own: set[int] = set()
         server = KBQAServer(system, config, host, port, reuse_port=True)
 
@@ -151,6 +187,10 @@ def _child_main(
         ready.release()
         try:
             while not stop_event.is_set():
+                # the chaos harness kills replicas here — outside the op
+                # lock, so a SIGKILL can never strand the global lock in a
+                # held state and poison the surviving siblings
+                fault_point("serve.replica")
                 if op_count.value > applied:
                     applied = await _replay_ops(
                         server, oplog_path, op_lock, op_count, applied, own
@@ -192,6 +232,8 @@ class MultiProcessServer:
         procs: int = 2,
         poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
         ready_timeout_s: float = 120.0,
+        max_respawns: int = 8,
+        supervise_interval_s: float = 0.05,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -207,12 +249,20 @@ class MultiProcessServer:
         self.procs = procs
         self._poll_interval_s = poll_interval_s
         self._ready_timeout_s = ready_timeout_s
+        self._max_respawns = max_respawns
+        self._supervise_interval_s = supervise_interval_s
         self._ctx = multiprocessing.get_context("fork")
         self._children: list = []
         self._placeholder: socket.socket | None = None
         self._oplog_path: str | None = None
         self._stop_event = None
         self._errors = None
+        self._op_count = None
+        self._op_lock = None
+        self._ready = None
+        self._supervisor: threading.Thread | None = None
+        self._given_up: set[int] = set()  # slots past the respawn budget
+        self.respawned = 0  # replicas replaced after dying (self-healing)
 
     @property
     def url(self) -> str:
@@ -233,41 +283,19 @@ class MultiProcessServer:
 
         fd, self._oplog_path = tempfile.mkstemp(prefix="kbqa-oplog-", suffix=".jsonl")
         os.close(fd)
-        op_count = self._ctx.Value("Q", 0)
-        op_lock = self._ctx.Lock()
+        self._op_count = self._ctx.Value("Q", 0)
+        self._op_lock = self._ctx.Lock()
         self._stop_event = self._ctx.Event()
-        ready = self._ctx.Semaphore(0)
+        self._ready = self._ctx.Semaphore(0)
         self._errors = self._ctx.Queue()
 
         try:
             for index in range(self.procs):
-                child = self._ctx.Process(
-                    target=_child_main,
-                    args=(
-                        self._system,
-                        self._config,
-                        self.host,
-                        self.port,
-                        index,
-                        op_count,
-                        op_lock,
-                        self._stop_event,
-                        ready,
-                        self._errors,
-                        self._oplog_path,
-                        self._poll_interval_s,
-                    ),
-                    # not daemonic: a replica configured with a process
-                    # executor must be allowed to start its own worker pool
-                    name=f"kbqa-serve-{index}",
-                    daemon=False,
-                )
-                child.start()
-                self._children.append(child)
+                self._children.append(self._spawn_child(index))
 
             deadline = time.monotonic() + self._ready_timeout_s
             for _ in range(self.procs):
-                if not ready.acquire(
+                if not self._ready.acquire(
                     timeout=max(deadline - time.monotonic(), 0.001)
                 ):
                     failures = self._drain_errors()
@@ -280,6 +308,10 @@ class MultiProcessServer:
             # leak the ones that did start, the port, or the op log
             self._teardown(force=True)
             raise
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="kbqa-serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -289,6 +321,70 @@ class MultiProcessServer:
             raise RuntimeError("server process failed: " + "; ".join(failures))
 
     # -- Internals ---------------------------------------------------------
+
+    def _spawn_child(self, index: int):
+        """Fork one replica for slot ``index`` (initial start and respawn)."""
+        child = self._ctx.Process(
+            target=_child_main,
+            args=(
+                self._system,
+                self._config,
+                self.host,
+                self.port,
+                index,
+                self._op_count,
+                self._op_lock,
+                self._stop_event,
+                self._ready,
+                self._errors,
+                self._oplog_path,
+                self._poll_interval_s,
+            ),
+            # not daemonic: a replica configured with a process
+            # executor must be allowed to start its own worker pool
+            name=f"kbqa-serve-{index}",
+            daemon=False,
+        )
+        child.start()
+        return child
+
+    def _supervise(self) -> None:
+        """Parent-side self-healing loop: reap dead replicas, fork
+        replacements.
+
+        A replacement forks from the parent's pristine system and catches
+        itself up from the op log before binding (see ``_child_main``), so
+        the slot returns at full correctness, not just full capacity.  The
+        dead replica's published shared-memory segments (snapshot +
+        payload publishes its SIGKILL skipped) are reclaimed here — the
+        publisher pid is gone, so :func:`sweep_orphans` can prove them
+        dead.  Slots that exhaust ``max_respawns`` are abandoned
+        (``_given_up``): deterministic startup crashes degrade to fewer
+        replicas instead of a fork loop.
+        """
+        assert self._stop_event is not None and self._ready is not None
+        while not self._stop_event.wait(self._supervise_interval_s):
+            for index, child in enumerate(self._children):
+                if child.is_alive() or index in self._given_up:
+                    continue
+                child.join(timeout=0.1)  # reap the corpse
+                sweep_orphans()
+                if self.respawned >= self._max_respawns:
+                    self._given_up.add(index)
+                    continue
+                if self._stop_event.is_set():
+                    return
+                self._children[index] = self._spawn_child(index)
+                self.respawned += 1
+                # wait (interruptibly) until the replacement binds, so one
+                # flapping slot cannot fork faster than children come up
+                deadline = time.monotonic() + self._ready_timeout_s
+                while not self._stop_event.is_set():
+                    if self._ready.acquire(timeout=0.1):
+                        break
+                    if time.monotonic() > deadline:
+                        self._given_up.add(index)
+                        break
 
     def _drain_errors(self) -> list[str]:
         failures: list[str] = []
@@ -303,6 +399,11 @@ class MultiProcessServer:
     def _teardown(self, *, force: bool) -> None:
         if self._stop_event is not None:
             self._stop_event.set()
+        if self._supervisor is not None:
+            # join the supervisor *before* the children: no respawn may
+            # race the joins below, or a fresh fork could outlive teardown
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
         deadline = time.monotonic() + (5.0 if force else 30.0)
         for child in self._children:
             while True:
@@ -328,3 +429,6 @@ class MultiProcessServer:
             except OSError:
                 pass
             self._oplog_path = None
+        # segments a killed child never unlinked (its pid is dead now, so
+        # they are provably orphans); live publishes are never touched
+        sweep_orphans()

@@ -227,13 +227,15 @@ class TestPersistentPool:
 
     def test_same_worker_pids_across_calls(self):
         with ExecutorPool("process", 2) as pool:
-            first = set(pool.executor().map(_worker_pid, range(8)))
-            second = set(pool.executor().map(_worker_pid, range(8)))
-            # warm workers, never new ones (a fast second map may use only a
-            # subset of the pool, so subset — not equality — is the invariant)
-            assert first and second and second <= first
-            assert os.getpid() not in first  # really out-of-process
-            assert pool.starts == 1 and pool.leases == 2
+            # task→worker placement is scheduler-dependent (one fast worker
+            # may drain a whole map), so the churn-free invariant is on the
+            # *union*: across many calls, never more pids than pool workers
+            pids: set[int] = set()
+            for _ in range(3):
+                pids.update(pool.executor().map(_worker_pid, range(8)))
+            assert pids and len(pids) <= 2
+            assert os.getpid() not in pids  # really out-of-process
+            assert pool.starts == 1 and pool.leases == 3
         _assert_no_children()
 
     def test_repeated_expansions_reuse_pool_and_publish_once(self, suite):

@@ -1,0 +1,712 @@
+"""Chaos suite: crash-safety contracts under injected faults.
+
+The failure model this PR adds, exercised end to end through the
+`repro.exec.faults` harness (``KBQA_FAULTS``):
+
+* a SIGKILL'd **pool worker** is absorbed — :meth:`ExecutorPool.run`, the
+  expansion round loop and the serving batch loop respawn fresh workers and
+  re-dispatch, with *byte-identical* output to a serial run;
+* a SIGKILL'd ``--procs`` **replica** is reaped by the parent supervisor
+  and replaced by a freshly forked child that catches up from the op log
+  *before* binding its socket;
+* requests carry **deadlines** (``DeadlineExceeded`` / HTTP 504) and the
+  HTTP front serves **degraded** answer-cache hits instead of 503s when
+  the evaluation backend is down;
+* ``kbqa-*`` shared-memory segments orphaned by killed processes are
+  decidable (pid in the name) and swept at pool starts, teardown and via
+  ``kbqa shm-gc``.
+
+Real kills, real forks, real sockets — the only scripted parts are the
+fault points themselves, which fire deterministically (``times``/``after``
+per process, ``once=<token file>`` across processes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import BrokenExecutor
+from multiprocessing import resource_tracker, shared_memory
+
+import pytest
+
+from repro.core.online import AnswerResult
+from repro.core.system import KBQA
+from repro.data.compile import compile_freebase_like
+from repro.exec.faults import (
+    FAULTS_ENV,
+    fault_point,
+    faults_active,
+    inject_faults,
+    parse_faults,
+)
+from repro.exec.pool import ExecutorPool
+from repro.exec.shm import SEGMENT_PREFIX, SegmentUnavailable, sweep_orphans
+from repro.kb.expansion import expand_predicates
+from repro.kb.sharded import ShardedTripleStore
+from repro.kb.triple import make_literal
+from repro.serve import (
+    AsyncAnswerer,
+    DeadlineExceeded,
+    MultiProcessServer,
+    OverloadedError,
+    ServeConfig,
+    multiproc_available,
+)
+from repro.serve.app import KBQAServer
+from repro.serve.http import HTTPRequest
+
+TIMEOUT_S = 60.0
+
+needs_multiproc = pytest.mark.skipif(
+    not multiproc_available(),
+    reason="needs SO_REUSEPORT + fork (POSIX multi-process serving)",
+)
+
+
+def _assert_no_children() -> None:
+    """Children unregister as they are reaped; poll briefly, then assert."""
+    for _ in range(300):
+        if not multiprocessing.active_children():
+            break
+        time.sleep(0.02)
+    assert multiprocessing.active_children() == []
+
+
+def _wait_until(predicate, timeout_s: float = TIMEOUT_S) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition not met before timeout"
+        time.sleep(0.02)
+
+
+# -- Scripted picklable targets ---------------------------------------------
+
+
+def _result(question: str, value: str) -> AnswerResult:
+    return AnswerResult(
+        question=question,
+        value=value,
+        values=(value,),
+        score=1.0,
+        entity="e",
+        template="t",
+        predicate=None,
+        found_predicate=True,
+    )
+
+
+class EchoTarget:
+    """Deterministic picklable target: value is a pure function of the
+    question, so serial output is the equivalence reference."""
+
+    def answer_many(self, questions):
+        return [_result(q, f"v:{' '.join(q.split())}") for q in questions]
+
+
+class SlowTarget:
+    """Every batch takes ``delay_s`` — the deadline tests' stalled backend."""
+
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+
+    def answer_many(self, questions):
+        time.sleep(self.delay_s)
+        return [_result(q, "slow") for q in questions]
+
+
+def _double_with_fault(task: int) -> int:
+    """Module-level (picklable) pool task carrying its own fault point."""
+    fault_point("test.pool.task")
+    return task * 2
+
+
+# -- Fault-spec harness ------------------------------------------------------
+
+
+class TestFaultSpecs:
+    def test_parse_full_grammar(self, tmp_path):
+        token = str(tmp_path / "tok")
+        faults = parse_faults(
+            f"exec.worker.batch=kill,once={token};"
+            "serve.replica=sleep:25,times=3,after=2;"
+            "shm.attach=raise:SegmentUnavailable"
+        )
+        assert faults["exec.worker.batch"].action == "kill"
+        assert faults["exec.worker.batch"].once == token
+        assert faults["serve.replica"].action == "sleep"
+        assert faults["serve.replica"].arg == "25"
+        assert faults["serve.replica"].times == 3
+        assert faults["serve.replica"].after == 2
+        assert faults["shm.attach"].arg == "SegmentUnavailable"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "no-equals-sign",
+            "site=explode",
+            "site=kill,bogus=1",
+            "site=raise:NoSuchError",
+            "site=sleep:abc",
+            "site=exit:xyz",
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, spec):
+        with pytest.raises(ValueError):
+            parse_faults(spec)
+
+    def test_unarmed_fault_point_is_a_no_op(self):
+        assert not faults_active()
+        fault_point("anything.at.all")  # must not raise
+
+    def test_raise_action_with_after_and_times(self):
+        with inject_faults("t.site=raise:RuntimeError,after=2,times=2"):
+            assert faults_active()
+            fault_point("t.site")  # hit 1: skipped (after)
+            fault_point("t.site")  # hit 2: skipped (after)
+            with pytest.raises(RuntimeError, match="injected fault"):
+                fault_point("t.site")  # hit 3: fire 1
+            with pytest.raises(RuntimeError):
+                fault_point("t.site")  # hit 4: fire 2
+            fault_point("t.site")  # hit 5: budget exhausted
+        assert not faults_active()
+
+    def test_once_token_fires_exactly_once(self, tmp_path):
+        token = str(tmp_path / "one.tok")
+        with inject_faults(f"t.once=raise,once={token}"):
+            with pytest.raises(RuntimeError):
+                fault_point("t.once")
+            fault_point("t.once")  # token already claimed
+        assert os.path.exists(token)
+
+    def test_invalid_spec_rejected_before_arming(self):
+        with pytest.raises(ValueError):
+            inject_faults("site=explode")
+        assert os.environ.get(FAULTS_ENV) is None
+
+    def test_env_restored_on_exit(self):
+        with inject_faults("a=sleep:1"):
+            assert os.environ[FAULTS_ENV] == "a=sleep:1"
+            with inject_faults("b=sleep:1"):
+                assert os.environ[FAULTS_ENV] == "b=sleep:1"
+            assert os.environ[FAULTS_ENV] == "a=sleep:1"
+        assert os.environ.get(FAULTS_ENV) is None
+
+
+# -- Pool worker supervision -------------------------------------------------
+
+
+class TestPoolSupervision:
+    def test_run_survives_one_worker_kill(self, tmp_path):
+        """A SIGKILL'd worker breaks the whole executor; pool.run respawns
+        and re-dispatches, and the caller sees only correct results."""
+        token = str(tmp_path / "kill.tok")
+        with inject_faults(f"test.pool.task=kill,once={token}"):
+            with ExecutorPool("process", 2) as pool:
+                results = pool.run(_double_with_fault, list(range(8)))
+                assert results == [n * 2 for n in range(8)]
+                assert pool.respawns == 1
+        _assert_no_children()
+
+    def test_retry_budget_bounds_persistent_crashes(self):
+        """A workload that kills every pool it touches must surface."""
+        with inject_faults("test.pool.task=kill,times=-1"):
+            with ExecutorPool("process", 2) as pool:
+                with pytest.raises(BrokenExecutor):
+                    pool.run(_double_with_fault, [1, 2, 3], crash_retries=1)
+                assert pool.respawns == 2  # one per failed attempt
+        _assert_no_children()
+
+    def test_respawn_is_identity_checked(self):
+        pool = ExecutorPool("serial")
+        first = pool.executor()
+        assert pool.respawn(first) is True
+        replacement = pool.executor()
+        assert replacement is not first
+        assert pool.respawn(first) is False  # stale handle: already replaced
+        assert pool.executor() is replacement
+        pool.close()
+
+    def test_published_payloads_survive_respawn(self):
+        """The publisher (this process) did not die — respawn must not
+        unlink segments fresh workers still attach by name."""
+        pool = ExecutorPool("serial")
+        pool.executor()
+        name = pool.publish("k", lambda: b"payload")
+        assert pool.respawn() is True
+        assert pool.publish("k", lambda: b"payload") == name
+        pool.close()
+
+
+# -- Expansion equivalence under worker death --------------------------------
+
+
+def _random_kb(kb_seed: int, shards: int):
+    import random
+
+    rng = random.Random(kb_seed)
+    kb = ShardedTripleStore(shards=shards)
+    entities = [f"e{i}" for i in range(20)]
+    links = ["knows", "marriage", "person", "works_at"]
+    for _ in range(120):
+        kb.add(rng.choice(entities), rng.choice(links), rng.choice(entities))
+    for i, entity in enumerate(entities):
+        if rng.random() < 0.7:
+            kb.add(entity, "name", make_literal(f"name {i}"))
+    seeds = rng.sample(entities, 6)
+    return kb, seeds
+
+
+class TestExpansionUnderCrash:
+    def test_worker_kill_mid_scan_is_byte_invisible(self, tmp_path):
+        """Kill a worker mid-round; the respawn+retry must reproduce the
+        serial expansion byte for byte."""
+        kb, seeds = _random_kb(3, shards=2)
+        reference = expand_predicates(kb, seeds, max_length=3, record_reach=True)
+        ref_path = tmp_path / "ref.kbqa"
+        reference.save(ref_path)
+
+        token = str(tmp_path / "scan.tok")
+        with inject_faults(f"exec.worker.scan=kill,once={token}"):
+            with ExecutorPool("process", 2) as pool:
+                produced = expand_predicates(
+                    kb, seeds, max_length=3, record_reach=True, executor=pool
+                )
+                out_path = tmp_path / "crashed.kbqa"
+                produced.save(out_path)
+                assert pool.respawns >= 1  # the kill actually landed
+        assert out_path.read_bytes() == ref_path.read_bytes()
+        _assert_no_children()
+
+
+# -- Serving: crash retry, deadlines -----------------------------------------
+
+
+class TestServingCrashRetry:
+    def test_process_batch_survives_worker_kill(self, tmp_path):
+        """SIGKILL a serving pool worker mid-batch: the batch re-dispatches
+        against respawned workers and every answer equals the serial path;
+        stop() leaves no worker process behind."""
+        target = EchoTarget()
+        questions = [f"question number {i}?" for i in range(6)]
+        expected = [r.value for r in target.answer_many(questions)]
+        token = str(tmp_path / "batch.tok")
+        config = ServeConfig(
+            executor="process", workers=2, max_batch=2, retry_backoff_ms=1.0
+        )
+
+        async def main():
+            async with AsyncAnswerer(target, config) as answerer:
+                results = await answerer.answer_many(questions)
+                return results, dict(answerer.snapshot())
+
+        with inject_faults(f"exec.worker.batch=kill,once={token}"):
+            results, snapshot = asyncio.run(main())
+        assert [r.value for r in results] == expected
+        assert snapshot["crash_retries"] >= 1
+        assert snapshot["respawns"] >= 1
+        _assert_no_children()
+
+    def test_crash_retry_budget_fails_the_batch(self):
+        """Unbounded worker suicide exhausts max_crash_retries and the
+        caller sees the BrokenExecutor (never a hang)."""
+        config = ServeConfig(
+            executor="process",
+            workers=2,
+            max_crash_retries=1,
+            retry_backoff_ms=1.0,
+        )
+
+        async def main():
+            async with AsyncAnswerer(EchoTarget(), config) as answerer:
+                with pytest.raises(BrokenExecutor):
+                    await answerer.answer("doomed question?")
+                return dict(answerer.snapshot())
+
+        with inject_faults("exec.worker.batch=kill,times=-1"):
+            snapshot = asyncio.run(main())
+        assert snapshot["crash_retries"] == 1
+        _assert_no_children()
+
+    def test_deadline_expires_with_stalled_backend(self):
+        """A stalled evaluation must not hold the caller past its deadline;
+        the evaluation itself is not cancelled and resolves later."""
+        config = ServeConfig(executor="thread", workers=1)
+
+        async def main():
+            async with AsyncAnswerer(SlowTarget(0.4), config) as answerer:
+                start = time.perf_counter()
+                with pytest.raises(DeadlineExceeded):
+                    await answerer.answer("too slow?", deadline_s=0.05)
+                waited = time.perf_counter() - start
+                # un-deadlined request on the same answerer still completes
+                result = await answerer.answer("patient question?")
+                return waited, result, dict(answerer.snapshot())
+
+        waited, result, snapshot = asyncio.run(main())
+        assert waited < 0.35  # gave up well before the 0.4s evaluation
+        assert result.value == "slow"
+        assert snapshot["deadline_expired"] == 1
+
+    def test_config_default_deadline_applies(self):
+        config = ServeConfig(executor="thread", workers=1, deadline_ms=40.0)
+
+        async def main():
+            async with AsyncAnswerer(SlowTarget(0.4), config) as answerer:
+                with pytest.raises(DeadlineExceeded):
+                    await answerer.answer("slow by default?")
+                return dict(answerer.snapshot())
+
+        snapshot = asyncio.run(main())
+        assert snapshot["deadline_expired"] == 1
+
+
+# -- HTTP lifecycle: 504 + degraded mode -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_system(suite) -> KBQA:
+    """A trained system over a private KB copy (safe to mutate/fork)."""
+    kb = compile_freebase_like(suite.world)
+    return KBQA.train(kb, suite.corpus, suite.conceptualizer)
+
+
+def _answerable_question(suite, system) -> str:
+    for entity in suite.world.of_type("city"):
+        question = f"what is the population of {entity.name}?"
+        if system.answer(question).answered:
+            return question
+    raise AssertionError("no answerable city question in the suite")
+
+
+def _route(server, method: str, path: str, body: dict | None = None, headers=None):
+    request = HTTPRequest(
+        method=method,
+        path=path,
+        headers=headers or {},
+        body=json.dumps(body).encode() if body is not None else b"",
+    )
+    return asyncio.run(server._route(request))
+
+
+class TestHTTPDeadlines:
+    def test_deadline_exceeded_maps_to_504(self, serve_system):
+        server = KBQAServer(serve_system, ServeConfig())
+
+        async def expiring(_question, **_kwargs):
+            raise DeadlineExceeded("deadline of 5 ms expired")
+
+        server.answerer.answer = expiring
+        status, payload = _route(
+            server,
+            "POST",
+            "/answer",
+            {"question": "anything?"},
+            headers={"x-kbqa-deadline-ms": "5"},
+        )
+        assert status == 504
+        assert payload["error"] == "deadline exceeded"
+
+    @pytest.mark.parametrize("raw", ["abc", "-5", "0"])
+    def test_invalid_deadline_header_is_400(self, serve_system, raw):
+        server = KBQAServer(serve_system, ServeConfig())
+        status, payload = _route(
+            server,
+            "POST",
+            "/answer",
+            {"question": "anything?"},
+            headers={"x-kbqa-deadline-ms": raw},
+        )
+        assert status == 400
+        assert "deadline" in payload["error"].lower()
+
+    def test_real_stall_times_out_through_the_route(self, serve_system):
+        """End to end on the event loop: a stalled backend + header deadline
+        produce a 504 from the route layer."""
+        config = ServeConfig(executor="thread", workers=1)
+        server = KBQAServer(SlowTargetSystem(), config)
+
+        async def main():
+            await server.answerer.start()
+            try:
+                request = HTTPRequest(
+                    method="POST",
+                    path="/answer",
+                    headers={"x-kbqa-deadline-ms": "40"},
+                    body=json.dumps({"question": "too slow?"}).encode(),
+                )
+                return await server._route(request)
+            finally:
+                await server.answerer.stop()
+                server.exec_pool.close()
+
+        status, payload = asyncio.run(main())
+        assert status == 504
+        assert payload["error"] == "deadline exceeded"
+
+
+class SlowTargetSystem:
+    """Just enough KBQA surface for KBQAServer with a stalled answerer."""
+
+    def __init__(self) -> None:
+        self.answerer = SlowTarget(0.5)
+
+    def answer_many(self, questions):
+        return self.answerer.answer_many(questions)
+
+
+class TestDegradedMode:
+    def test_cached_answer_served_degraded_on_overload(self, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        expected = serve_system.answer(question)  # warms the answer cache
+        server = KBQAServer(serve_system, ServeConfig(max_pending=7))
+
+        async def rejecting(_question, **_kwargs):
+            raise OverloadedError("serving queue full (7 pending evaluations)")
+
+        server.answerer.answer = rejecting
+        status, payload = _route(server, "POST", "/answer", {"question": question})
+        assert status == 200
+        assert payload["degraded"] is True
+        assert payload["value"] == expected.value
+        assert server.answerer.stats.degraded == 1
+
+    def test_uncached_question_still_gets_the_503(self, serve_system):
+        server = KBQAServer(serve_system, ServeConfig(max_pending=7))
+
+        async def rejecting(_question, **_kwargs):
+            raise OverloadedError("serving queue full (7 pending evaluations)")
+
+        server.answerer.answer = rejecting
+        status, payload = _route(
+            server,
+            "POST",
+            "/answer",
+            {"question": "definitely never cached before zorp?"},
+        )
+        assert status == 503
+        assert payload == {"error": "overloaded", "max_pending": 7}
+
+    def test_batch_degrades_only_when_fully_cached(self, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        serve_system.answer(question)  # cached
+        server = KBQAServer(serve_system, ServeConfig(max_pending=7))
+
+        async def rejecting(_questions, **_kwargs):
+            raise OverloadedError("serving queue full (7 pending evaluations)")
+
+        server.answerer.answer_many = rejecting
+        status, payload = _route(
+            server,
+            "POST",
+            "/batch",
+            {"questions": [question, "never cached zorp?"]},
+        )
+        assert status == 503
+        status, payload = _route(
+            server, "POST", "/batch", {"questions": [question, question]}
+        )
+        assert status == 200
+        assert all(r["degraded"] for r in payload["results"])
+        assert [r["value"] for r in payload["results"]] == [
+            serve_system.answer(question).value
+        ] * 2
+
+    def test_fresh_answers_are_not_marked_degraded(self, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        server = KBQAServer(serve_system, ServeConfig())
+
+        async def main():
+            await server.answerer.start()
+            try:
+                request = HTTPRequest(
+                    method="POST",
+                    path="/answer",
+                    body=json.dumps({"question": question}).encode(),
+                )
+                return await server._route(request)
+            finally:
+                await server.answerer.stop()
+                server.exec_pool.close()
+
+        status, payload = asyncio.run(main())
+        assert status == 200
+        assert payload["degraded"] is False
+
+
+# -- Orphaned shared-memory sweep --------------------------------------------
+
+
+def _dead_pid() -> int:
+    child = multiprocessing.get_context("fork").Process(target=_noop)
+    child.start()
+    child.join()
+    return child.pid
+
+
+def _noop() -> None:
+    pass
+
+
+def _make_segment(name: str) -> None:
+    segment = shared_memory.SharedMemory(create=True, size=16, name=name)
+    segment.close()
+    # this test bypasses PublishedBlob, so keep the resource tracker from
+    # double-unlinking (or warning about) the name the sweep removes
+    resource_tracker.unregister("/" + name, "shared_memory")
+
+
+class TestOrphanSweep:
+    def test_dead_publisher_segment_is_swept(self):
+        name = f"{SEGMENT_PREFIX}{_dead_pid()}-deadbeef"
+        _make_segment(name)
+        assert name in sweep_orphans()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_live_publisher_segment_is_kept(self):
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-feedface"
+        _make_segment(name)
+        try:
+            assert name not in sweep_orphans()
+            assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            os.unlink(f"/dev/shm/{name}")
+
+    def test_pool_start_sweeps_orphans(self):
+        name = f"{SEGMENT_PREFIX}{_dead_pid()}-cafebabe"
+        _make_segment(name)
+        pool = ExecutorPool("serial")
+        pool.executor()
+        assert pool.swept >= 1
+        assert not os.path.exists(f"/dev/shm/{name}")
+        pool.close()
+
+    def test_shm_gc_cli(self, capsys):
+        from repro.cli import main
+
+        name = f"{SEGMENT_PREFIX}{_dead_pid()}-0badf00d"
+        _make_segment(name)
+        assert main(["shm-gc"]) == 0
+        out = capsys.readouterr().out
+        assert name in out
+        assert "reclaimed" in out
+
+
+# -- Replica self-healing + combined chaos -----------------------------------
+
+
+def _post(url: str, payload: dict, timeout: float = 30.0) -> tuple[int, dict]:
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _post_with_retry(url: str, payload: dict, attempts: int = 20) -> tuple[int, dict]:
+    """Client-side retry over replica-death connection drops: the accepted
+    request that finally lands is the one whose answer we assert on."""
+    last: Exception | None = None
+    for _ in range(attempts):
+        try:
+            return _post(url, payload, timeout=10.0)
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last = error
+            time.sleep(0.05)
+    raise AssertionError(f"request never landed after {attempts} attempts: {last!r}")
+
+
+@needs_multiproc
+class TestReplicaSelfHealing:
+    def test_sigkilled_replica_is_replaced_and_caught_up(self, serve_system, suite):
+        """Kill one of two replicas mid-load after a /facts write: the
+        supervisor forks a replacement that replays the op log before
+        binding, so every post-heal answer reflects the write."""
+        question = _answerable_question(suite, serve_system)
+        config = ServeConfig(workers=2)
+        front = MultiProcessServer(
+            serve_system, config, procs=2, supervise_interval_s=0.02
+        )
+        with front:
+            # land a write through one replica; both must converge on it
+            status, before = _post_with_retry(
+                front.url + "/answer", {"question": question}
+            )
+            assert status == 200 and before["answered"] is True
+            status, payload = _post_with_retry(
+                front.url + "/facts",
+                {"op": "add", "subject": before["entity"],
+                 "predicate": "population", "object": make_literal("123456789")},
+            )
+            assert status == 200 and payload["changed"] is True
+
+            victim = front._children[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            _wait_until(lambda: front.respawned >= 1)
+            _wait_until(lambda: all(c.is_alive() for c in front._children))
+
+            # hammer both replicas: every answer must include the written
+            # value — a healed replica serving pre-write state would miss it
+            for _ in range(20):
+                status, payload = _post_with_retry(
+                    front.url + "/answer", {"question": question}
+                )
+                assert status == 200
+                assert "123456789" in payload["values"], (
+                    "a replica answered with pre-write state after healing"
+                )
+        assert front.respawned >= 1
+        _assert_no_children()
+
+    def test_combined_chaos_worker_and_replica_kill(self, serve_system, suite, tmp_path):
+        """The acceptance scenario: two replicas on a process executor; one
+        pool worker and one replica are SIGKILL'd mid-load.  Every accepted
+        request must come back correct (or explicitly degraded), capacity
+        must recover without a restart, and nothing — child process or shm
+        segment — may outlive stop()."""
+        question = _answerable_question(suite, serve_system)
+        expected = serve_system.answer(question)
+        worker_tok = str(tmp_path / "worker.tok")
+        replica_tok = str(tmp_path / "replica.tok")
+        config = ServeConfig(executor="process", workers=2, retry_backoff_ms=1.0)
+        spec = (
+            f"exec.worker.batch=kill,once={worker_tok};"
+            f"serve.replica=kill,once={replica_tok},after=10"
+        )
+        with inject_faults(spec):
+            front = MultiProcessServer(
+                serve_system, config, procs=2, supervise_interval_s=0.02
+            )
+            with front:
+                outcomes = []
+                for i in range(30):
+                    status, payload = _post_with_retry(
+                        front.url + "/answer", {"question": question}
+                    )
+                    outcomes.append(status)
+                    assert status == 200, f"request {i} -> {status}: {payload}"
+                    assert payload["value"] == expected.value
+                    assert payload["degraded"] in (False, True)
+                assert len(outcomes) == 30  # no accepted request was lost
+                _wait_until(lambda: front.respawned >= 1)
+                _wait_until(lambda: all(c.is_alive() for c in front._children))
+                assert len(front._children) == 2  # full capacity, no restart
+                status, _payload = _post_with_retry(
+                    front.url + "/answer", {"question": question}
+                )
+                assert status == 200
+        assert os.path.exists(worker_tok) or os.path.exists(replica_tok)
+        _assert_no_children()
+        # nothing outlives stop(): any kbqa-* segment whose publisher is dead
+        # would be returned (and reclaimed) here — there must be none left
+        assert sweep_orphans() == []

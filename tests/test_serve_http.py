@@ -10,6 +10,7 @@ pool for the concurrency case), exactly what CI's smoke step exercises.
 import http.client
 import json
 import multiprocessing
+import socket
 import threading
 import time
 import urllib.error
@@ -149,6 +150,68 @@ class TestRoutes:
             assert response.status == 200
             response.read()
         connection.close()
+
+
+class TestConnectionHardening:
+    """Hostile and broken clients at the socket level: garbage bytes,
+    truncated requests, mid-request hangups.  The server answers 400 where
+    a reply is still possible, never leaks a traceback out of a connection
+    task, stays healthy for the next client, and counts what it saw."""
+
+    def _raw(self, server, payload: bytes, *, shutdown: bool = False) -> bytes:
+        with socket.create_connection(
+            (server.server.host, server.server.port), timeout=30
+        ) as sock:
+            sock.sendall(payload)
+            if shutdown:
+                sock.shutdown(socket.SHUT_WR)  # half-close: reply still readable
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+
+    def test_garbage_request_line_gets_400_and_close(self, server):
+        data = self._raw(server, b"\x00\xff TOTAL GARBAGE\r\n\r\n")
+        assert data.startswith(b"HTTP/1.1 400 ")
+        assert b"connection: close" in data.lower()
+        assert _get(server.url + "/healthz")[0] == 200
+
+    def test_truncated_body_gets_400_not_a_hang(self, server):
+        data = self._raw(
+            server,
+            b"POST /answer HTTP/1.1\r\nContent-Length: 100\r\n\r\n" b'{"question',
+            shutdown=True,
+        )
+        assert data.startswith(b"HTTP/1.1 400 ")
+        assert _get(server.url + "/healthz")[0] == 200
+
+    def test_truncated_headers_get_400_not_a_hang(self, server):
+        data = self._raw(server, b"POST /answer HTTP/1.1\r\nContent-", shutdown=True)
+        assert data.startswith(b"HTTP/1.1 400 ")
+        assert _get(server.url + "/healthz")[0] == 200
+
+    def test_disconnect_mid_request_leaves_server_healthy(self, server):
+        sock = socket.create_connection(
+            (server.server.host, server.server.port), timeout=30
+        )
+        sock.sendall(b"POST /answer HTTP/1.1\r\nContent-Length: 50\r\n\r\n")
+        sock.close()  # hang up while the server awaits the promised body
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if _get(server.url + "/healthz")[0] == 200:
+                break
+            time.sleep(0.05)
+        assert _get(server.url + "/healthz")[0] == 200
+
+    def test_stats_expose_http_error_counters(self, server):
+        self._raw(server, b"NOT EVEN HTTP\r\n\r\n")
+        status, payload = _get(server.url + "/stats")
+        assert status == 200
+        assert payload["http"]["bad_requests"] >= 1
+        assert payload["http"]["disconnects"] >= 0
 
 
 class TestLiveFacts:
