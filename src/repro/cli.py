@@ -28,6 +28,7 @@ from dataclasses import replace
 from repro.core.system import KBQA, KBQAConfig
 from repro.exec.backend import EXEC_KINDS, resolve_exec_kind, resolve_workers
 from repro.eval.runner import evaluate_qald
+from repro.kb.backend import BACKEND_KINDS
 from repro.kb.expansion import ExpandedStore
 from repro.suite import build_suite
 from repro.utils.tables import Table
@@ -116,12 +117,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="maximum expanded-predicate length k (paper default: 3)",
     )
     expand.add_argument(
-        "--expanded-format", default=None, choices=["v1", "v2"],
-        help="artifact format for --save: v1 (line JSON) or v2 (mmap-ready "
-             "struct-packed id arrays); default: $KBQA_EXPANDED_FORMAT, "
-             "else v1.  --load sniffs the format from the file",
+        "--expanded-format", default=None, choices=["v1", "v2", "v3"],
+        help="artifact format for --save: v1 (line JSON), v2 (mmap-ready "
+             "struct-packed id arrays), or v3 (v2 plus sorted-offset "
+             "indexes, served straight from the mmap); default: "
+             "$KBQA_EXPANDED_FORMAT, else v1.  --load sniffs the format "
+             "from the file",
     )
     expand.set_defaults(handler=_cmd_expand)
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile the synthetic KBs into a persistent on-disk store "
+             "(later kbqa runs reopen it with --backend disk --db-dir DIR)",
+    )
+    _common_args(compile_cmd)
+    compile_cmd.set_defaults(handler=_cmd_compile)
 
     decompose = sub.add_parser(
         "decompose", help="show a question's optimal decomposition (Sec 5)"
@@ -194,6 +205,19 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         help="number of subject shards for the KB backend (default: 1)",
     )
     sub.add_argument(
+        "--backend", default=None, choices=list(BACKEND_KINDS),
+        help="KB backend: memory (dict indexes), sharded (subject-partitioned "
+             "memory), or disk (SQLite file, reopened across restarts) "
+             "(default: $KBQA_BACKEND, else sharded when --shards > 1, "
+             "else memory)",
+    )
+    sub.add_argument(
+        "--db-dir", metavar="DIR", default=None,
+        help="directory holding the disk backend's database files "
+             "(<DIR>/freebase.db, <DIR>/dbpedia.db); omit for an ephemeral "
+             "temp-file store.  See also: kbqa compile",
+    )
+    sub.add_argument(
         "--expansion", metavar="PATH", default=None,
         help="resume from a persisted expansion (kbqa expand --save) "
              "instead of re-running the Sec 6.2 scan",
@@ -211,8 +235,18 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _suite_kwargs(args) -> dict:
+    return dict(
+        scale=args.scale,
+        seed=args.seed,
+        shards=args.shards,
+        backend=getattr(args, "backend", None),
+        db_dir=getattr(args, "db_dir", None),
+    )
+
+
 def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]:
-    suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
+    suite = build_suite(**_suite_kwargs(args))
     kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
     expanded = None
     expansion_path = getattr(args, "expansion", None)
@@ -419,7 +453,7 @@ def _cmd_expand(args) -> int:
             from repro.kb.expansion import expand_predicates
             from repro.nlp.ner import EntityRecognizer
 
-            suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
+            suite = build_suite(**_suite_kwargs(args))
             kb = suite.freebase if args.kb == "freebase" else suite.dbpedia
             ner = EntityRecognizer(kb.gazetteer)
             seeds = collect_seed_entities(suite.corpus, ner)
@@ -437,6 +471,12 @@ def _cmd_expand(args) -> int:
             print(f"saved expansion to {args.save}")
         else:
             expanded = ExpandedStore.load(args.load)
+            # a mapped (v3) artifact loads with O(1) structural checks only;
+            # --load is the operator's integrity gate, so run the full
+            # index-consistency sweep here (a corrupt file exits 1)
+            verify = getattr(expanded, "verify", None)
+            if verify is not None:
+                verify()
             print(f"loaded expansion from {args.load}")
     except (OSError, ValueError) as error:
         print(f"kbqa expand: error: {error}", file=sys.stderr)
@@ -446,8 +486,37 @@ def _cmd_expand(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    """Compile both KBs into SQLite files under ``--db-dir``.
+
+    The write-once half of the disk-native flow: ``kbqa compile --db-dir D``
+    pays the world build + triple load a single time; every later command
+    run with ``--backend disk --db-dir D`` reopens the same files in
+    milliseconds (the adds replay as no-ops against the existing rows).
+    """
+    if not args.db_dir:
+        print("kbqa compile: error: --db-dir is required", file=sys.stderr)
+        return 1
+    if args.backend not in (None, "disk"):
+        print(
+            f"kbqa compile: error: only the disk backend compiles to --db-dir "
+            f"(got --backend {args.backend})",
+            file=sys.stderr,
+        )
+        return 1
+    args.backend = "disk"
+    suite = build_suite(**_suite_kwargs(args))
+    table = Table(["kb", "stat", "value"], title=f"compiled into {args.db_dir}")
+    for kind, compiled in (("freebase", suite.freebase), ("dbpedia", suite.dbpedia)):
+        table.add_row([kind, "path", compiled.store.path])
+        for key, value in compiled.store.stats().items():
+            table.add_row([kind, key, value])
+    table.print()
+    return 0
+
+
 def _cmd_stats(args) -> int:
-    suite = build_suite(scale=args.scale, seed=args.seed, shards=args.shards)
+    suite = build_suite(**_suite_kwargs(args))
     table = Table(["component", "stat", "value"], title=f"suite ({args.scale}, seed {args.seed})")
     for key, value in suite.world.stats().items():
         table.add_row(["world", key, value])

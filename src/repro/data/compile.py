@@ -28,10 +28,8 @@ from repro.data.world import (
     SCHEMA_BY_INTENT,
     World,
 )
-from repro.kb.backend import KBBackend
+from repro.kb.backend import KBBackend, resolve_backend
 from repro.kb.paths import PredicatePath
-from repro.kb.sharded import ShardedTripleStore
-from repro.kb.store import TripleStore
 from repro.kb.triple import make_literal
 from repro.nlp.question_class import AnswerType
 from repro.utils.rng import stable_hash
@@ -93,11 +91,14 @@ def _schema_paths(kind: str) -> tuple[dict[str, PredicatePath], dict[str, str]]:
     return path_for_intent, intent_for_path
 
 
-def _new_store(shards: int) -> KBBackend:
-    """One subject shard -> plain store; more -> subject-sharded backend."""
-    if shards <= 1:
-        return TripleStore()
-    return ShardedTripleStore(shards=shards)
+def _new_store(shards: int, backend: str | None, db_path: str | None) -> KBBackend:
+    """Pick the store through :func:`~repro.kb.backend.resolve_backend`.
+
+    ``backend=None`` keeps the historical default (plain store, sharded when
+    ``shards > 1``) unless ``KBQA_BACKEND`` overrides it; ``db_path`` names
+    the database file of a disk-backed compile.
+    """
+    return resolve_backend(backend, shards=shards, path=db_path)
 
 
 def _base_entity_triples(store: KBBackend, world: World, with_alias: bool) -> None:
@@ -116,14 +117,21 @@ def _gazetteer(world: World) -> dict[str, list[str]]:
     return {name: list(nodes) for name, nodes in world.by_name.items()}
 
 
-def compile_freebase_like(world: World, shards: int = 1) -> CompiledKB:
+def compile_freebase_like(
+    world: World,
+    shards: int = 1,
+    backend: str | None = None,
+    db_path: str | None = None,
+) -> CompiledKB:
     """World -> Freebase-like store (CVT mediators for compound relations).
 
-    ``shards > 1`` compiles into a :class:`ShardedTripleStore`; the add
-    sequence is identical either way, so the sharded build assigns the same
-    dictionary ids as the single-store build (equivalence-tested).
+    ``shards > 1`` compiles into a sharded backend; ``backend``/``db_path``
+    select the store kind via :func:`~repro.kb.backend.resolve_backend`
+    (``"disk"`` compiles straight into a SQLite file that later runs reopen
+    without recompiling).  The add sequence is identical for every backend,
+    so all builds assign the same dictionary ids (equivalence-tested).
     """
-    store = _new_store(shards)
+    store = _new_store(shards, backend, db_path)
     _base_entity_triples(store, world, with_alias=True)
     cvt_counter = 0
     for node, intent, value in world.iter_facts():
@@ -153,13 +161,18 @@ def compile_freebase_like(world: World, shards: int = 1) -> CompiledKB:
     )
 
 
-def compile_dbpedia_like(world: World, shards: int = 1) -> CompiledKB:
+def compile_dbpedia_like(
+    world: World,
+    shards: int = 1,
+    backend: str | None = None,
+    db_path: str | None = None,
+) -> CompiledKB:
     """World -> DBpedia-like store (direct predicates, no mediators).
 
-    ``shards > 1`` compiles into a :class:`ShardedTripleStore` (see
-    :func:`compile_freebase_like`).
+    ``shards``/``backend``/``db_path`` select the store kind exactly as in
+    :func:`compile_freebase_like`.
     """
-    store = _new_store(shards)
+    store = _new_store(shards, backend, db_path)
     _base_entity_triples(store, world, with_alias=False)
     for node, intent, value in world.iter_facts():
         schema = SCHEMA_BY_INTENT[intent]

@@ -8,11 +8,12 @@ mirrors the memory-efficient generation of Sec 6.2, and a plain-text
 serialization format.
 """
 
-from repro.kb.backend import KBBackend, KBChange
+from repro.kb.backend import BACKEND_KINDS, KBBackend, KBChange, resolve_backend
 from repro.kb.dictionary import Dictionary
 from repro.kb.triple import Triple, is_literal, make_literal, literal_value
 from repro.kb.store import TripleStore
 from repro.kb.sharded import ShardedTripleStore
+from repro.kb.disk import DiskTripleStore
 from repro.kb.paths import PredicatePath
 from repro.kb.expansion import ExpandedStore, expand_predicates
 from repro.kb.live import LiveExpansionMaintainer
@@ -20,7 +21,9 @@ from repro.kb.query import select, solve
 from repro.kb.rdf_io import load_ntriples, save_ntriples
 
 __all__ = [
+    "BACKEND_KINDS",
     "Dictionary",
+    "DiskTripleStore",
     "KBBackend",
     "KBChange",
     "LiveExpansionMaintainer",
@@ -34,6 +37,7 @@ __all__ = [
     "make_literal",
     "literal_value",
     "load_ntriples",
+    "resolve_backend",
     "save_ntriples",
     "solve",
     "select",

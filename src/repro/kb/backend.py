@@ -5,11 +5,18 @@ is *partitioned* and queried through a uniform interface (Trinity.RDF).  At
 library scale the same shape is the :class:`KBBackend` protocol: everything
 above the KB layer — predicate expansion, :class:`~repro.core.kbview.KBView`,
 the online answerer, the CLI and the benchmark harness — depends on this
-protocol, never on a concrete store class.  Two implementations ship in-tree:
+protocol, never on a concrete store class.  Three implementations ship in-tree:
 
 * :class:`~repro.kb.store.TripleStore` — the single in-memory store;
 * :class:`~repro.kb.sharded.ShardedTripleStore` — the same index structure
-  partitioned by subject id across N shards, with shard-parallel scans.
+  partitioned by subject id across N shards, with shard-parallel scans;
+* :class:`~repro.kb.disk.DiskTripleStore` — the same protocol over one
+  SQLite file, reopened (not rebuilt) across process restarts.
+
+:func:`resolve_backend` is the one place that choice is made — explicit
+argument over the ``KBQA_BACKEND`` environment variable over a
+shard-count-driven default — so the CLI, the suite builder and the tests
+all agree on what a backend name means.
 
 Backends are *live*: ``add``/``delete`` mutate the indexes in place and fan
 out a :class:`KBChange` to every subscribed listener, which is how the
@@ -21,6 +28,7 @@ one coalesced flush instead of one listener round per triple.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol, runtime_checkable
@@ -300,3 +308,57 @@ class KBBackend(Protocol):
         as a read-only view of the shard's SPO index.
         """
         ...
+
+
+BACKEND_KINDS = ("memory", "sharded", "disk")
+KBQA_BACKEND_ENV = "KBQA_BACKEND"
+
+
+def resolve_backend(
+    kind: str | None = None,
+    *,
+    shards: int = 1,
+    path: str | None = None,
+) -> KBBackend:
+    """Construct the KB backend every layer above the KB speaks through.
+
+    Precedence: an explicit ``kind`` wins, else the ``KBQA_BACKEND``
+    environment variable (how the CI matrix pins a leg to ``disk`` without
+    threading a flag through every entry point), else a default driven by
+    the shard count — ``sharded`` when ``shards > 1``, ``memory`` otherwise.
+    The environment variable is a *default*, not a mandate: a call that
+    structurally requires partitioning (``shards > 1``) keeps the sharded
+    backend even when the environment names a single-shard one — only an
+    explicit ``kind`` argument can produce that contradiction (and raises).
+
+    ``path`` names the database file for the ``disk`` backend (``None`` =
+    ephemeral temp file); ``shards`` sizes the ``sharded`` backend.  The
+    combinations that cannot mean anything — a path on an in-memory
+    backend, shards on a single-partition one — raise ``ValueError``
+    rather than being silently dropped.
+    """
+    if kind is None:
+        kind = os.environ.get(KBQA_BACKEND_ENV) or None
+        if kind is not None and kind in BACKEND_KINDS and shards > 1 and kind != "sharded":
+            kind = "sharded"
+    if kind is None:
+        kind = "sharded" if shards > 1 else "memory"
+    if kind not in BACKEND_KINDS:
+        raise ValueError(
+            f"unknown KB backend {kind!r} (expected one of {', '.join(BACKEND_KINDS)})"
+        )
+    if path is not None and kind != "disk":
+        raise ValueError(f"backend {kind!r} does not take a database path")
+    if shards > 1 and kind != "sharded":
+        raise ValueError(f"backend {kind!r} is single-shard (got shards={shards})")
+    if kind == "sharded":
+        from repro.kb.sharded import ShardedTripleStore
+
+        return ShardedTripleStore(shards=max(shards, 1))
+    if kind == "disk":
+        from repro.kb.disk import DiskTripleStore
+
+        return DiskTripleStore(path)
+    from repro.kb.store import TripleStore
+
+    return TripleStore()

@@ -1,0 +1,669 @@
+"""SQLite-backed :class:`~repro.kb.backend.KBBackend`: the KB on disk.
+
+The in-memory backends rebuild their dict indexes from the source world on
+every process start and pay O(KB) private RAM per process.  This backend
+keeps the dictionary and the triple set in one SQLite file instead — the
+shape of the SNIPPETS.md knowledge-graph exemplar (terms/alias tables plus
+covering indexes for sub-millisecond point lookups) — so a compiled KB
+
+* **loads in milliseconds**: opening is one ``sqlite3.connect`` + a schema
+  check, independent of triple count;
+* **survives restarts**: ``kbqa compile --backend disk`` writes the DB once
+  and every later ``kbqa answer/serve`` run reopens it without recompiling;
+* **is shared, not copied, across replicas**: the store pickles as a path
+  reference (read-only reopen on thaw) and forked ``--procs N`` replicas
+  lazily reopen per-process connections to the same file, so N serving
+  processes share SQLite's page cache instead of holding N heap copies.
+
+Schema (``user_version`` guards the layout)::
+
+    terms   (id INTEGER PRIMARY KEY, term TEXT UNIQUE)   -- the dictionary;
+            ids are dense, insertion-ordered (0..n-1), exactly like the
+            in-memory Dictionary, so a disk-compiled KB and a memory-compiled
+            KB built by the same add sequence assign identical ids
+    triples (s, p, o) PRIMARY KEY (s, p, o) WITHOUT ROWID -- covering index
+            for (subject, predicate) prefix probes (V(e, p), Eq 6)
+    idx_triples_pos ON triples (p, o, s)                  -- covering index
+            for (predicate, object) reverse lookups
+    idx_triples_osp ON triples (o, s, p)                  -- covering index
+            for predicates_between(e, v) (the EM pruning probe, Eq 24)
+    aliases VIEW (alias, entity)                          -- name/alias edges
+            joined back through terms, the exemplar's alias table as a view
+
+Concurrency: WAL journal mode — readers never block the (single) writer and
+vice versa; every (process, thread) gets its own lazily opened connection
+(SQLite connections are neither fork- nor thread-safe), writes serialize on
+SQLite's write lock with a busy timeout.  Change notifications
+(:class:`~repro.kb.backend.KBChange`) fire process-locally exactly as for
+the in-memory stores; when several *processes* write the same file, row
+idempotence makes a replayed mutation a no-op, so replicas replaying a
+shared op-log call :meth:`DiskTripleStore.notify_external` to propagate a
+sibling's already-applied change into their process-local derived state
+(expansion maintainer, answer caches) — see `repro.serve.multiproc`.
+
+The ``(s, p)`` object-set reads carry a small bounded memo so the serving
+hot path does not re-run a query per probe; it is invalidated by local
+mutations and by ``notify_external``, i.e. cache coherence across processes
+rides on the same op-log replay that already orders replica writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sqlite3
+import tempfile
+import threading
+import weakref
+from typing import Iterable, Iterator
+
+from repro.kb.backend import ADD, DELETE, BackendBase, KBChange
+from repro.kb.triple import Triple
+
+_SCHEMA_VERSION = 1
+_BUSY_TIMEOUT_S = 30.0
+_OBJECTS_MEMO_CAP = 65536
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS terms (
+    id   INTEGER PRIMARY KEY,
+    term TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS triples (
+    s INTEGER NOT NULL,
+    p INTEGER NOT NULL,
+    o INTEGER NOT NULL,
+    PRIMARY KEY (s, p, o)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_triples_pos ON triples (p, o, s);
+CREATE INDEX IF NOT EXISTS idx_triples_osp ON triples (o, s, p);
+CREATE VIEW IF NOT EXISTS aliases (alias, entity) AS
+    SELECT alias_term.term, entity_term.term
+    FROM triples
+    JOIN terms AS entity_term ON entity_term.id = triples.s
+    JOIN terms AS alias_term ON alias_term.id = triples.o
+    WHERE triples.p IN (SELECT id FROM terms WHERE term IN ('name', 'alias'));
+"""
+
+
+def _close_connections(connections: list) -> None:
+    for conn in connections:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - already closed / foreign thread
+            pass
+    connections.clear()
+
+
+def _unlink_db(path: str) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.unlink(path + suffix)
+        except OSError:
+            pass
+
+
+class SQLiteDictionary:
+    """``Dictionary`` facade over the store's ``terms`` table.
+
+    Ids are dense and insertion-ordered (``MAX(id)+1`` minted inside the
+    insert, under SQLite's write lock), matching the in-memory
+    :class:`~repro.kb.dictionary.Dictionary` exactly, so id-level
+    equivalence suites hold across backends.  Positive lookups and decodes
+    are memoized write-through; *negative* lookups are never cached, because
+    a sibling process may intern the term at any time.
+    """
+
+    def __init__(self, store: "DiskTripleStore") -> None:
+        self._store = store
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        row = self._store._connection().execute("SELECT COUNT(*) FROM terms").fetchone()
+        return row[0]
+
+    def __contains__(self, term: str) -> bool:
+        return self.lookup(term) is not None
+
+    def encode(self, term: str) -> int:
+        """Intern ``term``; returns its dense id (existing or freshly minted)."""
+        term_id = self.lookup(term)
+        if term_id is not None:
+            return term_id
+        if self._store.read_only:
+            raise TypeError(
+                f"{self._store.path}: read-only KB cannot intern new term {term!r}"
+            )
+        conn = self._store._connection()
+        # the id subquery runs inside the insert's write transaction, so
+        # concurrent writers cannot mint the same id
+        conn.execute(
+            "INSERT OR IGNORE INTO terms (id, term) "
+            "VALUES ((SELECT COALESCE(MAX(id) + 1, 0) FROM terms), ?)",
+            (term,),
+        )
+        row = conn.execute("SELECT id FROM terms WHERE term = ?", (term,)).fetchone()
+        term_id = row[0]
+        self._term_to_id[term] = term_id
+        self._id_to_term[term_id] = term
+        return term_id
+
+    def lookup(self, term: str) -> int | None:
+        """Id of ``term`` if interned, else ``None`` (memoized point query)."""
+        term_id = self._term_to_id.get(term)
+        if term_id is not None:
+            return term_id
+        row = (
+            self._store._connection()
+            .execute("SELECT id FROM terms WHERE term = ?", (term,))
+            .fetchone()
+        )
+        if row is None:
+            return None
+        term_id = row[0]
+        self._term_to_id[term] = term_id
+        self._id_to_term[term_id] = term
+        return term_id
+
+    def decode(self, term_id: int) -> str:
+        """Term string for ``term_id``; ``KeyError`` on an unknown id."""
+        term = self._id_to_term.get(term_id)
+        if term is None:
+            row = (
+                self._store._connection()
+                .execute("SELECT term FROM terms WHERE id = ?", (term_id,))
+                .fetchone()
+            )
+            if row is None:
+                raise KeyError(term_id)
+            term = row[0]
+            self._id_to_term[term_id] = term
+            self._term_to_id[term] = term_id
+        return term
+
+    def decode_many(self, term_ids) -> list[str]:
+        decode = self.decode
+        return [decode(t) for t in term_ids]
+
+    def terms(self) -> Iterator[str]:
+        """All interned terms in dense id order (one streaming scan)."""
+        for (term,) in self._store._connection().execute(
+            "SELECT term FROM terms ORDER BY id"
+        ):
+            yield term
+
+    def terms_from(self, start: int) -> Iterator[str]:
+        """Terms with id >= ``start`` in id order (incremental snapshots)."""
+        for (term,) in self._store._connection().execute(
+            "SELECT term FROM terms WHERE id >= ? ORDER BY id", (start,)
+        ):
+            yield term
+
+    def __getstate__(self) -> dict:
+        # the memo caches rebuild on demand; the store reference keeps
+        # `expanded.dictionary is store.dictionary` identity through pickle
+        return {"_store": self._store}
+
+    def __setstate__(self, state: dict) -> None:
+        self._store = state["_store"]
+        self._term_to_id = {}
+        self._id_to_term = {}
+
+
+class DiskTripleStore(BackendBase):
+    """The :class:`~repro.kb.backend.KBBackend` protocol over one SQLite file.
+
+    ``path=None`` creates an ephemeral store in a temp file (removed when
+    the owning store is closed or garbage-collected); a named path opens —
+    or creates — a persistent KB that later processes reopen in
+    milliseconds.  ``read_only=True`` opens with ``mode=ro`` (the serving
+    snapshot path: thawed copies can never write the shared file).
+
+    >>> kb = DiskTripleStore()
+    >>> kb.add("m.obama", "dob", '"1961"')
+    True
+    >>> sorted(kb.objects("m.obama", "dob"))
+    ['"1961"']
+    """
+
+    def __init__(self, path: str | None = None, *, read_only: bool = False) -> None:
+        self._ephemeral = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="kbqa-disk-", suffix=".db")
+            os.close(fd)
+        self._path = str(path)
+        self._read_only = bool(read_only)
+        self._owner_pid = os.getpid()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._objects_memo: dict[tuple[int, int], frozenset[int]] = {}
+        self.dictionary = SQLiteDictionary(self)
+        self._init_backend_state()
+        if not self._read_only:
+            conn = self._connection()
+            conn.executescript(_SCHEMA)
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+            elif version != _SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self._path}: unsupported KB schema version {version} "
+                    f"(supported: {_SCHEMA_VERSION})"
+                )
+        self._finalizer = weakref.finalize(
+            self,
+            DiskTripleStore._finalize,
+            self._connections,
+            self._path,
+            self._ephemeral and not self._read_only,
+        )
+
+    # -- Connections (per process x thread; SQLite is fork/thread-hostile) --
+
+    @property
+    def path(self) -> str:
+        """The backing database file."""
+        return self._path
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    @property
+    def shared_storage(self) -> bool:
+        """True: sibling processes opening the same path see this data.
+
+        `repro.serve.multiproc` keys its op-log replay behavior on this —
+        a replayed mutation that is a row-level no-op still has to reach
+        this process's listeners via :meth:`notify_external`.
+        """
+        return True
+
+    def _connection(self) -> sqlite3.Connection:
+        state = self._local
+        if getattr(state, "pid", None) != os.getpid():
+            # forked child: the parent's connection must never be reused
+            state.pid = os.getpid()
+            state.conn = None
+        conn = getattr(state, "conn", None)
+        if conn is None:
+            conn = self._open_connection()
+            state.conn = conn
+            with self._connections_lock:
+                self._connections.append(conn)
+        return conn
+
+    def _open_connection(self) -> sqlite3.Connection:
+        if self._read_only:
+            conn = sqlite3.connect(
+                f"file:{self._path}?mode=ro",
+                uri=True,
+                timeout=_BUSY_TIMEOUT_S,
+                check_same_thread=False,
+            )
+        else:
+            conn = sqlite3.connect(
+                self._path, timeout=_BUSY_TIMEOUT_S, check_same_thread=False
+            )
+        conn.isolation_level = None  # autocommit; WAL orders concurrent writers
+        if not self._read_only:
+            conn.execute("PRAGMA journal_mode=WAL")
+            # an ephemeral store is scratch space: crash durability is moot,
+            # so skip the fsyncs; named files keep WAL-grade durability
+            conn.execute(
+                "PRAGMA synchronous=OFF" if self._ephemeral else "PRAGMA synchronous=NORMAL"
+            )
+        return conn
+
+    @staticmethod
+    def _finalize(connections: list, path: str, unlink: bool) -> None:
+        _close_connections(connections)
+        if unlink:
+            _unlink_db(path)
+
+    def close(self) -> None:
+        """Close this process's connections; delete the file if ephemeral."""
+        self._finalizer.detach()
+        _close_connections(self._connections)
+        self._local = threading.local()
+        if self._ephemeral and not self._read_only and os.getpid() == self._owner_pid:
+            _unlink_db(self._path)
+
+    # -- Pickling: ship the path, reopen read-only --------------------------
+
+    def __getstate__(self) -> dict:
+        """A pickled disk store is a *reference*, not a copy.
+
+        The thawed side reopens the same file read-only: this is how a
+        frozen serving snapshot shares one on-disk KB (and one OS page
+        cache) across every pool worker instead of shipping a heap image.
+        The dictionary facade rides along so object identity between the
+        store and any :class:`~repro.kb.expansion.ExpandedStore` sharing it
+        survives the round trip.  The file must outlive the pickle's
+        consumers; an ephemeral temp store stays owned (and eventually
+        unlinked) by the originating process only.
+        """
+        return {"_path": self._path, "dictionary": self.dictionary}
+
+    def __setstate__(self, state: dict) -> None:
+        self._path = state["_path"]
+        self._ephemeral = False
+        self._read_only = True
+        self._owner_pid = os.getpid()
+        self._local = threading.local()
+        self._connections = []
+        self._connections_lock = threading.Lock()
+        self._objects_memo = {}
+        self.dictionary = state["dictionary"]
+        self._init_backend_state()
+        self._finalizer = weakref.finalize(
+            self, DiskTripleStore._finalize, self._connections, self._path, False
+        )
+
+    # -- Mutation ----------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        if self._read_only:
+            raise ValueError(f"{self._path}: KB opened read-only")
+        encode = self.dictionary.encode
+        s = encode(subject)
+        p = encode(predicate)
+        o = encode(obj)
+        cursor = self._connection().execute(
+            "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", (s, p, o)
+        )
+        if cursor.rowcount == 0:
+            return False
+        self._objects_memo.pop((s, p), None)
+        if self._listeners:
+            self._notify(KBChange(ADD, s, p, o))
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(triple.subject, triple.predicate, triple.object)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add_triple(t))
+
+    def delete(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple; returns False if it was not present.
+
+        Dictionary rows are never reclaimed (ids are dense and append-only,
+        exactly like the in-memory stores), so ``resources`` does not
+        decrease on delete.
+        """
+        if self._read_only:
+            raise ValueError(f"{self._path}: KB opened read-only")
+        lookup = self.dictionary.lookup
+        s = lookup(subject)
+        p = lookup(predicate)
+        o = lookup(obj)
+        if s is None or p is None or o is None:
+            return False
+        cursor = self._connection().execute(
+            "DELETE FROM triples WHERE s = ? AND p = ? AND o = ?", (s, p, o)
+        )
+        if cursor.rowcount == 0:
+            return False
+        self._objects_memo.pop((s, p), None)
+        if self._listeners:
+            self._notify(KBChange(DELETE, s, p, o))
+        return True
+
+    def notify_external(self, action: str, subject: str, predicate: str, obj: str) -> None:
+        """Propagate a change a *sibling process* already applied to the file.
+
+        Row idempotence makes a replayed ``add``/``delete`` a local no-op,
+        which would leave this process's maintainer and caches stale; the
+        op-log replay calls this instead so listeners observe the change
+        exactly as if the mutation had been local.  ``action`` is
+        :data:`~repro.kb.backend.ADD` or :data:`~repro.kb.backend.DELETE`.
+        """
+        if action not in (ADD, DELETE):
+            raise ValueError(f"unknown change action {action!r}")
+        # lookup, never encode: the sibling already interned these terms in
+        # the shared file, and a read-only replica could not mint ids anyway
+        lookup = self.dictionary.lookup
+        s = lookup(subject)
+        p = lookup(predicate)
+        o = lookup(obj)
+        if s is None or p is None or o is None:
+            raise ValueError(
+                f"replayed {action!r} references terms missing from {self._path}"
+            )
+        self._objects_memo.pop((s, p), None)
+        if self._listeners:
+            self._notify(KBChange(action, s, p, o))
+
+    # -- Point lookups -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._connection().execute("SELECT COUNT(*) FROM triples").fetchone()[0]
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.has(triple.subject, triple.predicate, triple.object)
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        """Point membership test for one triple."""
+        lookup = self.dictionary.lookup
+        s = lookup(subject)
+        p = lookup(predicate)
+        o = lookup(obj)
+        if s is None or p is None or o is None:
+            return False
+        return (
+            self._connection()
+            .execute(
+                "SELECT 1 FROM triples WHERE s = ? AND p = ? AND o = ?", (s, p, o)
+            )
+            .fetchone()
+            is not None
+        )
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """``V(e, p)`` — all objects for a (subject, predicate) pair."""
+        s = self.dictionary.lookup(subject)
+        p = self.dictionary.lookup(predicate)
+        if s is None or p is None:
+            return set()
+        decode = self.dictionary.decode
+        return {decode(o) for o in self.objects_ids(s, p)}
+
+    def subjects(self, predicate: str, obj: str) -> set[str]:
+        """All subjects s with (s, predicate, obj) in the store."""
+        p = self.dictionary.lookup(predicate)
+        o = self.dictionary.lookup(obj)
+        if p is None or o is None:
+            return set()
+        decode = self.dictionary.decode
+        return {
+            decode(s)
+            for (s,) in self._connection().execute(
+                "SELECT s FROM triples WHERE p = ? AND o = ?", (p, o)
+            )
+        }
+
+    def predicates_between(self, subject: str, obj: str) -> set[str]:
+        """All direct predicates p with (subject, p, obj) in the store."""
+        s = self.dictionary.lookup(subject)
+        o = self.dictionary.lookup(obj)
+        if s is None or o is None:
+            return set()
+        decode = self.dictionary.decode
+        return {
+            decode(p)
+            for (p,) in self._connection().execute(
+                "SELECT p FROM triples WHERE o = ? AND s = ?", (o, s)
+            )
+        }
+
+    def predicates_of(self, subject: str) -> set[str]:
+        """All predicates leaving ``subject``."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return set()
+        decode = self.dictionary.decode
+        return {
+            decode(p)
+            for (p,) in self._connection().execute(
+                "SELECT DISTINCT p FROM triples WHERE s = ?", (s,)
+            )
+        }
+
+    def out_degree(self, subject: str) -> int:
+        """Number of triples with ``subject`` in subject position."""
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return 0
+        return (
+            self._connection()
+            .execute("SELECT COUNT(*) FROM triples WHERE s = ?", (s,))
+            .fetchone()[0]
+        )
+
+    def has_subject(self, subject: str) -> bool:
+        s = self.dictionary.lookup(subject)
+        return s is not None and self.has_subject_id(s)
+
+    def lookup_alias(self, alias: str) -> set[str]:
+        """Entities carrying ``alias`` as a name/alias literal (alias view)."""
+        return {
+            entity
+            for (entity,) in self._connection().execute(
+                "SELECT entity FROM aliases WHERE alias = ?", (alias,)
+            )
+        }
+
+    # -- Id-level API (hot paths) ------------------------------------------
+
+    def lookup_id(self, term: str) -> int | None:
+        """Dictionary id of ``term`` (None when never interned)."""
+        return self.dictionary.lookup(term)
+
+    def decode_id(self, term_id: int) -> str:
+        """Term string for a dictionary id."""
+        return self.dictionary.decode(term_id)
+
+    def has_subject_id(self, subject_id: int) -> bool:
+        """True when ``subject_id`` occurs in subject position."""
+        return (
+            self._connection()
+            .execute("SELECT 1 FROM triples WHERE s = ? LIMIT 1", (subject_id,))
+            .fetchone()
+            is not None
+        )
+
+    def objects_ids(self, subject_id: int, predicate_id: int) -> frozenset[int]:
+        """``V(e, p)`` as object ids (read-only view, memoized bounded)."""
+        key = (subject_id, predicate_id)
+        cached = self._objects_memo.get(key)
+        if cached is None:
+            cached = frozenset(
+                o
+                for (o,) in self._connection().execute(
+                    "SELECT o FROM triples WHERE s = ? AND p = ?", key
+                )
+            )
+            if len(self._objects_memo) >= _OBJECTS_MEMO_CAP:
+                self._objects_memo.clear()
+            self._objects_memo[key] = cached
+        return cached
+
+    def predicates_ids_of(self, subject_id: int) -> set[int]:
+        """Ids of predicates leaving ``subject_id``."""
+        return {
+            p
+            for (p,) in self._connection().execute(
+                "SELECT DISTINCT p FROM triples WHERE s = ?", (subject_id,)
+            )
+        }
+
+    def triples_ids(self) -> Iterator[tuple[int, int, int]]:
+        """Scan all triples as ``(s_id, p_id, o_id)``, subject-grouped."""
+        yield from self._connection().execute(
+            "SELECT s, p, o FROM triples ORDER BY s, p, o"
+        )
+
+    def spo_items_ids(self) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan: ``(s_id, {p_id: {o_id}})`` per subject.
+
+        Built per subject from the (s, p, o) covering index, so the scan is
+        one ordered sweep; the per-subject dicts are fresh (not live views).
+        """
+        rows = self._connection().execute("SELECT s, p, o FROM triples ORDER BY s, p, o")
+        for s_id, group in itertools.groupby(rows, key=lambda row: row[0]):
+            by_predicate: dict[int, set[int]] = {}
+            for _s, p_id, o_id in group:
+                by_predicate.setdefault(p_id, set()).add(o_id)
+            yield s_id, by_predicate
+
+    # -- Sharding face (a disk store is one shard) --------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """A :class:`DiskTripleStore` is a single subject partition."""
+        return 1
+
+    def shard_spo_items_ids(self, shard: int) -> Iterator[tuple[int, dict[int, set[int]]]]:
+        """Grouped id-keyed scan of one shard (shard 0 is the whole store)."""
+        if shard != 0:
+            raise IndexError(f"DiskTripleStore has 1 shard, got shard index {shard}")
+        return self.spo_items_ids()
+
+    def shard_table(self, shard: int) -> dict[int, dict[int, set[int]]]:
+        """The whole SPO table materialized as dicts (shard 0 only).
+
+        This is the picklable unit the process-parallel expansion ships to
+        workers — a full heap copy by design; the zero-copy sharing story
+        is the page cache behind the per-process connections, not this
+        escape hatch.
+        """
+        if shard != 0:
+            raise IndexError(f"DiskTripleStore has 1 shard, got shard index {shard}")
+        return {s_id: by_predicate for s_id, by_predicate in self.spo_items_ids()}
+
+    # -- Scans ---------------------------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        """Scan all triples in (s, p, o) id order, decoded."""
+        decode = self.dictionary.decode
+        for s, p, o in self.triples_ids():
+            yield Triple(decode(s), decode(p), decode(o))
+
+    def subjects_iter(self) -> Iterator[str]:
+        """All distinct subjects."""
+        decode = self.dictionary.decode
+        return (
+            decode(s)
+            for (s,) in self._connection().execute("SELECT DISTINCT s FROM triples")
+        )
+
+    def predicates(self) -> set[str]:
+        """All distinct predicates in the store."""
+        decode = self.dictionary.decode
+        return {
+            decode(p)
+            for (p,) in self._connection().execute("SELECT DISTINCT p FROM triples")
+        }
+
+    # -- Statistics ----------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Store-level counts (triples/terms/resources/predicates/subjects)."""
+        self._reconcile_resources()
+        conn = self._connection()
+        return {
+            "triples": len(self),
+            "terms": len(self.dictionary),
+            "resources": self._n_resources,
+            "predicates": conn.execute(
+                "SELECT COUNT(DISTINCT p) FROM triples"
+            ).fetchone()[0],
+            "subjects": conn.execute(
+                "SELECT COUNT(DISTINCT s) FROM triples"
+            ).fetchone()[0],
+        }

@@ -43,6 +43,12 @@ Layout (all integers little-endian; u32 unless noted)::
 The format is self-contained (it carries the dictionary), exactly like v1;
 :meth:`repro.kb.expansion.ExpandedStore.load` sniffs the magic and routes
 here automatically.
+
+v2 reloads zero-copy but still *materializes* the dict indexes before the
+first lookup; `repro.kb.expanded_v3` builds the index structure into the
+file itself (prefix-sum offset tables + binary-searchable id permutations,
+reusing this module's cursor/packing helpers) so a v3 reload is O(1) and
+lookups run straight off the mapping.
 """
 
 from __future__ import annotations

@@ -1,0 +1,1047 @@
+"""``ExpandedStore`` binary artifact format v3: mmap'd, served by binary search.
+
+The v2 reader (`repro.kb.expanded_v2`) is zero-copy on *load* but still
+re-materializes the dict-of-dict indexes before the first lookup, so cold
+start is O(KB) in time and every serving process pays O(KB) in private RAM.
+v3 stores the same canonical content **plus the index structure itself**:
+every per-count section becomes a prefix-sum offset table and every id array
+that v2 merely declared sorted becomes a binary-search index, so the reader
+answers ``objects``/``paths_between``/``paths_of``/``seeds_through`` straight
+off the mapped arrays:
+
+* :func:`load_v3` maps the file, parses the fixed header, derives every
+  section boundary arithmetically and validates the total against the file
+  size — **O(1) in KB size**, no dictionary, no dicts, no per-row Python
+  objects;
+* lookups run ``bisect`` over ``memoryview.cast`` windows of the mapping —
+  term -> id through a lexicographic permutation index, subject / pair /
+  reach probes over the sorted id arrays — so resident memory is whatever
+  the page cache keeps warm, and N ``SO_REUSEPORT`` replicas mapping the
+  same artifact share **one** page cache between them;
+* a mapped store pickles as *a reference to its artifact path*
+  (:meth:`ExpandedStoreV3.__getstate__`), so freezing a serving snapshot
+  ships bytes proportional to the path string, and each pool worker re-maps
+  the same file instead of thawing a private heap copy;
+* :meth:`ExpandedStoreV3.materialize` is the escape hatch: it inflates the
+  mapping into the ordinary dict-backed form **in place** (same object
+  identity, same term ids, same file-local path ids), and every mutating
+  entry point (``record``/``record_encoded``/``note_reach``/
+  ``invalidate_seed``/``merge_from``/``path_id``) routes through it, so a
+  loaded artifact behaves exactly like a v1/v2 reload the moment live
+  updates begin;
+* conversions are byte-exact both ways: v3 carries the identical canonical
+  content as v1/v2 (same term id order, same sorted path keys, same group
+  and object order), so ``load(v3).save(format="v2")`` equals the direct v2
+  bytes and ``load(v2).save(format="v3")`` equals the direct v3 bytes
+  (``tests/test_expansion_persistence.py``).
+
+Trust boundary: :func:`load_v3` checks structure (magic, version, exact file
+size) in O(1) and every lookup bounds-checks ids and offsets before use, so
+a corrupt file raises the documented :class:`ValueError` rather than decode
+garbage — but *sortedness* of the index arrays is trusted by the hot path
+(an unsorted index can only cause misses, never wrong decodes).
+:meth:`ExpandedStoreV3.verify` is the full integrity sweep — offset
+monotonicity, index sort order, id ranges, and pair-index/triple-section
+consistency — and ``kbqa expand --load`` runs it on every v3 artifact.
+
+Layout (all integers little-endian; u32 unless noted)::
+
+    header    magic 8s = b"KBQAXPD3", then u32 fields: version=3,
+              max_length, n_tails, n_terms, n_seeds, n_paths, n_path_ids,
+              n_subjects, n_groups, n_triples, n_reach_nodes, n_reach_pairs,
+              tails_blob_len, n_pairs; u64 terms_blob_len
+    tails     offsets u32 x (n_tails+1), utf-8 blob (padded to 4)
+    terms     offsets u64 x (n_terms+1), utf-8 blob (padded to 4)
+    termsort  u32 x n_terms            term ids permuted into utf-8 byte
+                                       order (term -> id binary search)
+    seeds     u32 x n_seeds            (sorted)
+    paths     offsets u32 x (n_paths+1), flat predicate ids u32 x n_path_ids
+              (keys in sorted-tuple order == binary-searchable by key)
+    subjects  subject ids u32 x n_subjects       (sorted)
+              group offsets u64 x (n_subjects+1) (prefix sums -> groups)
+              group path ids u32 x n_groups      (file-local, sorted per subj)
+              object offsets u64 x (n_groups+1)  (prefix sums -> objects)
+              object ids u32 x n_triples         (sorted per group)
+    pairs     pair subject ids u32 x n_pairs     (sorted by (s, o))
+              pair object ids u32 x n_pairs
+              pair offsets u64 x (n_pairs+1)     (prefix sums -> pair paths)
+              pair path ids u32 x n_triples      (file-local, sorted per pair)
+    reach     node ids u32 x n_reach_nodes       (sorted)
+              reach offsets u64 x (n_reach_nodes+1)
+              seed ids u32 x n_reach_pairs       (sorted per node)
+
+The pair section is the ``paths_between`` index (one entry per distinct
+(s, o); the flat pair-path array has exactly ``n_triples`` entries because
+each expanded triple contributes exactly one (s, o) -> path row).  The
+format is self-contained like v1/v2;
+:meth:`repro.kb.expansion.ExpandedStore.load` sniffs the magic and routes
+here automatically.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from bisect import bisect_left
+from pathlib import Path
+
+from repro.kb.dictionary import Dictionary
+from repro.kb.expanded_v2 import (
+    _Cursor,
+    _decode_strings,
+    _pad4,
+    _u32_array,
+    _u64_array,
+)
+from repro.kb.expansion import _EMPTY_FROZEN, ExpandedStore
+from repro.kb.paths import PredicatePath
+
+EXPANSION_V3_MAGIC = b"KBQAXPD3"
+EXPANSION_V3_VERSION = 3
+
+_HEADER = struct.Struct("<8s14IQ")
+
+
+def save_v3(store: "ExpandedStore", path: str | Path) -> None:
+    """Serialize ``store`` in the v3 binary layout (canonical, deterministic).
+
+    The content sections use the exact canonical order of the v1/v2 writers
+    (sorted path keys remapped to file-local ids, subjects in id order,
+    objects and reach seeds sorted), so format conversion through a load is
+    byte-exact; the extra index sections (term permutation, prefix-sum
+    offsets, pair index) are derived from that canonical order and equally
+    deterministic.
+    """
+    sorted_keys = sorted(store._path_keys)
+    file_path_id = {key: i for i, key in enumerate(sorted_keys)}
+    remap = [file_path_id[key] for key in store._path_keys]
+
+    tails = sorted(store.tail_predicates)
+    tails_utf8 = [t.encode("utf-8") for t in tails]
+    tails_blob = b"".join(tails_utf8)
+    tail_offsets: list[int] = [0]
+    for chunk in tails_utf8:
+        tail_offsets.append(tail_offsets[-1] + len(chunk))
+
+    terms_utf8 = [term.encode("utf-8") for term in store.dictionary.terms()]
+    terms_blob = b"".join(terms_utf8)
+    term_offsets: list[int] = [0]
+    for chunk in terms_utf8:
+        term_offsets.append(term_offsets[-1] + len(chunk))
+    term_sort = sorted(range(len(terms_utf8)), key=terms_utf8.__getitem__)
+
+    seeds = sorted(store.seed_ids)
+
+    path_offsets: list[int] = [0]
+    path_ids: list[int] = []
+    for key in sorted_keys:
+        path_ids.extend(key)
+        path_offsets.append(len(path_ids))
+
+    subject_ids: list[int] = []
+    group_offsets: list[int] = [0]
+    group_path_ids: list[int] = []
+    object_offsets: list[int] = [0]
+    object_ids: list[int] = []
+    for s_id in sorted(store._by_subject):
+        groups = sorted(
+            (remap[p_id], sorted(objs)) for p_id, objs in store._by_subject[s_id].items()
+        )
+        subject_ids.append(s_id)
+        for file_pid, objs in groups:
+            group_path_ids.append(file_pid)
+            object_ids.extend(objs)
+            object_offsets.append(len(object_ids))
+        group_offsets.append(len(group_path_ids))
+
+    pair_subjects: list[int] = []
+    pair_objects: list[int] = []
+    pair_offsets: list[int] = [0]
+    pair_path_ids: list[int] = []
+    for s_id, o_id in sorted(store._by_pair):
+        pair_subjects.append(s_id)
+        pair_objects.append(o_id)
+        pair_path_ids.extend(sorted(remap[p] for p in store._by_pair[(s_id, o_id)]))
+        pair_offsets.append(len(pair_path_ids))
+    if len(pair_path_ids) != len(object_ids):  # pragma: no cover - invariant
+        raise ValueError(
+            "pair index inconsistent with triples "
+            f"({len(pair_path_ids)} pair paths, {len(object_ids)} triples)"
+        )
+
+    reach_nodes: list[int] = []
+    reach_offsets: list[int] = [0]
+    reach_seeds: list[int] = []
+    for node_id, node_seeds in sorted(store.reach_items()):
+        reach_nodes.append(node_id)
+        reach_seeds.extend(sorted(node_seeds))
+        reach_offsets.append(len(reach_seeds))
+
+    header = _HEADER.pack(
+        EXPANSION_V3_MAGIC,
+        EXPANSION_V3_VERSION,
+        store.max_length,
+        len(tails),
+        len(term_offsets) - 1,
+        len(seeds),
+        len(sorted_keys),
+        len(path_ids),
+        len(subject_ids),
+        len(group_path_ids),
+        len(object_ids),
+        len(reach_nodes),
+        len(reach_seeds),
+        len(tails_blob),
+        len(pair_subjects),
+        len(terms_blob),
+    )
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(_u32_array(tail_offsets))
+        handle.write(tails_blob)
+        handle.write(b"\x00" * _pad4(len(tails_blob)))
+        handle.write(_u64_array(term_offsets))
+        handle.write(terms_blob)
+        handle.write(b"\x00" * _pad4(len(terms_blob)))
+        handle.write(_u32_array(term_sort))
+        handle.write(_u32_array(seeds))
+        handle.write(_u32_array(path_offsets))
+        handle.write(_u32_array(path_ids))
+        handle.write(_u32_array(subject_ids))
+        handle.write(_u64_array(group_offsets))
+        handle.write(_u32_array(group_path_ids))
+        handle.write(_u64_array(object_offsets))
+        handle.write(_u32_array(object_ids))
+        handle.write(_u32_array(pair_subjects))
+        handle.write(_u32_array(pair_objects))
+        handle.write(_u64_array(pair_offsets))
+        handle.write(_u32_array(pair_path_ids))
+        handle.write(_u32_array(reach_nodes))
+        handle.write(_u64_array(reach_offsets))
+        handle.write(_u32_array(reach_seeds))
+
+
+class _V3Sections:
+    """The mapped artifact: header counts + memoryview windows per section.
+
+    Owns the ``mmap`` and hands out ``memoryview.cast`` windows; every
+    consumer goes through this object so :meth:`close` can account for all
+    outstanding views.  Purely passive — the search logic lives in
+    :class:`MappedDictionary` and :class:`ExpandedStoreV3`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.source_path = str(path)
+        with open(path, "rb") as handle:
+            try:
+                self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as error:  # an empty file cannot be mapped
+                raise ValueError(f"{path}: truncated expansion file (empty)") from error
+        view = memoryview(self._mmap)
+        self._view = view
+        try:
+            self._parse(view, path)
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self, view: memoryview, path: str | Path) -> None:
+        if len(view) < _HEADER.size:
+            raise ValueError(f"{path}: truncated expansion file (no v3 header)")
+        (
+            magic,
+            version,
+            self.max_length,
+            n_tails,
+            self.n_terms,
+            n_seeds,
+            self.n_paths,
+            n_path_ids,
+            self.n_subjects,
+            self.n_groups,
+            self.n_triples,
+            self.n_reach_nodes,
+            n_reach_pairs,
+            tails_blob_len,
+            self.n_pairs,
+            terms_blob_len,
+        ) = _HEADER.unpack_from(view, 0)
+        if magic != EXPANSION_V3_MAGIC:
+            raise ValueError(f"{path}: not a {EXPANSION_V3_MAGIC!r} file")
+        if version != EXPANSION_V3_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {version} "
+                f"(supported: {EXPANSION_V3_VERSION})"
+            )
+        self.n_path_ids = n_path_ids
+        self.n_reach_pairs = n_reach_pairs
+
+        cursor = _Cursor(view, path)
+        tail_offsets = cursor.u32s(n_tails + 1)
+        tails_blob = cursor.blob(tails_blob_len)
+        self.term_offsets = cursor.u64s(self.n_terms + 1)
+        self.terms_blob = cursor.blob(terms_blob_len)
+        self.term_sort = cursor.u32s(self.n_terms)
+        self.seed_ids = cursor.u32s(n_seeds)
+        self.path_offsets = cursor.u32s(self.n_paths + 1)
+        self.path_ids = cursor.u32s(n_path_ids)
+        self.subject_ids = cursor.u32s(self.n_subjects)
+        self.group_offsets = cursor.u64s(self.n_subjects + 1)
+        self.group_path_ids = cursor.u32s(self.n_groups)
+        self.object_offsets = cursor.u64s(self.n_groups + 1)
+        self.object_ids = cursor.u32s(self.n_triples)
+        self.pair_subjects = cursor.u32s(self.n_pairs)
+        self.pair_objects = cursor.u32s(self.n_pairs)
+        self.pair_offsets = cursor.u64s(self.n_pairs + 1)
+        self.pair_path_ids = cursor.u32s(self.n_triples)
+        self.reach_nodes = cursor.u32s(self.n_reach_nodes)
+        self.reach_offsets = cursor.u64s(self.n_reach_nodes + 1)
+        self.reach_seeds = cursor.u32s(n_reach_pairs)
+        if cursor.offset != len(view):
+            raise ValueError(
+                f"{path}: trailing bytes after the declared sections "
+                f"({len(view) - cursor.offset})"
+            )
+        # the only strings decoded at load time: the tail-predicate
+        # whitelist (a handful of entries, O(1) in KB size)
+        self.tails = _decode_strings(tail_offsets, tails_blob, path, "tail-predicate")
+
+    def term_bytes(self, term_id: int) -> memoryview:
+        start = self.term_offsets[term_id]
+        end = self.term_offsets[term_id + 1]
+        if not 0 <= start <= end <= len(self.terms_blob):
+            raise ValueError(f"{self.source_path}: corrupt dictionary offsets")
+        return self.terms_blob[start:end]
+
+    def close(self) -> None:
+        for name in (
+            "term_offsets", "terms_blob", "term_sort", "seed_ids",
+            "path_offsets", "path_ids", "subject_ids", "group_offsets",
+            "group_path_ids", "object_offsets", "object_ids",
+            "pair_subjects", "pair_objects", "pair_offsets", "pair_path_ids",
+            "reach_nodes", "reach_offsets", "reach_seeds",
+        ):
+            section = self.__dict__.pop(name, None)
+            if section is not None:
+                section.release()
+        view = self.__dict__.pop("_view", None)
+        if view is not None:
+            view.release()
+        mapped = self.__dict__.pop("_mmap", None)
+        if mapped is not None:
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover - stray traceback views
+                pass
+
+
+class MappedDictionary:
+    """Read-only ``Dictionary`` facade over the mapped term sections.
+
+    ``decode`` slices the term blob on demand (memoized — resident strings
+    are bounded by what was actually asked for, not by KB size) and
+    ``lookup`` binary-searches the lexicographic permutation index.  The
+    write half (``encode`` of an *unseen* term) raises ``TypeError``:
+    mutation goes through :meth:`ExpandedStoreV3.materialize`, which swaps
+    in a real :class:`~repro.kb.dictionary.Dictionary` with identical ids.
+    """
+
+    def __init__(self, sections: _V3Sections) -> None:
+        self._sections = sections
+        self._decoded: dict[int, str] = {}
+        self._looked_up: dict[str, int | None] = {}
+
+    def __len__(self) -> int:
+        return self._sections.n_terms
+
+    def __contains__(self, term: str) -> bool:
+        return self.lookup(term) is not None
+
+    def decode(self, term_id: int) -> str:
+        """Term string for ``term_id``, decoded lazily off the blob."""
+        cached = self._decoded.get(term_id)
+        if cached is None:
+            sections = self._sections
+            if not 0 <= term_id < sections.n_terms:
+                raise KeyError(term_id)
+            cached = str(sections.term_bytes(term_id), "utf-8")
+            self._decoded[term_id] = cached
+        return cached
+
+    def decode_many(self, term_ids) -> list[str]:
+        decode = self.decode
+        return [decode(t) for t in term_ids]
+
+    def lookup(self, term: str) -> int | None:
+        """Id of ``term`` via binary search over the byte-order permutation."""
+        found = self._looked_up.get(term, _EMPTY_FROZEN)
+        if found is not _EMPTY_FROZEN:
+            return found
+        sections = self._sections
+        probe = term.encode("utf-8")
+        order = sections.term_sort
+        lo, hi = 0, len(order)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sections.term_bytes(order[mid]).tobytes() < probe:
+                lo = mid + 1
+            else:
+                hi = mid
+        found = None
+        if lo < len(order):
+            candidate = order[lo]
+            if sections.term_bytes(candidate).tobytes() == probe:
+                found = candidate
+        self._looked_up[term] = found
+        return found
+
+    def encode(self, term: str) -> int:
+        """Like :meth:`lookup` but raising — a mapped dictionary is frozen."""
+        existing = self.lookup(term)
+        if existing is None:
+            raise TypeError(
+                "mapped dictionary is read-only; call materialize() on the "
+                "ExpandedStore before mutating it"
+            )
+        return existing
+
+    def terms(self):
+        decode = self.decode
+        return (decode(i) for i in range(self._sections.n_terms))
+
+    def terms_from(self, start: int):
+        decode = self.decode
+        return (decode(i) for i in range(start, self._sections.n_terms))
+
+
+class ExpandedStoreV3(ExpandedStore):
+    """An :class:`ExpandedStore` served directly from a mapped v3 artifact.
+
+    Two modes, one object identity.  **Mapped** (after :func:`load_v3`):
+    every read — ``objects``, ``paths_between``, ``paths_of``,
+    ``value_count``, ``seeds_through``, scans, stats — binary-searches the
+    memory-mapped sections; nothing KB-sized lives on the Python heap.
+    **Materialized** (after :meth:`materialize`, triggered automatically by
+    the first mutation): the ordinary dict-backed superclass takes over,
+    with the same term ids and the same (file-local) path ids, so cached
+    frozen views and any external id references stay valid across the flip.
+    """
+
+    def __init__(self, sections: _V3Sections) -> None:
+        super().__init__(
+            max_length=sections.max_length,
+            dictionary=MappedDictionary(sections),
+            tail_predicates=frozenset(sections.tails),
+        )
+        self._mapped: _V3Sections | None = sections
+        n_terms = sections.n_terms
+        for seed in sections.seed_ids:
+            if not 0 <= seed < n_terms:
+                raise ValueError(f"{sections.source_path}: term id {seed} out of range")
+            self.seed_ids.add(seed)
+        self._direct_paths: int | None = None
+
+    # -- Mode management ---------------------------------------------------
+
+    @property
+    def is_mapped(self) -> bool:
+        """True while lookups are answered from the mmap (no dict indexes)."""
+        return self._mapped is not None
+
+    @property
+    def artifact_path(self) -> str | None:
+        """The backing file while mapped (``None`` after materialization)."""
+        return self._mapped.source_path if self._mapped is not None else None
+
+    def materialize(self) -> "ExpandedStoreV3":
+        """Inflate the mapping into the dict-backed form, in place.
+
+        Term ids and path ids are preserved exactly (terms re-encoded in id
+        order; path keys interned in file order, which *is* sorted order),
+        so views and caches built while mapped remain valid.  Idempotent;
+        returns ``self``.
+        """
+        sections = self._mapped
+        if sections is None:
+            return self
+        dictionary = Dictionary()
+        encode = dictionary.encode
+        for term in self.dictionary.terms():
+            encode(term)
+        self.dictionary = dictionary
+        # flip modes first: the replay below runs on superclass machinery
+        self._mapped = None
+        self._direct_paths = None
+        path_offsets = sections.path_offsets
+        path_ids = sections.path_ids
+        for index in range(sections.n_paths):
+            key = tuple(path_ids[path_offsets[index] : path_offsets[index + 1]])
+            self.path_id(key)
+        record = self.record_encoded
+        keys = self._path_keys
+        subject_ids = sections.subject_ids
+        group_offsets = sections.group_offsets
+        group_path_ids = sections.group_path_ids
+        object_offsets = sections.object_offsets
+        object_ids = sections.object_ids
+        for index in range(sections.n_subjects):
+            s_id = subject_ids[index]
+            for group in range(group_offsets[index], group_offsets[index + 1]):
+                key = keys[group_path_ids[group]]
+                for slot in range(object_offsets[group], object_offsets[group + 1]):
+                    record(s_id, key, object_ids[slot])
+        note_reach = self.note_reach
+        reach_nodes = sections.reach_nodes
+        reach_offsets = sections.reach_offsets
+        reach_seeds = sections.reach_seeds
+        for index in range(sections.n_reach_nodes):
+            node_id = reach_nodes[index]
+            for slot in range(reach_offsets[index], reach_offsets[index + 1]):
+                note_reach(node_id, reach_seeds[slot])
+        sections.close()
+        return self
+
+    def close(self) -> None:
+        """Release the mapping (no-op once materialized)."""
+        sections = self._mapped
+        if sections is not None:
+            self._mapped = None
+            sections.close()
+
+    # -- Pickling: a mapped store ships as a path reference ----------------
+
+    def __getstate__(self):
+        """Mapped stores pickle as ``{artifact path}`` — the whole point.
+
+        A frozen serving snapshot that embeds a mapped store costs bytes
+        proportional to the *path string*, and every unpickling worker
+        re-maps the same file — N processes, one page cache.  The artifact
+        must outlive every consumer of the pickle.  A materialized store
+        pickles its dicts like any other ExpandedStore.
+        """
+        if self._mapped is not None:
+            return {"__v3_artifact__": self._mapped.source_path}
+        state = self.__dict__.copy()
+        state["_mapped"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        artifact = state.get("__v3_artifact__")
+        if artifact is not None:
+            sections = _V3Sections(artifact)
+            ExpandedStoreV3.__init__(self, sections)
+        else:
+            self.__dict__.update(state)
+
+    # -- Mapped search primitives ------------------------------------------
+
+    def _subject_slot(self, s_id: int) -> int | None:
+        sections = self._mapped
+        ids = sections.subject_ids
+        slot = bisect_left(ids, s_id, 0, sections.n_subjects)
+        if slot < sections.n_subjects and ids[slot] == s_id:
+            return slot
+        return None
+
+    def _group_slot(self, subject_slot: int, file_pid: int) -> int | None:
+        sections = self._mapped
+        lo = sections.group_offsets[subject_slot]
+        hi = sections.group_offsets[subject_slot + 1]
+        if not 0 <= lo <= hi <= sections.n_groups:
+            raise ValueError(f"{sections.source_path}: corrupt group offsets")
+        pids = sections.group_path_ids
+        slot = bisect_left(pids, file_pid, lo, hi)
+        if slot < hi and pids[slot] == file_pid:
+            return slot
+        return None
+
+    def _object_slice(self, group_slot: int) -> memoryview:
+        sections = self._mapped
+        lo = sections.object_offsets[group_slot]
+        hi = sections.object_offsets[group_slot + 1]
+        if not 0 <= lo <= hi <= sections.n_triples:
+            raise ValueError(f"{sections.source_path}: corrupt object offsets")
+        return sections.object_ids[lo:hi]
+
+    def _pair_slot(self, s_id: int, o_id: int) -> int | None:
+        sections = self._mapped
+        subjects = sections.pair_subjects
+        objects = sections.pair_objects
+        lo, hi = 0, sections.n_pairs
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (subjects[mid], objects[mid]) < (s_id, o_id):
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < sections.n_pairs and subjects[lo] == s_id and objects[lo] == o_id:
+            return lo
+        return None
+
+    def _path_key_slice(self, index: int) -> memoryview:
+        sections = self._mapped
+        if not 0 <= index < sections.n_paths:
+            raise ValueError(f"{sections.source_path}: path id {index} out of range")
+        lo = sections.path_offsets[index]
+        hi = sections.path_offsets[index + 1]
+        if not 0 <= lo <= hi <= sections.n_path_ids:
+            raise ValueError(f"{sections.source_path}: corrupt path offsets")
+        return sections.path_ids[lo:hi]
+
+    def _check_term_id(self, term_id: int) -> int:
+        if not 0 <= term_id < self._mapped.n_terms:
+            raise ValueError(
+                f"{self._mapped.source_path}: term id {term_id} out of range"
+            )
+        return term_id
+
+    # -- Overridden id-level API -------------------------------------------
+
+    def path_id(self, path_key: tuple[int, ...]) -> int:
+        """File-local id of ``path_key`` by binary search over sorted keys."""
+        if self._mapped is None:
+            return super().path_id(path_key)
+        existing = self._find_path_key(path_key)
+        if existing is not None:
+            return existing
+        return self.materialize().path_id(path_key)
+
+    def _find_path_key(self, path_key: tuple[int, ...]) -> int | None:
+        """Binary search the sorted path-key section for an exact tuple."""
+        sections = self._mapped
+        lo, hi = 0, sections.n_paths
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuple(self._path_key_slice(mid)) < path_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < sections.n_paths and tuple(self._path_key_slice(lo)) == path_key:
+            return lo
+        return None
+
+    def _lookup_path_id(self, path: PredicatePath) -> int | None:
+        if self._mapped is None:
+            return super()._lookup_path_id(path)
+        lookup = self.dictionary.lookup
+        key: list[int] = []
+        for predicate in path.predicates:
+            p = lookup(predicate)
+            if p is None:
+                return None
+            key.append(p)
+        return self._find_path_key(tuple(key))
+
+    def _decode_path(self, path_id: int) -> PredicatePath:
+        if self._mapped is None:
+            return super()._decode_path(path_id)
+        path = self._decoded_paths.get(path_id)
+        if path is None:
+            decode = self.dictionary.decode
+            path = PredicatePath(
+                tuple(
+                    decode(self._check_term_id(p))
+                    for p in self._path_key_slice(path_id)
+                )
+            )
+            self._decoded_paths[path_id] = path
+        return path
+
+    def objects_ids(self, subject_id: int, path_id: int) -> set[int] | frozenset[int]:
+        """Object ids of ``(subject_id, path_id)`` as a prefix-sum slice."""
+        if self._mapped is None:
+            return super().objects_ids(subject_id, path_id)
+        slot = self._subject_slot(subject_id)
+        if slot is None:
+            return _EMPTY_FROZEN
+        group = self._group_slot(slot, path_id)
+        if group is None:
+            return _EMPTY_FROZEN
+        return frozenset(self._object_slice(group))
+
+    def record_encoded(self, subject_id, path_key, object_id) -> bool:
+        if self._mapped is not None:
+            self.materialize()
+        return super().record_encoded(subject_id, path_key, object_id)
+
+    def record(self, subject: str, path: PredicatePath, obj: str) -> bool:
+        """Record a triple, materializing first (mapped stores are frozen)."""
+        if self._mapped is not None:
+            # the string boundary encodes before record_encoded runs, and
+            # the mapped dictionary cannot mint ids
+            self.materialize()
+        return super().record(subject, path, obj)
+
+    def note_reach(self, node_id: int, seed_id: int) -> None:
+        if self._mapped is not None:
+            self.materialize()
+        super().note_reach(node_id, seed_id)
+
+    def invalidate_seed(self, seed: str) -> bool:
+        if self._mapped is not None:
+            self.materialize()
+        return super().invalidate_seed(seed)
+
+    def merge_from(self, other: "ExpandedStore") -> int:
+        if self._mapped is not None:
+            self.materialize()
+        return super().merge_from(other)
+
+    def save(self, path: str | Path, format: str | None = None) -> None:
+        """Serialize in any format; conversion round-trips byte-exactly."""
+        # the writers walk the dict indexes; conversion goes through the
+        # escape hatch (copy the file instead to duplicate a v3 artifact)
+        self.materialize()
+        super().save(path, format)
+
+    # -- Overridden reach API ----------------------------------------------
+
+    def has_reach(self) -> bool:
+        if self._mapped is None:
+            return super().has_reach()
+        return self._mapped.n_reach_nodes > 0
+
+    def seeds_through(self, node_id: int) -> tuple[int, ...] | set[int]:
+        """Seeds whose BFS scanned ``node_id`` (reach section slice)."""
+        if self._mapped is None:
+            return super().seeds_through(node_id)
+        sections = self._mapped
+        nodes = sections.reach_nodes
+        slot = bisect_left(nodes, node_id, 0, sections.n_reach_nodes)
+        if slot >= sections.n_reach_nodes or nodes[slot] != node_id:
+            return ()
+        lo = sections.reach_offsets[slot]
+        hi = sections.reach_offsets[slot + 1]
+        if not 0 <= lo <= hi <= sections.n_reach_pairs:
+            raise ValueError(f"{sections.source_path}: corrupt reach offsets")
+        return tuple(sections.reach_seeds[lo:hi])
+
+    def reach_items(self):
+        """Iterate ``(node_id, seed_ids)`` reach pairs off the mmap."""
+        if self._mapped is None:
+            yield from super().reach_items()
+            return
+        sections = self._mapped
+        for slot in range(sections.n_reach_nodes):
+            node_id = sections.reach_nodes[slot]
+            lo = sections.reach_offsets[slot]
+            hi = sections.reach_offsets[slot + 1]
+            if not 0 <= lo <= hi <= sections.n_reach_pairs:
+                raise ValueError(f"{sections.source_path}: corrupt reach offsets")
+            yield node_id, frozenset(sections.reach_seeds[lo:hi])
+
+    # -- Overridden lookups ------------------------------------------------
+
+    def objects(self, subject: str, path: PredicatePath) -> frozenset[str]:
+        """``V(e, p+)`` — two binary searches + one offset slice, decoded."""
+        if self._mapped is None:
+            return super().objects(subject, path)
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return _EMPTY_FROZEN
+        p = self._lookup_path_id(path)
+        if p is None:
+            return _EMPTY_FROZEN
+        key = (s, p)
+        cached = self._objects_cache.get(key)
+        if cached is None:
+            object_ids = self.objects_ids(s, p)
+            if not object_ids:
+                return _EMPTY_FROZEN
+            check = self._check_term_id
+            cached = frozenset(
+                self.dictionary.decode_many(check(o) for o in object_ids)
+            )
+            self._objects_cache[key] = cached
+        return cached
+
+    def paths_between(self, subject: str, obj: str) -> frozenset[PredicatePath]:
+        """Paths joining ``subject`` to ``obj`` via the (s, o) pair index."""
+        if self._mapped is None:
+            return super().paths_between(subject, obj)
+        lookup = self.dictionary.lookup
+        s = lookup(subject)
+        o = lookup(obj)
+        if s is None or o is None:
+            return _EMPTY_FROZEN
+        key = (s, o)
+        cached = self._pairs_cache.get(key)
+        if cached is None:
+            slot = self._pair_slot(s, o)
+            if slot is None:
+                return _EMPTY_FROZEN
+            sections = self._mapped
+            lo = sections.pair_offsets[slot]
+            hi = sections.pair_offsets[slot + 1]
+            if not 0 <= lo <= hi <= sections.n_triples:
+                raise ValueError(f"{sections.source_path}: corrupt pair offsets")
+            cached = frozenset(
+                self._decode_path(p) for p in sections.pair_path_ids[lo:hi]
+            )
+            self._pairs_cache[key] = cached
+        return cached
+
+    def paths_of(self, subject: str) -> frozenset[PredicatePath]:
+        """All expanded paths rooted at ``subject`` (group index slice)."""
+        if self._mapped is None:
+            return super().paths_of(subject)
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return _EMPTY_FROZEN
+        cached = self._paths_of_cache.get(s)
+        if cached is None:
+            slot = self._subject_slot(s)
+            if slot is None:
+                return _EMPTY_FROZEN
+            sections = self._mapped
+            lo = sections.group_offsets[slot]
+            hi = sections.group_offsets[slot + 1]
+            if not 0 <= lo <= hi <= sections.n_groups:
+                raise ValueError(f"{sections.source_path}: corrupt group offsets")
+            cached = frozenset(
+                self._decode_path(p) for p in sections.group_path_ids[lo:hi]
+            )
+            self._paths_of_cache[s] = cached
+        return cached
+
+    def value_count(self, subject: str, path: PredicatePath) -> int:
+        """``|V(e, p+)|`` from offset arithmetic alone — no decoding."""
+        if self._mapped is None:
+            return super().value_count(subject, path)
+        s = self.dictionary.lookup(subject)
+        if s is None:
+            return 0
+        p = self._lookup_path_id(path)
+        if p is None:
+            return 0
+        slot = self._subject_slot(s)
+        if slot is None:
+            return 0
+        group = self._group_slot(slot, p)
+        if group is None:
+            return 0
+        return len(self._object_slice(group))
+
+    # -- Overridden inventory ----------------------------------------------
+
+    def __len__(self) -> int:
+        if self._mapped is None:
+            return super().__len__()
+        return self._mapped.n_triples
+
+    def subjects(self):
+        """Decoded subjects in id order, straight off the subject index."""
+        if self._mapped is None:
+            yield from super().subjects()
+            return
+        sections = self._mapped
+        decode = self.dictionary.decode
+        check = self._check_term_id
+        for slot in range(sections.n_subjects):
+            yield decode(check(sections.subject_ids[slot]))
+
+    def distinct_paths(self) -> set[PredicatePath]:
+        if self._mapped is None:
+            return super().distinct_paths()
+        return {self._decode_path(p) for p in range(self._mapped.n_paths)}
+
+    def triples_ids(self):
+        """Iterate id-level ``(s, path_key, o)`` rows without decoding."""
+        if self._mapped is None:
+            yield from super().triples_ids()
+            return
+        sections = self._mapped
+        for slot in range(sections.n_subjects):
+            s_id = sections.subject_ids[slot]
+            lo = sections.group_offsets[slot]
+            hi = sections.group_offsets[slot + 1]
+            if not 0 <= lo <= hi <= sections.n_groups:
+                raise ValueError(f"{sections.source_path}: corrupt group offsets")
+            for group in range(lo, hi):
+                file_pid = sections.group_path_ids[group]
+                for o_id in self._object_slice(group):
+                    yield s_id, file_pid, o_id
+
+    def triples(self):
+        """Iterate decoded ``(subject, path, object)`` triples."""
+        if self._mapped is None:
+            yield from super().triples()
+            return
+        decode = self.dictionary.decode
+        check = self._check_term_id
+        for s_id, file_pid, o_id in self.triples_ids():
+            yield decode(check(s_id)), self._decode_path(file_pid), decode(check(o_id))
+
+    def stats(self) -> dict[str, int]:
+        """Inventory counts read from the header — no section walk."""
+        if self._mapped is None:
+            return super().stats()
+        sections = self._mapped
+        n_direct = self._direct_paths
+        if n_direct is None:
+            offsets = sections.path_offsets
+            n_direct = sum(
+                1
+                for index in range(sections.n_paths)
+                if offsets[index + 1] - offsets[index] == 1
+            )
+            self._direct_paths = n_direct
+        return {
+            "spo_triples": sections.n_triples,
+            "subjects": sections.n_subjects,
+            "paths": sections.n_paths,
+            "direct_paths": n_direct,
+            "expanded_paths": sections.n_paths - n_direct,
+        }
+
+    # -- Integrity sweep ---------------------------------------------------
+
+    def verify(self) -> None:
+        """Full artifact integrity sweep; raises :class:`ValueError`.
+
+        Checks everything the O(1) load deliberately trusts: offset-table
+        monotonicity and bounds, strict sort order of every binary-search
+        index (term permutation, path keys, subject / pair / reach arrays,
+        per-group object sets), id ranges, and that the pair index is
+        consistent with the triple sections.  Cost is one pass over the
+        mapped arrays (no Python-object materialization); ``kbqa expand
+        --load`` runs this on every v3 artifact, the serve path does not.
+        No-op once materialized (the loaders validated on the way in).
+        """
+        sections = self._mapped
+        if sections is None:
+            return
+        src = sections.source_path
+        n_terms = sections.n_terms
+
+        def check_sorted_ids(ids: memoryview, lo: int, hi: int, what: str) -> None:
+            previous = -1
+            for slot in range(lo, hi):
+                value = ids[slot]
+                if value >= n_terms:
+                    raise ValueError(f"{src}: term id {value} out of range ({what})")
+                if value <= previous:
+                    raise ValueError(f"{src}: unsorted {what} index")
+                previous = value
+
+        def check_offsets(offsets: memoryview, total: int, what: str) -> None:
+            if offsets[0] != 0 or offsets[len(offsets) - 1] != total:
+                raise ValueError(f"{src}: corrupt {what} offsets")
+            for index in range(len(offsets) - 1):
+                if offsets[index] > offsets[index + 1]:
+                    raise ValueError(f"{src}: corrupt {what} offsets")
+
+        # dictionary: offsets monotonic, permutation strictly byte-ordered
+        check_offsets(sections.term_offsets, len(sections.terms_blob), "dictionary")
+        previous_bytes = None
+        for slot in range(n_terms):
+            term_id = sections.term_sort[slot]
+            if term_id >= n_terms:
+                raise ValueError(f"{src}: term id {term_id} out of range (termsort)")
+            current = sections.term_bytes(term_id).tobytes()
+            if previous_bytes is not None and current <= previous_bytes:
+                raise ValueError(f"{src}: unsorted term permutation index")
+            previous_bytes = current
+        check_sorted_ids(sections.seed_ids, 0, len(sections.seed_ids), "seed")
+        # paths: offsets monotonic, ids in range, keys strictly tuple-sorted
+        check_offsets(sections.path_offsets, sections.n_path_ids, "path")
+        for value in sections.path_ids:
+            if value >= n_terms:
+                raise ValueError(f"{src}: term id {value} out of range (path)")
+        previous_key: tuple[int, ...] | None = None
+        for index in range(sections.n_paths):
+            key = tuple(self._path_key_slice(index))
+            if previous_key is not None and key <= previous_key:
+                raise ValueError(f"{src}: unsorted path-key index")
+            previous_key = key
+        # triples: subjects sorted, offsets chain, groups/objects sorted
+        check_sorted_ids(sections.subject_ids, 0, sections.n_subjects, "subject")
+        check_offsets(sections.group_offsets, sections.n_groups, "group")
+        check_offsets(sections.object_offsets, sections.n_triples, "object")
+        for slot in range(sections.n_subjects):
+            previous = -1
+            for group in range(
+                sections.group_offsets[slot], sections.group_offsets[slot + 1]
+            ):
+                pid = sections.group_path_ids[group]
+                if pid >= sections.n_paths:
+                    raise ValueError(f"{src}: path id {pid} out of range (group)")
+                if pid <= previous:
+                    raise ValueError(f"{src}: unsorted group path-id index")
+                previous = pid
+                check_sorted_ids(
+                    sections.object_ids,
+                    sections.object_offsets[group],
+                    sections.object_offsets[group + 1],
+                    "object",
+                )
+        # pair index: strictly (s, o)-sorted, per-pair paths sorted, and
+        # globally consistent with the triple sections (same triple set)
+        check_offsets(sections.pair_offsets, sections.n_triples, "pair")
+        previous_pair: tuple[int, int] | None = None
+        pair_triples = 0
+        for slot in range(sections.n_pairs):
+            s_id = sections.pair_subjects[slot]
+            o_id = sections.pair_objects[slot]
+            if s_id >= n_terms or o_id >= n_terms:
+                raise ValueError(f"{src}: term id out of range (pair)")
+            pair = (s_id, o_id)
+            if previous_pair is not None and pair <= previous_pair:
+                raise ValueError(f"{src}: unsorted pair index")
+            previous_pair = pair
+            previous = -1
+            for entry in range(
+                sections.pair_offsets[slot], sections.pair_offsets[slot + 1]
+            ):
+                pid = sections.pair_path_ids[entry]
+                if pid >= sections.n_paths:
+                    raise ValueError(f"{src}: path id {pid} out of range (pair)")
+                if pid <= previous:
+                    raise ValueError(f"{src}: unsorted pair path-id index")
+                previous = pid
+                slot_subject = self._subject_slot(s_id)
+                group = (
+                    None if slot_subject is None else self._group_slot(slot_subject, pid)
+                )
+                if group is None or o_id not in set(self._object_slice(group)):
+                    raise ValueError(
+                        f"{src}: pair index references a missing triple "
+                        f"({s_id}, path {pid}, {o_id})"
+                    )
+                pair_triples += 1
+        if pair_triples != sections.n_triples:
+            raise ValueError(
+                f"{src}: pair index covers {pair_triples} triples, "
+                f"header declares {sections.n_triples}"
+            )
+        # reach: nodes sorted, offsets chain, per-node seeds sorted
+        check_sorted_ids(sections.reach_nodes, 0, sections.n_reach_nodes, "reach-node")
+        check_offsets(sections.reach_offsets, sections.n_reach_pairs, "reach")
+        for slot in range(sections.n_reach_nodes):
+            check_sorted_ids(
+                sections.reach_seeds,
+                sections.reach_offsets[slot],
+                sections.reach_offsets[slot + 1],
+                "reach-seed",
+            )
+
+
+def load_v3(path: str | Path) -> ExpandedStoreV3:
+    """Map a v3 artifact — O(1) in KB size, no dict materialization.
+
+    Raises :class:`ValueError` on a bad magic, an unsupported version, or a
+    file whose size disagrees with the header (truncation / trailing bytes).
+    Deeper integrity (sort order of the index sections, offset chains, id
+    ranges) is enforced by bounds checks on every lookup and by the explicit
+    :meth:`ExpandedStoreV3.verify` sweep.
+    """
+    return ExpandedStoreV3(_V3Sections(path))
+
+
+def is_v3_file(path: str | Path) -> bool:
+    """True when ``path`` starts with the v3 magic (format sniffing)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(EXPANSION_V3_MAGIC)) == EXPANSION_V3_MAGIC
+    except OSError:
+        return False

@@ -67,7 +67,7 @@ _EMPTY_FROZEN: frozenset = frozenset()
 EXPANSION_MAGIC = "KBQA-EXPANDED"
 EXPANSION_FORMAT_VERSION = 1
 
-EXPANSION_FORMATS = ("v1", "v2")
+EXPANSION_FORMATS = ("v1", "v2", "v3")
 EXPANDED_FORMAT_ENV = "KBQA_EXPANDED_FORMAT"
 
 
@@ -206,6 +206,16 @@ class ExpandedStore:
             else:
                 yield node_id, frozenset(seeds)
 
+    def has_reach(self) -> bool:
+        """True when the reach-provenance index is populated.
+
+        `repro.kb.live` gates its upfront :func:`compute_reach` on this
+        rather than peeking at ``_reached_from`` so a mapped v3 artifact
+        (`repro.kb.expanded_v3`) can answer from its header without
+        materializing anything.
+        """
+        return bool(self._reached_from)
+
     # -- String-boundary mutation ------------------------------------------
 
     def record(self, subject: str, path: PredicatePath, obj: str) -> bool:
@@ -318,8 +328,14 @@ class ExpandedStore:
             [s, [[p, [o...]], ...]] x subjects  # triples, grouped + sorted
             [node, [seed...]] x reach           # reach index, sorted
         """
-        if resolve_expanded_format(format) == "v2":
+        fmt = resolve_expanded_format(format)
+        if fmt == "v2":
             expanded_v2.save_v2(self, path)
+            return
+        if fmt == "v3":
+            from repro.kb import expanded_v3  # local: v3 subclasses this module
+
+            expanded_v3.save_v3(self, path)
             return
         # canonical path order: sort interned keys, remap to file-local ids
         sorted_keys = sorted(self._path_keys)
@@ -368,10 +384,17 @@ class ExpandedStore:
         entirely.  Raises :class:`ValueError` on a bad magic, an unsupported
         version, or count mismatches.
 
-        The format is sniffed from the file magic: binary v2 artifacts
-        (`repro.kb.expanded_v2`) reload through the mmap reader, anything
-        else takes the v1 line-JSON path below.
+        The format is sniffed from the file magic: binary v3 artifacts
+        (`repro.kb.expanded_v3`) come back as a *mapped* store that answers
+        lookups by binary search over the mmap with no dict materialization
+        at all, v2 artifacts (`repro.kb.expanded_v2`) reload through the
+        mmap reader into dicts, anything else takes the v1 line-JSON path
+        below.
         """
+        from repro.kb import expanded_v3  # local: v3 subclasses this module
+
+        if expanded_v3.is_v3_file(path):
+            return expanded_v3.load_v3(path)
         if expanded_v2.is_v2_file(path):
             return expanded_v2.load_v2(cls, path)
         text = Path(path).read_text(encoding="utf-8")

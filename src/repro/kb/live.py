@@ -52,7 +52,7 @@ class LiveExpansionMaintainer:
         # so build it now — before the first mutation can arrive.  Expansions
         # built with record_reach=True (or loaded artifacts carrying reach)
         # skip this.
-        if not expanded._reached_from:
+        if not expanded.has_reach():
             decode = expanded.dictionary.decode
             reach_seeds = self.seeds | {decode(s) for s in expanded.seed_ids}
             compute_reach(backend, expanded, reach_seeds)

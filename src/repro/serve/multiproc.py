@@ -94,6 +94,27 @@ def _append_op(oplog_path: str, op_lock, op_count, entry: dict) -> int:
     return index
 
 
+def _apply_replicated(system, op: str, subject: str, predicate: str, obj: str) -> None:
+    """Apply one foreign op-log entry to this replica's system.
+
+    With heap-backed stores the add/delete mutates this replica's private
+    copy and fires its listeners.  With a shared-storage backend (the disk
+    store: every replica opens the same SQLite file) the originating
+    replica already wrote the row, so the local mutation is a no-op — but
+    the change still has to reach this *process's* listeners (expansion
+    maintainer, answer-cache invalidation), which is what the backend's
+    ``notify_external`` hook does.
+    """
+    if op == "add":
+        changed = system.add_fact(subject, predicate, obj)
+    else:
+        changed = system.delete_fact(subject, predicate, obj)
+    if not changed:
+        store = system.kb.store
+        if getattr(store, "shared_storage", False):
+            store.notify_external(op, subject, predicate, obj)
+
+
 async def _replay_ops(
     server, oplog_path: str, op_lock, op_count, applied: int, own: set[int]
 ) -> int:
@@ -113,11 +134,9 @@ async def _replay_ops(
             own.discard(index)
             continue
         entry = json.loads(lines[index])
-        subject, predicate, obj = entry["s"], entry["p"], entry["o"]
-        if entry["op"] == "add":
-            mutation = lambda s=subject, p=predicate, o=obj: server.system.add_fact(s, p, o)  # noqa: E731
-        else:
-            mutation = lambda s=subject, p=predicate, o=obj: server.system.delete_fact(s, p, o)  # noqa: E731
+        mutation = lambda e=entry: _apply_replicated(  # noqa: E731
+            server.system, e["op"], e["s"], e["p"], e["o"]
+        )
         await server.answerer.apply(mutation)
     return len(lines)
 
@@ -164,10 +183,7 @@ def _child_main(
                 lines = handle.read().splitlines()[:target]
         for line in lines:
             entry = json.loads(line)
-            if entry["op"] == "add":
-                system.add_fact(entry["s"], entry["p"], entry["o"])
-            else:
-                system.delete_fact(entry["s"], entry["p"], entry["o"])
+            _apply_replicated(system, entry["op"], entry["s"], entry["p"], entry["o"])
         applied = target
         own: set[int] = set()
         server = KBQAServer(system, config, host, port, reuse_port=True)

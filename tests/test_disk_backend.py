@@ -1,0 +1,317 @@
+"""The SQLite-backed disk store (`repro.kb.disk`).
+
+Acceptance bar, mirroring the sharded-backend suite: a
+:class:`DiskTripleStore` built by the same add sequence as a
+:class:`TripleStore` must assign identical dictionary ids, answer every
+protocol read identically (randomized-KB checked), fire identical change
+notifications, and carry a whole KBQA system to byte-identical
+``answer_many`` output.  On top of that come the disk-only properties:
+reopening a compiled file restores the store without a rebuild, pickling
+ships a path reference that thaws read-only against the same file, and
+``notify_external`` keeps a replica's caches coherent with a sibling
+process's writes.
+"""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.core.system import KBQA
+from repro.kb.backend import (
+    ADD,
+    BACKEND_KINDS,
+    DELETE,
+    KBChange,
+    resolve_backend,
+)
+from repro.kb.disk import DiskTripleStore
+from repro.kb.expansion import expand_predicates
+from repro.kb.sharded import ShardedTripleStore
+from repro.kb.store import TripleStore
+from repro.kb.triple import make_literal
+from repro.suite import build_suite
+
+
+def _random_ops(seed: int, n_adds: int = 300, n_deletes: int = 50):
+    rng = random.Random(seed)
+    entities = [f"e{i}" for i in range(30)]
+    values = entities + [make_literal(f"v{i}") for i in range(12)]
+    predicates = [f"p{i}" for i in range(6)]
+    adds = [
+        (rng.choice(entities), rng.choice(predicates), rng.choice(values))
+        for _ in range(n_adds)
+    ]
+    deletes = rng.sample(adds, n_deletes) + [("ghost", "p0", "e0")]
+    return adds, deletes
+
+
+class TestRandomizedEquivalence:
+    @pytest.fixture(params=[3, 17, 99], ids=lambda s: f"seed{s}")
+    def pair(self, request):
+        mem, disk = TripleStore(), DiskTripleStore()
+        adds, deletes = _random_ops(request.param)
+        for s, p, o in adds:
+            assert mem.add(s, p, o) == disk.add(s, p, o)
+        for s, p, o in deletes:
+            assert mem.delete(s, p, o) == disk.delete(s, p, o)
+        yield mem, disk
+        disk.close()
+
+    def test_identical_dictionary_ids(self, pair):
+        mem, disk = pair
+        assert list(mem.dictionary.terms()) == list(disk.dictionary.terms())
+        assert len(mem.dictionary) == len(disk.dictionary)
+
+    def test_identical_string_reads(self, pair):
+        mem, disk = pair
+        assert len(mem) == len(disk)
+        assert set(mem.triples()) == set(disk.triples())
+        assert set(mem.subjects_iter()) == set(disk.subjects_iter())
+        assert mem.predicates() == disk.predicates()
+        assert mem.stats() == disk.stats()
+        for s in set(mem.subjects_iter()) | {"ghost"}:
+            assert mem.predicates_of(s) == disk.predicates_of(s)
+            assert mem.out_degree(s) == disk.out_degree(s)
+            assert mem.has_subject(s) == disk.has_subject(s)
+            for p in mem.predicates() | {"nope"}:
+                assert mem.objects(s, p) == disk.objects(s, p)
+
+    def test_identical_id_reads(self, pair):
+        mem, disk = pair
+        assert set(mem.triples_ids()) == set(disk.triples_ids())
+        grouped_mem = {
+            s: {p: set(o) for p, o in g.items()} for s, g in mem.spo_items_ids()
+        }
+        grouped_disk = dict(disk.spo_items_ids())
+        assert grouped_mem == grouped_disk
+        assert disk.n_shards == 1
+        assert dict(disk.shard_spo_items_ids(0)) == grouped_disk
+        assert disk.shard_table(0) == grouped_disk
+        with pytest.raises(IndexError):
+            disk.shard_table(1)
+        for s_id, by_predicate in grouped_mem.items():
+            assert disk.has_subject_id(s_id)
+            assert set(disk.predicates_ids_of(s_id)) == set(by_predicate)
+            for p_id, objects in by_predicate.items():
+                assert set(disk.objects_ids(s_id, p_id)) == objects
+
+    def test_identical_expansion(self, pair):
+        mem, disk = pair
+        seeds = sorted(set(s for s, _p, _o in mem.triples()))[:8]
+        from_mem = expand_predicates(mem, seeds, max_length=3)
+        from_disk = expand_predicates(disk, seeds, max_length=3)
+        assert {(s, str(p), o) for s, p, o in from_mem.triples()} == {
+            (s, str(p), o) for s, p, o in from_disk.triples()
+        }
+
+
+class TestListenerParity:
+    def test_notification_streams_identical(self):
+        mem, disk = TripleStore(), DiskTripleStore()
+        seen_mem: list[KBChange] = []
+        seen_disk: list[KBChange] = []
+        mem.subscribe(seen_mem.append)
+        disk.subscribe(seen_disk.append)
+        adds, deletes = _random_ops(5, n_adds=80, n_deletes=20)
+        for s, p, o in adds:
+            mem.add(s, p, o), disk.add(s, p, o)
+        for s, p, o in deletes:
+            mem.delete(s, p, o), disk.delete(s, p, o)
+        assert seen_mem == seen_disk and seen_mem
+        disk.close()
+
+    def test_batch_coalesces(self):
+        disk = DiskTripleStore()
+        bursts: list[tuple[KBChange, ...]] = []
+        disk.subscribe(lambda c: None, bursts.append)
+        with disk.batch():
+            disk.add("a", "p", "b")
+            disk.add("a", "p", "c")
+            assert disk.objects("a", "p") == {"b", "c"}  # reads see writes
+            disk.delete("a", "p", "b")
+            assert not bursts  # deferred until exit
+            assert disk.objects("a", "p") == {"c"}
+        assert len(bursts) == 1 and [c.action for c in bursts[0]] == [
+            ADD,
+            ADD,
+            DELETE,
+        ]
+        disk.close()
+
+
+class TestPersistence:
+    def test_reopen_restores_everything(self, tmp_path):
+        path = str(tmp_path / "kb.db")
+        first = DiskTripleStore(path)
+        adds, _ = _random_ops(7, n_adds=120, n_deletes=0)
+        for s, p, o in adds:
+            first.add(s, p, o)
+        snapshot = (
+            len(first),
+            set(first.triples()),
+            list(first.dictionary.terms()),
+            first.stats(),
+        )
+        first.close()
+        reopened = DiskTripleStore(path)
+        assert (
+            len(reopened),
+            set(reopened.triples()),
+            list(reopened.dictionary.terms()),
+            reopened.stats(),
+        ) == snapshot
+        reopened.close()
+
+    def test_schema_version_guard(self, tmp_path):
+        path = str(tmp_path / "kb.db")
+        store = DiskTripleStore(path)
+        store.add("a", "p", "b")
+        store._connection().execute("PRAGMA user_version = 99")
+        store.close()
+        with pytest.raises(ValueError, match="schema version"):
+            DiskTripleStore(path)
+
+    def test_ephemeral_store_cleans_up_on_close(self):
+        store = DiskTripleStore()
+        path = store.path
+        store.add("a", "p", "b")
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + "-wal")
+
+    def test_alias_view(self):
+        store = DiskTripleStore()
+        store.add("m.1", "name", make_literal("Obama"))
+        store.add("m.2", "alias", make_literal("Obama"))
+        store.add("m.3", "born", make_literal("Obama"))
+        assert store.lookup_alias(make_literal("Obama")) == {"m.1", "m.2"}
+        store.close()
+
+
+class TestPickleAsPathReference:
+    def test_thaws_read_only_against_the_same_file(self, tmp_path):
+        path = str(tmp_path / "kb.db")
+        store = DiskTripleStore(path)
+        adds, _ = _random_ops(9, n_adds=200, n_deletes=0)
+        for s, p, o in adds:
+            store.add(s, p, o)
+        blob = pickle.dumps(store)
+        # a path reference, not a heap image: far smaller than the data
+        assert len(blob) < 1024 < os.path.getsize(path)
+        thawed = pickle.loads(blob)
+        assert thawed.read_only and thawed.path == path
+        assert set(thawed.triples()) == set(store.triples())
+        # the dictionary facade keeps identity with its store through pickle
+        assert thawed.dictionary._store is thawed
+        with pytest.raises(ValueError, match="read-only"):
+            thawed.add("x", "y", "z")
+        with pytest.raises(ValueError, match="read-only"):
+            thawed.delete(*adds[0])
+        thawed.close()
+        store.close()
+        assert os.path.exists(path)  # the thawed copy never owns the file
+
+    def test_notify_external_restores_memo_coherence(self, tmp_path):
+        """A sibling's write is visible to uncached reads immediately and to
+        the memoized (s, p) object sets after the op-log replay calls
+        ``notify_external`` — the documented coherence contract."""
+        path = str(tmp_path / "kb.db")
+        writer = DiskTripleStore(path)
+        writer.add("a", "p", "b")
+        replica = pickle.loads(pickle.dumps(writer))
+        seen: list[KBChange] = []
+        replica.subscribe(seen.append)
+        assert replica.objects("a", "p") == {"b"}  # memo primed
+        writer.add("a", "p", "c")
+        assert replica.has("a", "p", "c")  # point read: no cache
+        assert replica.objects("a", "p") == {"b"}  # memo: stale by design
+        replica.notify_external("add", "a", "p", "c")
+        assert replica.objects("a", "p") == {"b", "c"}
+        assert [c.action for c in seen] == [ADD]
+        assert replica.decode_id(seen[0].object_id) == "c"
+        with pytest.raises(ValueError, match="unknown change action"):
+            replica.notify_external("upsert", "a", "p", "c")
+        replica.close()
+        writer.close()
+
+
+class TestResolveBackend:
+    def test_defaults_and_explicit_kinds(self, monkeypatch):
+        monkeypatch.delenv("KBQA_BACKEND", raising=False)
+        assert type(resolve_backend()) is TripleStore
+        assert type(resolve_backend(shards=4)) is ShardedTripleStore
+        disk = resolve_backend("disk")
+        assert type(disk) is DiskTripleStore
+        disk.close()
+        assert set(BACKEND_KINDS) == {"memory", "sharded", "disk"}
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("KBQA_BACKEND", "disk")
+        store = resolve_backend()
+        assert type(store) is DiskTripleStore
+        store.close()
+        # explicit argument beats the environment
+        assert type(resolve_backend("memory")) is TripleStore
+        # the env var is a default, not a mandate: a structural shard
+        # request keeps the sharded backend (the CI disk leg still runs
+        # the --shards tests)
+        assert type(resolve_backend(shards=2)) is ShardedTripleStore
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(ValueError, match="unknown KB backend"):
+            resolve_backend("paper")
+        with pytest.raises(ValueError, match="does not take a database path"):
+            resolve_backend("memory", path="/tmp/x.db")
+        with pytest.raises(ValueError, match="single-shard"):
+            resolve_backend("disk", shards=3)
+
+
+class TestSystemEquivalence:
+    def test_answer_many_identical_to_memory_backend(self, suite, kbqa_fb):
+        """Acceptance: a system trained over the disk-compiled KB answers the
+        qald3 BFQ set byte-identically to the in-memory reference."""
+        disk_suite = build_suite(scale="small", seed=7, backend="disk")
+        assert type(disk_suite.freebase.store) is DiskTripleStore
+        assert (
+            disk_suite.freebase.store.stats() == suite.freebase.store.stats()
+        )
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+        questions.append("what should i eat tonight?")
+        with KBQA.train(
+            disk_suite.freebase, disk_suite.corpus, disk_suite.conceptualizer
+        ) as disk_system:
+            assert disk_system.answer_many(questions) == kbqa_fb.answer_many(
+                questions
+            )
+            # live updates flow through the disk backend's change stream too
+            before = disk_system.answer_complex("who is the mayor of mapleton?")
+            assert disk_system.add_fact("e.new", "name", make_literal("Newcomer"))
+            assert not disk_system.add_fact(
+                "e.new", "name", make_literal("Newcomer")
+            )
+            after = disk_system.answer_complex("who is the mayor of mapleton?")
+            assert before.values == after.values
+
+    def test_cli_compile_then_reopen(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db_dir = str(tmp_path / "db")
+        assert main(["compile", "--scale", "small", "--db-dir", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "freebase.db" in out and "dbpedia.db" in out
+        assert os.path.exists(os.path.join(db_dir, "freebase.db"))
+        code = main(
+            ["answer", "--scale", "small", "--backend", "disk",
+             "--db-dir", db_dir, "what is the population of mapleton?"]
+        )
+        assert code == 0
+        assert "A: " in capsys.readouterr().out
+
+    def test_cli_compile_requires_db_dir(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "--scale", "small"]) == 1
+        assert "--db-dir is required" in capsys.readouterr().err

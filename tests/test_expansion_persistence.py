@@ -2,12 +2,14 @@
 training resumption (``KBQA.train(..., expanded=...)`` must answer without
 re-running ``expand_predicates``).
 
-Two artifact formats are locked down here: the v1 line-JSON layout and the
-binary mmap v2 layout (`repro.kb.expanded_v2`).  The v1<->v2 equivalence
-suite proves the formats are interchangeable to the byte: converting in
-either direction reproduces the other side's canonical bytes, content
-(seeds, tails, reach) survives, and systems trained from either artifact
-answer identically.
+Three artifact formats are locked down here: the v1 line-JSON layout, the
+binary mmap v2 layout (`repro.kb.expanded_v2`), and the disk-native v3
+layout (`repro.kb.expanded_v3`) whose sorted index sections answer lookups
+by binary search straight off the mmap.  The equivalence suites prove the
+formats are interchangeable to the byte: converting in any direction
+reproduces the other side's canonical bytes, content (seeds, tails, reach)
+survives, and systems trained from any artifact answer identically — with
+the v3 store staying mapped (zero dict materialization) through serving.
 """
 
 import struct
@@ -17,6 +19,7 @@ import pytest
 import repro.core.learner as learner_module
 from repro.core.system import KBQA
 from repro.kb.expanded_v2 import EXPANSION_V2_MAGIC, EXPANSION_V2_VERSION, is_v2_file
+from repro.kb.expanded_v3 import EXPANSION_V3_MAGIC, EXPANSION_V3_VERSION, is_v3_file
 from repro.kb.expansion import (
     EXPANDED_FORMAT_ENV,
     EXPANSION_FORMAT_VERSION,
@@ -259,7 +262,7 @@ class TestV2Format:
         pinned = tmp_path / "pinned.kbqa"
         expanded.save(pinned, format="v1")
         assert not is_v2_file(pinned)
-        monkeypatch.setenv(EXPANDED_FORMAT_ENV, "v3")
+        monkeypatch.setenv(EXPANDED_FORMAT_ENV, "v9")
         with pytest.raises(ValueError, match="unknown expansion format"):
             expanded.save(tmp_path / "nope.kbqa")
 
@@ -321,6 +324,304 @@ class TestV2Format:
         loaded = capsys.readouterr().out
         # identical inventory whichever format backed the artifact
         assert saved.splitlines()[1:] == loaded.splitlines()[1:]
+
+
+class TestV3Format:
+    """The disk-native v3 artifact: lookups answered by binary search
+    straight off the mmap (no dict materialization), byte-level v1/v2/v3
+    interchangeability, and the rejection paths of a corrupt file — cheap
+    structural ones at load, index-consistency ones via ``verify()`` (the
+    ``kbqa expand --load`` integrity gate)."""
+
+    def test_v2_v3_round_trip_is_byte_identical_both_ways(self, expanded, tmp_path):
+        """Acceptance: converting v3 -> v2 reproduces the direct v2 bytes,
+        and v2 -> v3 reproduces the direct v3 bytes (and v3 -> v1 the
+        direct v1 bytes)."""
+        v1, v2, v3 = tmp_path / "a.v1", tmp_path / "a.v2", tmp_path / "a.v3"
+        expanded.save(v1, format="v1")
+        expanded.save(v2, format="v2")
+        expanded.save(v3, format="v3")
+        assert is_v3_file(v3) and not is_v3_file(v2) and not is_v2_file(v3)
+        via_v3 = tmp_path / "b.v2"
+        ExpandedStore.load(v3).save(via_v3, format="v2")
+        assert via_v3.read_bytes() == v2.read_bytes()
+        via_v2 = tmp_path / "b.v3"
+        ExpandedStore.load(v2).save(via_v2, format="v3")
+        assert via_v2.read_bytes() == v3.read_bytes()
+        via_v3_v1 = tmp_path / "b.v1"
+        ExpandedStore.load(v3).save(via_v3_v1, format="v1")
+        assert via_v3_v1.read_bytes() == v1.read_bytes()
+
+    def test_v3_save_is_deterministic(self, expanded, tmp_path):
+        first, second = tmp_path / "first.v3", tmp_path / "second.v3"
+        expanded.save(first, format="v3")
+        expanded.save(second, format="v3")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_loads_mapped_and_lookups_match_materialized(self, expanded, tmp_path):
+        """Acceptance: every read API of the mapped store is byte-identical
+        to the materialized reference, and serving those reads leaves the
+        store mapped — zero dict materialization on the lookup path."""
+        path = tmp_path / "expansion.v3"
+        expanded.save(path, format="v3")
+        mapped = ExpandedStore.load(path)
+        reference = ExpandedStore.load(path).materialize()
+        assert mapped.is_mapped and not reference.is_mapped
+        mapped.verify()
+        assert mapped.stats() == reference.stats() == expanded.stats()
+        assert len(mapped) == len(reference)
+        assert mapped.distinct_paths() == reference.distinct_paths()
+        assert set(mapped.subjects()) == set(reference.subjects())
+        assert {(s, str(p), o) for s, p, o in mapped.triples()} == {
+            (s, str(p), o) for s, p, o in reference.triples()
+        }
+        for subject in reference.subjects():
+            assert {str(p) for p in mapped.paths_of(subject)} == {
+                str(p) for p in reference.paths_of(subject)
+            }
+            for p_plus in reference.paths_of(subject):
+                assert mapped.objects(subject, p_plus) == reference.objects(
+                    subject, p_plus
+                )
+                assert mapped.value_count(subject, p_plus) == reference.value_count(
+                    subject, p_plus
+                )
+                for obj in reference.objects(subject, p_plus):
+                    assert {str(p) for p in mapped.paths_between(subject, obj)} == {
+                        str(p) for p in reference.paths_between(subject, obj)
+                    }
+        assert mapped.objects("no-such-subject", next(iter(reference.distinct_paths()))) == set()
+        assert mapped.is_mapped, "a read materialized the mapped store"
+
+    def test_seeds_tails_and_reach_survive_v3(self, expanded, tmp_path):
+        path = tmp_path / "expansion.v3"
+        expanded.save(path, format="v3")
+        loaded = ExpandedStore.load(path)
+        assert loaded.tail_predicates == expanded.tail_predicates
+        assert loaded.max_length == expanded.max_length
+        assert loaded.has_reach() == expanded.has_reach()
+        decode_old, decode_new = expanded.dictionary.decode, loaded.dictionary.decode
+        assert {decode_new(s) for s in loaded.seed_ids} == {
+            decode_old(s) for s in expanded.seed_ids
+        }
+        assert {
+            decode_new(n): {decode_new(s) for s in seeds}
+            for n, seeds in loaded.reach_items()
+        } == {
+            decode_old(n): {decode_old(s) for s in seeds}
+            for n, seeds in expanded.reach_items()
+        }
+        assert loaded.is_mapped
+
+    def test_answer_many_identical_from_v3_artifact(self, suite, kbqa_fb, tmp_path):
+        """Acceptance: a system resumed from a v3 artifact answers the qald3
+        BFQ set byte-identically to the live reference — and the artifact
+        store is still mapped afterwards (the serve path never built the
+        dict indexes)."""
+        expanded = kbqa_fb.learn_result.expanded
+        path = tmp_path / "e.v3"
+        expanded.save(path, format="v3")
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()]
+        loaded = ExpandedStore.load(path)
+        assert loaded.is_mapped
+        with KBQA.train(
+            suite.freebase, suite.corpus, suite.conceptualizer, expanded=loaded
+        ) as from_v3:
+            assert from_v3.answer_many(questions) == kbqa_fb.answer_many(questions)
+            assert loaded.is_mapped, "serving materialized the mapped artifact"
+
+    def test_write_materializes_automatically(self, expanded, tmp_path):
+        path = tmp_path / "expansion.v3"
+        expanded.save(path, format="v3")
+        loaded = ExpandedStore.load(path)
+        assert loaded.is_mapped
+        before = {(s, str(p), o) for s, p, o in loaded.triples()}
+        loaded.record("zz-new", PredicatePath.single("name"), make_literal("zz"))
+        assert not loaded.is_mapped
+        assert {(s, str(p), o) for s, p, o in loaded.triples()} == before | {
+            ("zz-new", "name", make_literal("zz"))
+        }
+
+    def test_mapped_pickle_is_a_path_reference(self, expanded, tmp_path):
+        import pickle
+
+        path = tmp_path / "expansion.v3"
+        expanded.save(path, format="v3")
+        loaded = ExpandedStore.load(path)
+        blob = pickle.dumps(loaded)
+        assert len(blob) < 1024 < path.stat().st_size
+        thawed = pickle.loads(blob)
+        assert thawed.is_mapped
+        assert {(s, str(p), o) for s, p, o in thawed.triples()} == {
+            (s, str(p), o) for s, p, o in loaded.triples()
+        }
+        # a materialized store pickles by value (no file dependency)
+        materialized_blob = pickle.dumps(loaded.materialize())
+        assert len(materialized_blob) > len(blob)
+
+    def test_env_selects_v3_default(self, expanded, tmp_path, monkeypatch):
+        monkeypatch.setenv(EXPANDED_FORMAT_ENV, "v3")
+        by_env = tmp_path / "by_env.kbqa"
+        expanded.save(by_env)
+        assert is_v3_file(by_env)
+        pinned = tmp_path / "pinned.kbqa"
+        expanded.save(pinned, format="v2")
+        assert is_v2_file(pinned)
+
+    def test_special_characters_round_trip_v3(self, tmp_path):
+        kb = TripleStore()
+        tricky = make_literal('line\nbreak "and\ttab" é中')
+        kb.add("s", "name", tricky)
+        expanded = expand_predicates(kb, ["s"], max_length=1)
+        path = tmp_path / "tricky.v3"
+        expanded.save(path, format="v3")
+        loaded = ExpandedStore.load(path)
+        assert loaded.is_mapped
+        assert loaded.objects("s", PredicatePath.single("name")) == {tricky}
+
+    def test_rejects_truncated_v3(self, expanded, tmp_path):
+        path = tmp_path / "whole.v3"
+        expanded.save(path, format="v3")
+        data = path.read_bytes()
+        for cut in (len(data) - 7, len(data) // 2, 40, 0):
+            clipped = tmp_path / f"clipped-{cut}.v3"
+            clipped.write_bytes(data[:cut])
+            with pytest.raises(ValueError, match="truncat|header"):
+                ExpandedStore.load(clipped)
+
+    def test_rejects_version_mismatch_v3(self, expanded, tmp_path):
+        path = tmp_path / "future.v3"
+        expanded.save(path, format="v3")
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, len(EXPANSION_V3_MAGIC), EXPANSION_V3_VERSION + 1)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            ExpandedStore.load(path)
+
+    def test_rejects_trailing_garbage_v3(self, expanded, tmp_path):
+        path = tmp_path / "padded.v3"
+        expanded.save(path, format="v3")
+        path.write_bytes(path.read_bytes() + b"\x00\x00\x00\x00")
+        with pytest.raises(ValueError, match="trailing"):
+            ExpandedStore.load(path)
+
+    def test_verify_rejects_unsorted_seed_index(self, expanded, tmp_path):
+        """Load stays O(1) on an unsorted index; the ``verify()`` sweep (run
+        by ``kbqa expand --load``) is what rejects it."""
+        path = tmp_path / "unsorted.v3"
+        expanded.save(path, format="v3")
+        data = bytearray(path.read_bytes())
+        seed_ids = sorted(expanded.seed_ids)
+        assert len(seed_ids) >= 2
+        # walk the wire format to the seeds section: header, tails, terms,
+        # termsort (blobs padded to 4-byte alignment), seeds
+        header = struct.Struct("<8s14IQ")
+        fields = header.unpack_from(data, 0)
+        n_tails, n_terms, n_seeds = fields[3], fields[4], fields[5]
+        tails_blob_len, terms_blob_len = fields[13], fields[15]
+        offset = header.size
+        offset += 4 * (n_tails + 1) + tails_blob_len + (-tails_blob_len) % 4
+        offset += 8 * (n_terms + 1) + terms_blob_len + (-terms_blob_len) % 4
+        offset += 4 * n_terms  # term-sort permutation
+        assert n_seeds == len(seed_ids)
+        assert data[offset : offset + 4 * n_seeds] == struct.pack(
+            f"<{n_seeds}I", *seed_ids
+        ), "seed section offset arithmetic out of step with the writer"
+        swapped = [seed_ids[1], seed_ids[0]] + seed_ids[2:]
+        data[offset : offset + 4 * n_seeds] = struct.pack(f"<{n_seeds}I", *swapped)
+        path.write_bytes(bytes(data))
+        corrupt = ExpandedStore.load(path)  # structural load succeeds
+        with pytest.raises(ValueError, match="unsorted"):
+            corrupt.verify()
+
+    def test_verify_rejects_out_of_bounds_ids(self, expanded, tmp_path):
+        """An id past the dictionary deep in the index sections passes the
+        O(1) load and fails the full sweep."""
+        path = tmp_path / "oob.v3"
+        expanded.save(path, format="v3")
+        data = bytearray(path.read_bytes())
+        # the file ends with the reach seed-id u32 array
+        struct.pack_into("<I", data, len(data) - 4, 0x7FFFFFFF)
+        path.write_bytes(bytes(data))
+        corrupt = ExpandedStore.load(path)
+        with pytest.raises(ValueError):
+            corrupt.verify()
+
+    def test_cli_expand_save_v3_and_verifying_load(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "expansion.v3"
+        code = main(
+            ["expand", "--scale", "small", "--save", str(path),
+             "--expanded-format", "v3"]
+        )
+        assert code == 0 and is_v3_file(path)
+        saved = capsys.readouterr().out
+        assert "saved expansion" in saved and "spo_triples=" in saved
+        assert main(["expand", "--load", str(path)]) == 0
+        loaded = capsys.readouterr().out
+        assert saved.splitlines()[1:] == loaded.splitlines()[1:]
+
+    def test_cli_load_rejects_corrupt_v3(self, tmp_path, capsys):
+        """The --load integrity gate: a byte-flipped v3 artifact exits 1
+        with the CLI error contract, caught by verify() even when the
+        structural load succeeds."""
+        from repro.cli import main
+
+        path = tmp_path / "expansion.v3"
+        assert main(
+            ["expand", "--scale", "small", "--save", str(path),
+             "--expanded-format", "v3"]
+        ) == 0
+        capsys.readouterr()
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        bad = tmp_path / "corrupt.v3"
+        bad.write_bytes(bytes(data))
+        assert main(["expand", "--load", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("kbqa expand: error:")
+
+
+class TestV3RandomizedEquivalence:
+    """Mapped binary-search answers vs materialized-dict answers across
+    randomized KBs x shard counts — byte-identical everywhere."""
+
+    @pytest.mark.parametrize("seed", [1, 23])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_random_kb_lookup_equivalence(self, seed, shards, tmp_path):
+        import random
+
+        from repro.kb.sharded import ShardedTripleStore
+
+        rng = random.Random(seed)
+        kb = TripleStore() if shards == 1 else ShardedTripleStore(shards=shards)
+        entities = [f"n{i}" for i in range(25)]
+        predicates = [f"p{i}" for i in range(5)] + ["name"]
+        for _ in range(250):
+            kb.add(rng.choice(entities), rng.choice(predicates), rng.choice(
+                entities + [make_literal(f"v{rng.randrange(10)}")]
+            ))
+        seeds = rng.sample(entities, 6)
+        expanded = expand_predicates(kb, seeds, max_length=3, record_reach=True)
+        path = tmp_path / f"r{seed}-{shards}.v3"
+        expanded.save(path, format="v3")
+        mapped = ExpandedStore.load(path)
+        assert mapped.is_mapped
+        mapped.verify()
+        assert mapped.stats() == expanded.stats()
+        assert {(s, str(p), o) for s, p, o in mapped.triples()} == {
+            (s, str(p), o) for s, p, o in expanded.triples()
+        }
+        for subject in expanded.subjects():
+            for p_plus in expanded.paths_of(subject):
+                assert mapped.objects(subject, p_plus) == expanded.objects(
+                    subject, p_plus
+                )
+                assert mapped.value_count(subject, p_plus) == expanded.value_count(
+                    subject, p_plus
+                )
+        assert mapped.is_mapped
 
 
 class TestTrainingResumption:

@@ -13,10 +13,20 @@ import pytest
 from repro.core.system import KBQA
 from repro.data.compile import compile_freebase_like
 from repro.kb.backend import ADD, DELETE, KBBackend, KBChange
+from repro.kb.disk import DiskTripleStore
 from repro.kb.expansion import expand_predicates
 from repro.kb.sharded import ShardedTripleStore
 from repro.kb.store import TripleStore
 from repro.kb.triple import Triple, make_literal
+
+
+# every live-mutation test runs against all three backends — the disk
+# store must match the in-memory semantics listener-for-listener
+_BACKENDS = pytest.mark.parametrize(
+    "factory",
+    [TripleStore, lambda: ShardedTripleStore(shards=3), DiskTripleStore],
+    ids=["memory", "sharded", "disk"],
+)
 
 
 def _toy(kb):
@@ -36,6 +46,7 @@ class TestProtocolConformance:
     def test_both_implementations_satisfy_the_protocol(self):
         assert isinstance(TripleStore(), KBBackend)
         assert isinstance(ShardedTripleStore(shards=2), KBBackend)
+        assert isinstance(DiskTripleStore(), KBBackend)
 
     def test_invalid_shard_count_rejected(self):
         with pytest.raises(ValueError):
@@ -142,7 +153,7 @@ class TestShardedAnswerEquivalence:
 
 
 class TestDelete:
-    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    @_BACKENDS
     def test_delete_removes_from_all_indexes(self, factory):
         kb = _toy(factory())
         n = len(kb)
@@ -154,14 +165,14 @@ class TestDelete:
         assert kb.predicates_between("cvt1", "b") == set()
         assert "person" not in kb.predicates()
 
-    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    @_BACKENDS
     def test_delete_prunes_ghost_subjects(self, factory):
         kb = _toy(factory())
         assert kb.delete("m", "name", make_literal("mel"))
         assert not kb.has_subject("m")
         assert Triple("m", "name", make_literal("mel")) not in kb
 
-    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=3)])
+    @_BACKENDS
     def test_delete_absent_returns_false(self, factory):
         kb = _toy(factory())
         n = len(kb)
@@ -177,7 +188,7 @@ class TestDelete:
 
 
 class TestChangeNotification:
-    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=2)])
+    @_BACKENDS
     def test_add_and_delete_notify(self, factory):
         kb = factory()
         changes: list[KBChange] = []
@@ -190,7 +201,7 @@ class TestChangeNotification:
         assert [c.action for c in changes] == [ADD, DELETE]
         assert changes[1] == KBChange(DELETE, s, p, o)
 
-    @pytest.mark.parametrize("factory", [TripleStore, lambda: ShardedTripleStore(shards=2)])
+    @_BACKENDS
     def test_no_notification_on_noop(self, factory):
         kb = factory()
         kb.add("s", "p", "o")
