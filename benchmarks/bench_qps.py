@@ -15,6 +15,10 @@ Poisson arrivals (open loop: arrivals never wait for responses) and records
 p50/p99 response latency per offered rate, and :func:`measure_http_qps`
 measures the full socket path — request bytes into a live ``KBQAServer``,
 response bytes out — as an end-to-end QPS + latency cell.
+:func:`measure_adaptive` is the control-plane proof cell: a 10x open-loop
+ramp over a simulated fixed-cost backend, run twice (static knobs vs the
+SLO feedback controller), reporting per-step p99 and the spread ratio,
+plus a per-tenant fairness sub-cell under ``--quota``-style token buckets.
 
 Every cell uses a *fresh* ``OnlineAnswerer`` with the answer cache disabled,
 so duplicate work is real and the measured difference is the serving
@@ -43,12 +47,15 @@ from pathlib import Path
 from repro.core.online import OnlineAnswerer
 from repro.core.system import KBQA
 from repro.exec.backend import resolve_workers
+from repro.serve.async_answerer import normalized_key
 from repro.serve.loadgen import (
     LoadSpec,
     OpenLoadSpec,
+    RampSpec,
     latency_percentiles,
     run_load_cell,
     run_open_load_cell,
+    run_ramp_cell,
 )
 from repro.suite import build_suite
 
@@ -56,6 +63,7 @@ DEFAULT_CONCURRENCY = [4, 16, 64]
 DEFAULT_DUP_RATES = [0.0, 0.5, 0.9]
 DEFAULT_OPEN_RATES = [100.0, 400.0, 1600.0]
 DEFAULT_WINDOWS_MS = [0.0, 2.0, 5.0]
+DEFAULT_RAMP_RATES = [8.0, 16.0, 32.0, 56.0, 80.0]
 HIGH_DUP = 0.9
 
 
@@ -381,6 +389,239 @@ def measure_http_qps(
     }
 
 
+class _SimulatedKB:
+    """The ramp target: the real answerer plus a fixed per-item service
+    cost, emulating corpus-scale per-candidate KB work (the 30M-factoid
+    regime the ROADMAP's serving north star names).
+
+    The bench KB answers in tens of microseconds, so no generatable
+    offered rate saturates it and a rate ramp exercises nothing.  The
+    sleep — per *item*, so batching cannot amortize it away — gives the
+    cell a well-defined capacity (``workers / service_s``) independent of
+    the runner's CPU, which is what makes the 1x -> 10x ramp a real swing
+    from under-load to overload.  Answers are delegated unchanged, so the
+    correctness guard still checks the real pipeline.
+    """
+
+    def __init__(self, target: OnlineAnswerer, service_ms_per_item: float):
+        self._target = target
+        self._service_s = service_ms_per_item / 1000.0
+
+    def answer_many(self, questions):
+        time.sleep(self._service_s * len(questions))
+        return self._target.answer_many(questions)
+
+
+def _expected_answers(system: KBQA, questions: list[str]) -> dict:
+    """Reference answers from a fresh target, keyed by ``normalized_key``.
+
+    The ramp cells count completions that disagree with these as
+    ``incorrect`` — the guard that an adaptive run cannot win the latency
+    race by corrupting answers."""
+    reference = _fresh_target(system)
+    results = reference.answer_many(questions)
+    return {
+        normalized_key(question): tuple(result.values)
+        for question, result in zip(questions, results)
+    }
+
+
+def _p99_spread(cell: dict, skip_steps: int = 0) -> float | None:
+    """max/min of per-step p99 across the ramp (1.0 == perfectly flat),
+    optionally skipping leading warm-up steps."""
+    p99s = [
+        step["p99_ms"]
+        for step in cell["steps"][skip_steps:]
+        if step.get("p99_ms") and step["completed"] > 0
+    ]
+    if not p99s:
+        return None
+    return round(max(p99s) / max(min(p99s), 1e-9), 2)
+
+
+def measure_adaptive(
+    system: KBQA,
+    questions: list[str],
+    *,
+    rates: list[float] | None = None,
+    step_duration_s: float = 2.0,
+    warmup_steps: int = 2,
+    slo_ms: float = 50.0,
+    static_window_ms: float = 8.0,
+    service_ms_per_item: float = 25.0,
+    max_batch: int = 16,
+    workers: int = 1,
+    seed: int = 7,
+) -> dict:
+    """The ``qps.adaptive`` section: SLO controller vs static knobs on an
+    open-loop rate ramp, plus a per-tenant fairness sub-cell.
+
+    Both arms replay the *same* seeded Poisson ramp (1x -> 10x, constant
+    wall-clock per step) against a :class:`_SimulatedKB` with capacity
+    ``workers / service_ms_per_item`` (~40 qps at the defaults), from
+    the same starting knobs — a mis-tuned ``batch_window_ms`` linger and a
+    deep static admission queue.  The static arm holds them for the whole
+    ramp: linger-bound p99 under light load, then queue growth once the
+    ramp crosses capacity — a large p99 spread across steps.  The
+    adaptive arm gets a p99 SLO: the controller shrinks the linger on
+    breach, widens it back under headroom, and re-derives the admission
+    depth from the measured service rate, so excess load is shed at the
+    door instead of aging in a deep queue and the p99 of served requests
+    stays in the SLO band across the whole swing.  The ramp's leading
+    ``warmup_steps`` repeats of the base rate give the controller its
+    convergence transient; they are reported but excluded from the spread
+    for both arms alike.  Every completion is checked against reference
+    answers, so a controller that traded correctness for latency would
+    show up as ``incorrect`` > 0.
+
+    The fairness sub-cell tags arrivals 90/10 across two tenants under a
+    token-bucket quota sized between the two offered rates: the hog must
+    see quota rejections while the small tenant rides through untouched.
+    """
+    rates = rates or DEFAULT_RAMP_RATES
+    workers = max(workers, 1)
+    expected = _expected_answers(system, questions)
+    ramp = [float(rates[0])] * warmup_steps + [float(r) for r in rates]
+    spec = RampSpec(
+        rates_qps=tuple(ramp),
+        step_duration_s=step_duration_s,
+        duplicate_rate=0.0,
+        seed=seed,
+    )
+    arms = {}
+    for adaptive in (False, True):
+        arms[adaptive] = run_ramp_cell(
+            _SimulatedKB(_fresh_target(system), service_ms_per_item),
+            questions,
+            spec,
+            adaptive=adaptive,
+            slo_ms=slo_ms if adaptive else 0.0,
+            max_batch=max_batch,
+            workers=workers,
+            batch_window_ms=static_window_ms,
+            expected=expected,
+        )
+    static, adaptive = arms[False], arms[True]
+    static_spread = _p99_spread(static, skip_steps=warmup_steps)
+    adaptive_spread = _p99_spread(adaptive, skip_steps=warmup_steps)
+
+    # fairness: one sustained step at the ramp's peak (past capacity, so
+    # the work-conserving bypass cannot absorb the hog), 90/10 tenant mix,
+    # quota sized between the two offered rates so only the hog exhausts
+    # its bucket while the small tenant never touches its limit
+    peak_rate = max(rates)
+    fairness_spec = RampSpec(
+        rates_qps=(peak_rate,),
+        step_duration_s=max(step_duration_s, 3.0),
+        duplicate_rate=0.0,
+        seed=seed,
+        tenants=(("hog", 0.9), ("payg", 0.1)),
+    )
+    quota_rate = round(peak_rate * 0.2, 1)
+    # a fixed moderate box isolates quota + weighted drain semantics from
+    # the controller: the hog's uncharged backlog is capped at its share of
+    # the box while the small tenant always finds admission headroom
+    fairness_cell = run_ramp_cell(
+        _SimulatedKB(_fresh_target(system), service_ms_per_item),
+        questions,
+        fairness_spec,
+        quota=f"{quota_rate}:{quota_rate / 2}",
+        max_batch=max_batch,
+        workers=workers,
+        max_pending=32,
+        batch_window_ms=static_window_ms,
+        expected=expected,
+    )
+    hog = fairness_cell["tenants"].get("hog", {})
+    payg = fairness_cell["tenants"].get("payg", {})
+    payg_served = (
+        round(payg["completed"] / payg["requests"], 4)
+        if payg.get("requests")
+        else None
+    )
+    return {
+        "slo_ms": slo_ms,
+        "static_window_ms": static_window_ms,
+        "rates_qps": [round(r, 1) for r in rates],
+        "step_duration_s": step_duration_s,
+        "warmup_steps": warmup_steps,
+        "service_ms_per_item": service_ms_per_item,
+        "capacity_qps": round(workers * 1000.0 / service_ms_per_item, 1),
+        "max_batch": max_batch,
+        "workers": workers,
+        "seed": seed,
+        "static": static,
+        "adaptive": adaptive,
+        "static_p99_spread": static_spread,
+        "adaptive_p99_spread": adaptive_spread,
+        "flatness_gain": (
+            round(static_spread / adaptive_spread, 2)
+            if static_spread and adaptive_spread
+            else None
+        ),
+        "incorrect_static": static["incorrect"],
+        "incorrect_adaptive": adaptive["incorrect"],
+        "controller_adjustments": (adaptive.get("controller") or {}).get(
+            "adjustments"
+        ),
+        "fairness": {
+            "offered_qps": round(peak_rate, 1),
+            "quota": fairness_cell["quota"],
+            "tenants": fairness_cell["tenants"],
+            "hog_quota_rejected": hog.get("quota", 0),
+            "payg_served_fraction": payg_served,
+            "incorrect": fairness_cell["incorrect"],
+        },
+        "note": (
+            "open-loop Poisson ramp against the real answerer plus a "
+            "fixed per-item service cost (simulated corpus-scale KB, "
+            "capacity = workers/service); both arms replay the same "
+            "seeded streams from the same mis-tuned starting knobs; "
+            "spread is max/min of per-step p99 excluding the warm-up "
+            "steps (1.0 == flat); completions are checked against "
+            "reference answers (incorrect must be 0); fairness runs a "
+            "90/10 tenant mix under a token-bucket quota sized so only "
+            "the hog exhausts its bucket"
+        ),
+    }
+
+
+def print_adaptive(payload: dict) -> None:
+    """Human-readable adaptive-vs-static ramp tables."""
+    print(
+        f"adaptive ramp (slo {payload['slo_ms']}ms, start window "
+        f"{payload['static_window_ms']}ms, capacity "
+        f"{payload['capacity_qps']} qps, {payload['step_duration_s']}s/step, "
+        f"workers {payload['workers']})"
+    )
+    print(
+        f"{'offered':>8} {'mode':>9} {'done':>6} {'rej':>5} {'p50ms':>8} "
+        f"{'p99ms':>8} {'win_ms':>7} {'maxpend':>8}"
+    )
+    warm = payload["warmup_steps"]
+    for mode in ("static", "adaptive"):
+        for index, step in enumerate(payload[mode]["steps"]):
+            tag = " (warm)" if index < warm else ""
+            print(
+                f"{step['offered_qps']:>8} {mode:>9} {step['completed']:>6} "
+                f"{step['rejected']:>5} {step['p50_ms']:>8} "
+                f"{step['p99_ms']:>8} {step['batch_window_ms']:>7} "
+                f"{step['max_pending']:>8}{tag}"
+            )
+    print(
+        f"p99 spread: static {payload['static_p99_spread']}x vs adaptive "
+        f"{payload['adaptive_p99_spread']}x (flatness gain "
+        f"{payload['flatness_gain']}x); incorrect "
+        f"{payload['incorrect_static']}/{payload['incorrect_adaptive']}"
+    )
+    fairness = payload["fairness"]
+    print(
+        f"fairness @ {fairness['offered_qps']} qps, quota "
+        f"{fairness['quota']}: hog 429s {fairness['hog_quota_rejected']}, "
+        f"payg served {fairness['payg_served_fraction']}"
+    )
+
+
 def print_qps(payload: dict) -> None:
     """Human-readable sweep table."""
     print(
@@ -446,6 +687,14 @@ def main(argv: list[str] | None = None) -> int:
         help="batch_window_ms values for the linger x rate sweep",
     )
     parser.add_argument(
+        "--ramp-rates", type=float, nargs="+", default=DEFAULT_RAMP_RATES,
+        help="offered rates for the adaptive-vs-static ramp",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=50.0,
+        help="p99 SLO handed to the adaptive arm of the ramp",
+    )
+    parser.add_argument(
         "--http-clients", type=int, default=None,
         help="closed-loop HTTP clients for the socket cell "
              "(default: $KBQA_WORKERS, else 8; clamped >= 1)",
@@ -495,9 +744,18 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         workers=workers,
     )
+    payload["adaptive"] = measure_adaptive(
+        system,
+        questions,
+        rates=args.ramp_rates,
+        slo_ms=args.slo_ms,
+        max_batch=args.max_batch,
+        seed=args.seed,
+    )
     print_qps(payload)
     print_open_loop(payload["open_loop"])
     print_batch_window(payload["batch_window"])
+    print_adaptive(payload["adaptive"])
     http = payload["http_e2e"]
     print(
         f"http e2e: {http['qps']} qps over {http['clients']} clients "

@@ -427,6 +427,7 @@ def measure(
 
     # -- serving QPS: coalescing A/B under concurrency x duplicate rate ------
     from benchmarks.bench_qps import (
+        measure_adaptive,
         measure_batch_window,
         measure_http_qps,
         measure_open_loop,
@@ -452,6 +453,7 @@ def measure(
         seed=seed,
     )
     qps["http_e2e"] = measure_http_qps(system, questions)
+    qps["adaptive"] = measure_adaptive(system, questions, seed=seed)
 
     return {
         "benchmark": "BENCH_perf",

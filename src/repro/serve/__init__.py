@@ -7,8 +7,15 @@ The serving story in three layers:
   ``answer_many``, bounded-queue admission control, epoch-checked freshness
   under live KB updates;
 * :mod:`repro.serve.app` — :class:`KBQAServer`: the stdlib asyncio HTTP
-  front (``/answer``, ``/batch``, ``/facts``, ``/healthz``, ``/stats``)
-  behind ``kbqa serve``, plus :class:`BackgroundServer` and the CI smoke;
+  front (``/answer``, ``/batch``, ``/facts``, ``/healthz``, ``/stats``,
+  ``/metrics``) behind ``kbqa serve``, plus :class:`BackgroundServer` and
+  the CI smoke;
+* :mod:`repro.serve.metrics` — the telemetry spine: mergeable log-bucket
+  latency histograms with windowed percentiles, per-stage timers,
+  per-tenant counters, Prometheus text exposition;
+* :mod:`repro.serve.control` — the adaptive control plane:
+  :class:`SLOController` (AIMD feedback on the batching knobs against a
+  p99 SLO) and per-tenant token-bucket quotas with weighted fair queueing;
 * :mod:`repro.serve.loadgen` — the deterministic closed-loop QPS load
   generator behind ``benchmarks/bench_qps.py``;
 * :mod:`repro.serve.multiproc` — :class:`MultiProcessServer`: N forked
@@ -27,38 +34,74 @@ from repro.serve.async_answerer import (
     normalized_key,
 )
 from repro.serve.app import BackgroundServer, KBQAServer, result_payload, run_smoke
+from repro.serve.control import (
+    ControllerConfig,
+    FairQueue,
+    QuotaConfig,
+    QuotaExceeded,
+    SLOController,
+    TokenBucket,
+    parse_quota,
+)
+from repro.serve.metrics import (
+    Histogram,
+    ServeMetrics,
+    WindowedHistogram,
+    merge_states,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.serve.multiproc import MultiProcessServer, multiproc_available
 from repro.serve.loadgen import (
     LoadSpec,
     OpenLoadSpec,
+    RampSpec,
     build_request_stream,
     latency_percentiles,
     run_load,
     run_load_cell,
     run_open_load,
     run_open_load_cell,
+    run_ramp_cell,
+    run_ramp_load,
 )
 
 __all__ = [
     "AnswerTarget",
     "AsyncAnswerer",
     "BackgroundServer",
+    "ControllerConfig",
     "DeadlineExceeded",
+    "FairQueue",
+    "Histogram",
     "KBQAServer",
     "LoadSpec",
     "MultiProcessServer",
     "OpenLoadSpec",
     "OverloadedError",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "RampSpec",
+    "SLOController",
     "ServeConfig",
+    "ServeMetrics",
     "ServeStats",
+    "TokenBucket",
+    "WindowedHistogram",
     "build_request_stream",
     "latency_percentiles",
+    "merge_states",
     "multiproc_available",
     "normalized_key",
+    "parse_prometheus_text",
+    "parse_quota",
+    "render_prometheus",
     "result_payload",
     "run_load",
     "run_load_cell",
     "run_open_load",
     "run_open_load_cell",
+    "run_ramp_cell",
+    "run_ramp_load",
     "run_smoke",
 ]

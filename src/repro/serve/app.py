@@ -16,8 +16,20 @@ Endpoints (all JSON):
   "object"}`` -> applies a live KB edit through the write-quiescence path,
   so the expansion refresh + cache invalidation happen with no evaluation
   in flight.
-* ``GET /healthz``  liveness + uptime.
-* ``GET /stats``    serving counters, answerer cache occupancy, KB stats.
+* ``GET /healthz``  liveness + uptime — answered *before* the answerer, so
+  admission control and tenant quotas can never starve a liveness probe.
+* ``GET /stats``    serving counters, answerer cache occupancy, KB stats,
+  the metrics spine's windowed latency view and (when adaptive) the SLO
+  controller's knobs + tick trace.
+* ``GET /metrics``  Prometheus text exposition of the telemetry spine
+  (stage latency histograms, serve/tenant counters, live-knob gauges);
+  under the multi-process front each replica periodically dumps its
+  cumulative state to a shared directory and whichever replica serves the
+  scrape merges the dumps with its own live state.
+
+Requests may carry an ``X-KBQA-Client`` header naming the tenant: it keys
+the per-tenant counters and — with ``ServeConfig.quota`` set — the
+token-bucket admission whose rejections map to ``429``.
 
 The server also subscribes to the KB backend's change stream (single and
 batched) and routes every external mutation into
@@ -31,6 +43,8 @@ thread for synchronous callers (tests, the CLI smoke mode, examples).
 from __future__ import annotations
 
 import asyncio
+import json as _json
+import os
 import threading
 import time
 from concurrent.futures import BrokenExecutor
@@ -44,7 +58,19 @@ from repro.serve.async_answerer import (
     OverloadedError,
     ServeConfig,
 )
-from repro.serve.http import BadRequest, HTTPRequest, read_request, response_bytes
+from repro.serve.control import QuotaExceeded
+from repro.serve.http import (
+    BadRequest,
+    HTTPRequest,
+    read_request,
+    response_bytes,
+    text_response_bytes,
+)
+from repro.serve.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    merge_states,
+    render_prometheus,
+)
 
 if TYPE_CHECKING:
     from repro.core.system import KBQA
@@ -97,6 +123,8 @@ class KBQAServer:
         *,
         reuse_port: bool = False,
         fact_listener: "Callable[[str, str, str, str], None] | None" = None,
+        metrics_dir: str | None = None,
+        replica_index: int = 0,
     ) -> None:
         self.system = system
         self.config = config or ServeConfig()
@@ -104,6 +132,12 @@ class KBQAServer:
         self.port = port
         self.reuse_port = reuse_port
         self.fact_listener = fact_listener
+        # multi-process metrics merging: replicas dump cumulative state
+        # here (dump_metrics, called from the multiproc poll loop) and any
+        # replica serving /metrics or /stats merges the siblings' dumps
+        # with its own live state
+        self.metrics_dir = metrics_dir
+        self.replica_index = replica_index
         # the pool kind is resolved here, explicitly, so ServeConfig's
         # deliberate env-blindness is preserved (the CLI resolves KBQA_EXEC
         # into config.executor before constructing the server)
@@ -198,7 +232,17 @@ class KBQAServer:
                     break
                 status, payload = await self._route(request)
                 keep = request.keep_alive
-                writer.write(response_bytes(status, payload, keep_alive=keep))
+                if isinstance(payload, str):  # /metrics: Prometheus text
+                    writer.write(
+                        text_response_bytes(
+                            status,
+                            payload,
+                            keep_alive=keep,
+                            content_type=PROMETHEUS_CONTENT_TYPE,
+                        )
+                    )
+                else:
+                    writer.write(response_bytes(status, payload, keep_alive=keep))
                 await writer.drain()
                 if not keep:
                     break
@@ -216,7 +260,7 @@ class KBQAServer:
 
     # -- Routing -----------------------------------------------------------
 
-    async def _route(self, request: HTTPRequest) -> tuple[int, dict]:
+    async def _route(self, request: HTTPRequest) -> tuple[int, dict | str]:
         route = (request.method, request.path)
         try:
             if route == ("GET", "/healthz"):
@@ -225,7 +269,7 @@ class KBQAServer:
                     "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
                 }
             if route == ("GET", "/stats"):
-                return 200, {
+                payload = {
                     "serve": self.answerer.snapshot(),
                     "caches": self.system.answerer.cache_info(),
                     "kb": self.system.kb.store.stats(),
@@ -233,27 +277,117 @@ class KBQAServer:
                         "bad_requests": self.bad_requests,
                         "disconnects": self.disconnects,
                     },
+                    "metrics": self.answerer.metrics.snapshot(),
+                    "controller": self.answerer.controller_snapshot(),
                 }
+                if self.metrics_dir is not None:
+                    merged, reporting = self._merged_state()
+                    payload["replicas"] = {
+                        "reporting": reporting,
+                        "requests": merged["counters"].get("requests", 0),
+                        "batches": merged["counters"].get("batches", 0),
+                    }
+                return 200, payload
+            if route == ("GET", "/metrics"):
+                return 200, self._render_metrics()
             if route == ("POST", "/answer"):
                 return await self._handle_answer(request)
             if route == ("POST", "/batch"):
                 return await self._handle_batch(request)
             if route == ("POST", "/facts"):
                 return await self._handle_facts(request)
-            if request.path in ("/healthz", "/stats", "/answer", "/batch", "/facts"):
+            if request.path in (
+                "/healthz", "/stats", "/metrics", "/answer", "/batch", "/facts",
+            ):
                 return 405, {"error": f"method {request.method} not allowed"}
             return 404, {"error": f"no route for {request.path}"}
         except BadRequest as error:
             return 400, {"error": str(error)}
         except DeadlineExceeded as error:
             return 504, {"error": "deadline exceeded", "detail": str(error)}
+        except QuotaExceeded as error:
+            return 429, {"error": "quota exceeded", "detail": str(error)}
         except OverloadedError:
             return 503, {
                 "error": "overloaded",
-                "max_pending": self.config.max_pending,
+                "max_pending": self.answerer.max_pending,
             }
         except Exception as error:  # deterministic 500, never a hung socket
             return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    # -- Metrics export ----------------------------------------------------
+
+    def _own_metrics_path(self) -> str:
+        assert self.metrics_dir is not None
+        return os.path.join(self.metrics_dir, f"replica-{self.replica_index}.json")
+
+    def dump_metrics(self) -> None:
+        """Atomically publish this replica's cumulative metrics state.
+
+        Called periodically from the multi-process front's poll loop; the
+        tmp-write + rename means a sibling merging mid-dump can never read
+        a torn file.
+        """
+        if self.metrics_dir is None:
+            return
+        path = self._own_metrics_path()
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            _json.dump(self.answerer.metrics_state(), handle, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def _merged_state(self) -> tuple[dict, int]:
+        """This replica's live state merged with every sibling's last dump.
+
+        Returns ``(state, replicas_reporting)`` where the count includes
+        this replica.  A sibling's dump of *this* replica's slot is ignored
+        in favor of the live state (fresher by up to one dump interval).
+        """
+        states = [self.answerer.metrics_state()]
+        if self.metrics_dir is not None:
+            own = (
+                os.path.basename(self._own_metrics_path()),
+                os.path.basename(self._own_metrics_path()) + ".tmp",
+            )
+            try:
+                names = sorted(os.listdir(self.metrics_dir))
+            except OSError:
+                names = []
+            for name in names:
+                if name in own or not name.endswith(".json"):
+                    continue
+                try:
+                    with open(
+                        os.path.join(self.metrics_dir, name), encoding="utf-8"
+                    ) as handle:
+                        states.append(_json.load(handle))
+                except (OSError, ValueError):
+                    continue  # sibling died mid-rename or dumped garbage
+        return merge_states(states), len(states)
+
+    def _render_metrics(self) -> str:
+        """The ``/metrics`` body: merged counters + live-knob gauges."""
+        state, reporting = (
+            self._merged_state()
+            if self.metrics_dir is not None
+            else (merge_states([self.answerer.metrics_state()]), 1)
+        )
+        snapshot = self.answerer.snapshot()
+        gauges = {
+            "kbqa_batch_window_ms": self.answerer.batch_window_ms,
+            "kbqa_max_batch": self.answerer.max_batch,
+            "kbqa_max_pending": self.answerer.max_pending,
+            "kbqa_pending": snapshot["pending"],
+            "kbqa_serving_epoch": snapshot["epoch"],
+            "kbqa_replicas_reporting": reporting,
+        }
+        return render_prometheus(state, gauges)
+
+    @staticmethod
+    def _tenant(request: HTTPRequest) -> str | None:
+        """The requesting tenant from ``X-KBQA-Client`` (None: untagged)."""
+        raw = request.headers.get("x-kbqa-client", "").strip()
+        return raw or None
 
     @staticmethod
     def _deadline_s(request: HTTPRequest) -> float | None:
@@ -276,11 +410,14 @@ class KBQAServer:
         if not isinstance(question, str) or not question.strip():
             raise BadRequest("'question' must be a non-empty string")
         deadline_s = self._deadline_s(request)
+        tenant = self._tenant(request)
         try:
             if deadline_s is None:  # config default applies inside answer()
-                result = await self.answerer.answer(question)
+                result = await self.answerer.answer(question, tenant=tenant)
             else:
-                result = await self.answerer.answer(question, deadline_s=deadline_s)
+                result = await self.answerer.answer(
+                    question, deadline_s=deadline_s, tenant=tenant
+                )
         except (OverloadedError, BrokenExecutor) as error:
             # degraded mode: the evaluation backend is saturated or its
             # workers just died — a cached answer beats a refusal, so probe
@@ -302,12 +439,13 @@ class KBQAServer:
         ):
             raise BadRequest("'questions' must be a non-empty list of strings")
         deadline_s = self._deadline_s(request)
+        tenant = self._tenant(request)
         try:
             if deadline_s is None:
-                results = await self.answerer.answer_many(questions)
+                results = await self.answerer.answer_many(questions, tenant=tenant)
             else:
                 results = await self.answerer.answer_many(
-                    questions, deadline_s=deadline_s
+                    questions, deadline_s=deadline_s, tenant=tenant
                 )
         except (OverloadedError, BrokenExecutor) as error:
             # a batch degrades only whole: partially-cached output would be
@@ -440,10 +578,14 @@ def run_smoke(
 
     Every client issues ``requests_per_thread`` ``POST /answer`` calls (the
     question stream repeats, so coalescing gets exercised), one client-side
-    ``/batch``, and a ``/healthz`` + ``/stats`` read.  Raises
-    ``RuntimeError`` on any non-200, mismatched payload, or unclean
-    shutdown; returns a summary dict on success.  This is the CI serving
-    smoke test and the ``kbqa serve --smoke`` implementation.
+    ``/batch``, and a ``/healthz`` + ``/stats`` read; ``/metrics`` must
+    parse as Prometheus text format.  With ``config.adaptive`` the smoke
+    additionally keeps load on the server until the SLO controller has
+    adjusted at least one knob (window / batch / admission), failing if it
+    never does.  Raises ``RuntimeError`` on any non-200, mismatched
+    payload, or unclean shutdown; returns a summary dict on success.  This
+    is the CI serving smoke test and the ``kbqa serve --smoke``
+    implementation.
 
     ``procs > 1`` runs the same client traffic against a
     :class:`~repro.serve.multiproc.MultiProcessServer` — N forked replicas
@@ -521,6 +663,38 @@ def run_smoke(
         if status != 200 or len(batch.get("results", [])) != len(questions[:4] * 2):
             failures.append(f"/batch -> {status}: {batch}")
 
+        controller_adjustments = 0
+        if config is not None and config.adaptive:
+            # keep traffic flowing until the controller proves it is alive:
+            # p99 well under the SLO must widen the window (or the admission
+            # target must move) within a few 250 ms control intervals
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                for i in range(16):
+                    post(answer_url, {"question": questions[i % len(questions)]})
+                with urllib.request.urlopen(bg.url + "/stats", timeout=30) as resp:
+                    live = json.loads(resp.read().decode("utf-8"))
+                controller = live.get("controller") or {}
+                controller_adjustments = controller.get("adjustments", 0)
+                if controller_adjustments:
+                    break
+            if not controller_adjustments:
+                failures.append("adaptive controller never adjusted a knob")
+
+        from repro.serve.metrics import parse_prometheus_text
+
+        with urllib.request.urlopen(bg.url + "/metrics", timeout=30) as resp:
+            metrics_text = resp.read().decode("utf-8")
+        try:
+            metrics_series = parse_prometheus_text(metrics_text)
+        except ValueError as error:
+            metrics_series = {}
+            failures.append(f"/metrics does not parse: {error}")
+        else:
+            for required in ("kbqa_stage_latency_ms_bucket", "kbqa_serve_events_total"):
+                if required not in metrics_series:
+                    failures.append(f"/metrics is missing {required}")
+
         with urllib.request.urlopen(bg.url + "/healthz", timeout=30) as resp:
             if resp.status != 200:
                 failures.append(f"/healthz -> {resp.status}")
@@ -539,7 +713,7 @@ def run_smoke(
     if failures:
         raise RuntimeError("serving smoke failed: " + "; ".join(failures))
     serve_stats = stats["serve"]
-    return {
+    summary = {
         "requests": len(statuses),
         "http_200": sum(1 for s in statuses if s == 200),
         "serve_requests": serve_stats["requests"],
@@ -548,5 +722,11 @@ def run_smoke(
         "max_batch_seen": serve_stats["max_batch_seen"],
         "executor": serve_stats["executor"],
         "procs": procs,
+        "metrics_series": len(metrics_series),
         "clean_shutdown": True,
     }
+    if config is not None and config.adaptive:
+        summary["controller_adjustments"] = controller_adjustments
+        summary["batch_window_ms"] = serve_stats["batch_window_ms"]
+        summary["max_pending"] = serve_stats["max_pending"]
+    return summary

@@ -48,7 +48,9 @@ workers, which touch nothing but the target's own (locked) caches.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import random
+import time
 from collections import deque
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, replace
@@ -60,6 +62,14 @@ from repro.exec.pool import ExecutorPool
 from repro.exec.shm import SegmentUnavailable
 from repro.exec.snapshot import SnapshotManager, evaluate_frozen_batch
 from repro.nlp.tokenizer import tokenize
+from repro.serve.control import (
+    ControllerConfig,
+    FairQueue,
+    QuotaExceeded,
+    SLOController,
+    parse_quota,
+)
+from repro.serve.metrics import ServeMetrics
 
 
 class AnswerTarget(Protocol):
@@ -142,6 +152,15 @@ class ServeConfig:
     workers before the crash propagates; ``retry_backoff_ms`` is the base
     of the jittered exponential backoff slept between those crash retries
     (0 disables the sleep).
+
+    The control-plane knobs (`repro.serve.control`): ``adaptive`` starts an
+    SLO feedback controller that treats ``batch_window_ms`` / ``max_batch``
+    / ``max_pending`` as *initial values* and retunes them live against the
+    ``slo_ms`` p99 target (required > 0 when adaptive); ``quota`` is a
+    per-tenant token-bucket spec (``"RATE:BURST[;tenant=weight...]"``) that
+    replaces the FIFO dispatch queue with weighted-fair per-tenant queues —
+    requests past quota get :class:`~repro.serve.control.QuotaExceeded`
+    (HTTP 429).
     """
 
     max_batch: int = 16
@@ -154,6 +173,9 @@ class ServeConfig:
     deadline_ms: float = 0.0
     max_crash_retries: int = 2
     retry_backoff_ms: float = 2.0
+    slo_ms: float = 0.0
+    adaptive: bool = False
+    quota: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -182,6 +204,12 @@ class ServeConfig:
             raise ValueError(
                 f"executor must be one of {EXEC_KINDS} or None, got {self.executor!r}"
             )
+        if self.slo_ms < 0:
+            raise ValueError(f"slo_ms must be >= 0, got {self.slo_ms}")
+        if self.adaptive and self.slo_ms <= 0:
+            raise ValueError("adaptive serving requires slo_ms > 0")
+        if self.quota is not None:
+            parse_quota(self.quota)  # validate eagerly; ValueError on a bad spec
 
 
 @dataclass(slots=True)
@@ -202,6 +230,7 @@ class ServeStats:
     crash_retries: int = 0  # batch re-dispatches after pool-worker death
     respawns: int = 0  # executors replaced after worker death
     degraded: int = 0  # answer-cache hits served in degraded mode (by the app)
+    quota_rejected: int = 0  # per-tenant quota rejections (429s)
 
 
 class AsyncAnswerer:
@@ -223,6 +252,13 @@ class AsyncAnswerer:
         self.target = target
         self.config = config or ServeConfig()
         self.stats = ServeStats()
+        self.metrics = ServeMetrics()
+        # Live knobs, seeded from the (frozen) config: the SLO controller
+        # mutates these, never the config, so the configured values remain
+        # the restart baseline and the controller caps.
+        self.batch_window_ms: float = self.config.batch_window_ms
+        self.max_batch: int = self.config.max_batch
+        self.max_pending: int = self.config.max_pending
         self._key = key
         self._loop: asyncio.AbstractEventLoop | None = None
         # A borrowed ExecutorPool (owned by KBQAServer / the caller) decides
@@ -234,9 +270,19 @@ class AsyncAnswerer:
         )
         self._executor: Executor | None = None
         self._snapshots: SnapshotManager | None = None
-        # (key, question, future) triples not yet dispatched; one entry per
-        # distinct in-flight key when coalescing is on.
-        self._queue: deque[tuple[str, str, asyncio.Future]] = deque()
+        # (key, question, future, tenant, t_enq) items not yet dispatched;
+        # one entry per distinct in-flight key when coalescing is on.  With
+        # a quota configured the FIFO becomes per-tenant weighted-fair.
+        self._fair: FairQueue | None = (
+            FairQueue(parse_quota(self.config.quota))
+            if self.config.quota is not None
+            else None
+        )
+        self._queue: deque | FairQueue = (
+            self._fair if self._fair is not None else deque()
+        )
+        self.controller: SLOController | None = None
+        self._controller_task: asyncio.Task | None = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._pending = 0  # queued + executing evaluations (admission gauge)
         self._epoch = 0
@@ -286,12 +332,41 @@ class AsyncAnswerer:
         self._dispatcher = self._loop.create_task(
             self._dispatch_loop(), name="kbqa-serve-dispatch"
         )
+        if self.config.adaptive:
+            # The window may widen to amortize dispatch, but never past half
+            # the SLO (a linger alone must not eat the whole budget) nor an
+            # absolute 50 ms; the configured window stays usable as a larger
+            # starting point for the static-vs-adaptive A/B.
+            max_window = max(
+                self.config.batch_window_ms, min(self.config.slo_ms / 2.0, 50.0)
+            )
+            self.controller = SLOController(
+                self,
+                self.metrics,
+                # the admission floor self-clamps to pending_cap in tick()
+                ControllerConfig(
+                    slo_p99_ms=self.config.slo_ms,
+                    max_window_ms=max_window,
+                ),
+                batch_cap=self.config.max_batch,
+                pending_cap=self.config.max_pending,
+            )
+            self._controller_task = self._loop.create_task(
+                self.controller.run(), name="kbqa-serve-controller"
+            )
 
     async def stop(self) -> None:
         """Stop admitting, fail queued requests, drain batches, shut down."""
         if not self._running:
             return
         self._running = False
+        if self._controller_task is not None:
+            self._controller_task.cancel()
+            try:
+                await self._controller_task
+            except asyncio.CancelledError:
+                pass
+            self._controller_task = None
         assert self._dispatcher is not None
         self._dispatcher.cancel()
         try:
@@ -301,7 +376,7 @@ class AsyncAnswerer:
         self._dispatcher = None
         # Queued-but-undispatched requests fail deterministically.
         while self._queue:
-            key, _question, future = self._queue.popleft()
+            key, _question, future, _tenant, _t_enq = self._queue.popleft()
             self._pending -= 1
             if self._inflight.get(key) is future:
                 del self._inflight[key]
@@ -330,7 +405,11 @@ class AsyncAnswerer:
     # -- Submission --------------------------------------------------------
 
     async def answer(
-        self, question: str, *, deadline_s: float | None = None
+        self,
+        question: str,
+        *,
+        deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> AnswerResult:
         """Answer one question through coalescing + micro-batching.
 
@@ -341,28 +420,51 @@ class AsyncAnswerer:
         :class:`DeadlineExceeded` is raised and the caller walks away, but
         the evaluation itself keeps running — its batch carries other
         requests, and its result still warms the answer cache.
+
+        ``tenant`` attributes the request to a client (the HTTP front passes
+        the ``X-KBQA-Client`` header): it keys the per-tenant metrics and,
+        with a quota configured, the token-bucket admission + fair-queue
+        scheduling — a tenant past its bucket and its weighted queue share
+        gets :class:`~repro.serve.control.QuotaExceeded` (HTTP 429).
+        Joining an in-flight evaluation is always free: a coalesced
+        duplicate costs the box nothing, so quotas never reject it.
         """
         if not self._running:
             raise RuntimeError("AsyncAnswerer is not running (call start())")
         if deadline_s is None and self.config.deadline_ms > 0:
             deadline_s = self.config.deadline_ms / 1000.0
+        if tenant is not None:
+            self.metrics.tenant_inc(tenant, "requests")
         key = self._key(question)
         shared = self._inflight.get(key) if self.config.coalesce else None
         if shared is not None:
             self.stats.requests += 1
             self.stats.coalesced += 1
+            if tenant is not None:
+                self.metrics.tenant_inc(tenant, "coalesced")
             result = await self._await_result(shared, deadline_s)
             return result if result.question == question else replace(result, question=question)
-        if self._pending >= self.config.max_pending:
+        if self._fair is not None and not self._fair.admit(
+            tenant, time.monotonic(), max_pending=self.max_pending
+        ):
+            self.stats.quota_rejected += 1
+            if tenant is not None:
+                self.metrics.tenant_inc(tenant, "quota_rejected")
+            raise QuotaExceeded(
+                f"client {tenant or 'anonymous'} is over its request quota"
+            )
+        if self._pending >= self.max_pending:
             self.stats.rejected += 1
+            if tenant is not None:
+                self.metrics.tenant_inc(tenant, "rejected")
             raise OverloadedError(
-                f"serving queue full ({self.config.max_pending} pending evaluations)"
+                f"serving queue full ({self.max_pending} pending evaluations)"
             )
         assert self._loop is not None and self._wakeup is not None
         future: asyncio.Future = self._loop.create_future()
         if self.config.coalesce:
             self._inflight[key] = future
-        self._queue.append((key, question, future))
+        self._queue.append((key, question, future, tenant, time.monotonic()))
         self._pending += 1
         self.stats.requests += 1
         self._wakeup.set()
@@ -391,7 +493,11 @@ class AsyncAnswerer:
             ) from None
 
     async def answer_many(
-        self, questions: Sequence[str], *, deadline_s: float | None = None
+        self,
+        questions: Sequence[str],
+        *,
+        deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> list[AnswerResult]:
         """Concurrent submission of a client batch (order preserved).
 
@@ -409,16 +515,18 @@ class AsyncAnswerer:
             needed = len({self._key(q) for q in questions} - self._inflight.keys())
         else:
             needed = len(questions)
-        free = self.config.max_pending - self._pending
+        free = self.max_pending - self._pending
         if needed > free:
             self.stats.rejected += len(questions)
+            if tenant is not None:
+                self.metrics.tenant_inc(tenant, "rejected", len(questions))
             raise OverloadedError(
                 f"batch needs {needed} evaluations but only {max(free, 0)} "
-                f"of {self.config.max_pending} slots are free"
+                f"of {self.max_pending} slots are free"
             )
         return list(
             await asyncio.gather(
-                *(self.answer(q, deadline_s=deadline_s) for q in questions)
+                *(self.answer(q, deadline_s=deadline_s, tenant=tenant) for q in questions)
             )
         )
 
@@ -496,19 +604,21 @@ class AsyncAnswerer:
                 if self._queue and not self._paused:
                     break  # racing set() between check and clear()
                 await self._wakeup.wait()
-            if (
-                self.config.batch_window_ms > 0
-                and len(self._queue) < self.config.max_batch
-            ):
-                await asyncio.sleep(self.config.batch_window_ms / 1000.0)
+            window_ms = self.batch_window_ms  # live knob: controller-tunable
+            if window_ms > 0 and len(self._queue) < self.max_batch:
+                await asyncio.sleep(window_ms / 1000.0)
+                self.metrics.observe("batch_linger", window_ms)
             # Acquire the worker slot *before* popping: the only cancellation
             # points are awaits, so a stop() can never strand a popped batch.
             await worker_slots.acquire()
-            size = min(len(self._queue), self.config.max_batch)
+            size = min(len(self._queue), self.max_batch)
             if size == 0 or self._paused:
                 worker_slots.release()
                 continue
             batch = [self._queue.popleft() for _ in range(size)]
+            now = time.monotonic()
+            for item in batch:
+                self.metrics.observe("queue_wait", (now - item[4]) * 1000.0, now)
             self._active_batches += 1
             task = self._loop.create_task(self._run_batch(batch, worker_slots))
             self._batch_tasks.add(task)
@@ -549,7 +659,7 @@ class AsyncAnswerer:
 
     async def _run_batch(
         self,
-        batch: list[tuple[str, str, asyncio.Future]],
+        batch: list[tuple[str, str, asyncio.Future, str | None, float]],
         worker_slots: asyncio.Semaphore,
     ) -> None:
         """Evaluate one micro-batch on the executor; deliver or retry.
@@ -571,13 +681,14 @@ class AsyncAnswerer:
         crash, so the retry is invisible to callers — after a jittered
         exponential backoff, bounded by ``max_crash_retries``.
         """
-        questions = [question for _key, question, _future in batch]
+        questions = [item[1] for item in batch]
         try:
             retries = 0
             crashes = 0
             while True:
                 epoch = self._epoch
                 executor = self._executor
+                eval_start = time.monotonic()
                 try:
                     results = await self._evaluate(questions, epoch)
                 except BrokenExecutor:
@@ -603,6 +714,9 @@ class AsyncAnswerer:
                     if retries > self.config.max_stale_retries:
                         raise
                     continue
+                self.metrics.observe(
+                    "evaluate", (time.monotonic() - eval_start) * 1000.0
+                )
                 self.stats.evaluated += len(questions)
                 if epoch == self._epoch:
                     break
@@ -613,17 +727,29 @@ class AsyncAnswerer:
                     break
             self.stats.batches += 1
             self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(questions))
-            for (key, _question, future), result in zip(batch, results):
+            done = time.monotonic()
+            # A batch that survived a crash retry carries the respawn +
+            # backoff cost: its samples are tainted, i.e. excluded from the
+            # controller's histogram so the spike cannot shrink the window.
+            tainted = crashes > 0
+            for (key, _question, future, tenant, t_enq), result in zip(batch, results):
                 if self._inflight.get(key) is future:
                     del self._inflight[key]
                 if not future.done():
                     future.set_result(result)
+                self.metrics.observe_total(
+                    (done - t_enq) * 1000.0, tainted=tainted, now=done
+                )
+                if tenant is not None:
+                    self.metrics.tenant_inc(tenant, "completed")
         except Exception as error:  # target failure: fail the whole batch
-            for key, _question, future in batch:
+            for key, _question, future, tenant, _t_enq in batch:
                 if self._inflight.get(key) is future:
                     del self._inflight[key]
                 if not future.done():
                     future.set_exception(error)
+                if tenant is not None:
+                    self.metrics.tenant_inc(tenant, "failed")
         finally:
             self._pending -= len(batch)
             self._active_batches -= 1
@@ -669,36 +795,51 @@ class AsyncAnswerer:
 
     # -- Introspection -----------------------------------------------------
 
-    def snapshot(self) -> dict[str, int | bool]:
-        """Counters + live gauges for ``/stats`` and the load harness."""
-        return {
-            "requests": self.stats.requests,
-            "coalesced": self.stats.coalesced,
-            "rejected": self.stats.rejected,
-            "batches": self.stats.batches,
-            "evaluated": self.stats.evaluated,
-            "stale_retries": self.stats.stale_retries,
-            "stale_delivered": self.stats.stale_delivered,
-            "invalidations": self.stats.invalidations,
-            "applies": self.stats.applies,
-            "max_batch_seen": self.stats.max_batch_seen,
-            "deadline_expired": self.stats.deadline_expired,
-            "crash_retries": self.stats.crash_retries,
-            "respawns": self.stats.respawns,
-            "degraded": self.stats.degraded,
-            "pending": self._pending,
-            "inflight_keys": len(self._inflight),
-            "active_batches": self._active_batches,
-            "epoch": self._epoch,
-            "running": self._running,
-            "coalesce": self.config.coalesce,
-            "executor": self._exec_kind,
-            "workers": self.config.workers,
-            "snapshot_refreezes": (
-                self._snapshots.refreezes if self._snapshots is not None else 0
-            ),
-            "snapshot_publishes": (
-                self._snapshots.publishes if self._snapshots is not None else 0
-            ),
-            "pooled": self._pool is not None,
-        }
+    def snapshot(self) -> dict:
+        """Counters + live gauges for ``/stats`` and the load harness.
+
+        The counter block is *derived* from :class:`ServeStats` via
+        ``dataclasses.asdict`` so a new counter field can never be silently
+        dropped from the snapshot (``tests/test_serve_metrics.py`` asserts
+        the invariant); gauges and config echoes are appended explicitly.
+        """
+        data: dict = dataclasses.asdict(self.stats)
+        data.update(
+            {
+                "pending": self._pending,
+                "inflight_keys": len(self._inflight),
+                "active_batches": self._active_batches,
+                "epoch": self._epoch,
+                "running": self._running,
+                "coalesce": self.config.coalesce,
+                "executor": self._exec_kind,
+                "workers": self.config.workers,
+                "snapshot_refreezes": (
+                    self._snapshots.refreezes if self._snapshots is not None else 0
+                ),
+                "snapshot_publishes": (
+                    self._snapshots.publishes if self._snapshots is not None else 0
+                ),
+                "pooled": self._pool is not None,
+                # live control-plane knobs (== config unless adaptive)
+                "batch_window_ms": round(self.batch_window_ms, 3),
+                "max_batch": self.max_batch,
+                "max_pending": self.max_pending,
+                "adaptive": self.config.adaptive,
+                "quota": self.config.quota is not None,
+            }
+        )
+        return data
+
+    def metrics_state(self) -> dict:
+        """The mergeable telemetry unit: stage histograms + tenant counters
+        from the metrics spine, with the :class:`ServeStats` counters folded
+        in — what one replica dumps for cross-process ``/metrics`` merging."""
+        state = self.metrics.state()
+        state["counters"] = dataclasses.asdict(self.stats)
+        return state
+
+    def controller_snapshot(self) -> dict | None:
+        """The SLO controller's counters, knobs and tick trace (None when
+        not adaptive)."""
+        return self.controller.snapshot() if self.controller is not None else None

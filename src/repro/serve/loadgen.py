@@ -35,21 +35,28 @@ import time
 from dataclasses import dataclass
 
 from repro.exec.backend import resolve_workers
-from repro.serve.async_answerer import AsyncAnswerer, DeadlineExceeded, OverloadedError
+from repro.serve.async_answerer import (
+    AsyncAnswerer,
+    DeadlineExceeded,
+    OverloadedError,
+    normalized_key,
+)
+from repro.serve.control import QuotaExceeded
 
 
 def _error_classes(
-    rejected: int, deadline: int, failed: int, snapshot: dict
+    rejected: int, deadline: int, failed: int, snapshot: dict, quota: int = 0
 ) -> dict:
     """Per-class error/degradation counters for one load cell.
 
-    Client-observed classes (rejections, deadline expiries, hard failures)
-    plus the answerer's own retry/self-healing counters — the row the CI
-    perf harness publishes so a fault-injection leg can assert *which*
-    failure mode fired, not just a pass/fail.
+    Client-observed classes (rejections, quota denials, deadline expiries,
+    hard failures) plus the answerer's own retry/self-healing counters —
+    the row the CI perf harness publishes so a fault-injection leg can
+    assert *which* failure mode fired, not just a pass/fail.
     """
     return {
         "rejected": rejected,
+        "quota": quota,
         "deadline": deadline,
         "failed": failed,
         "stale_retries": snapshot["stale_retries"],
@@ -122,11 +129,13 @@ async def run_load(
     answered = 0
     no_answer = 0
     rejected = 0
+    quota_denied = 0
     deadline_expired = 0
     failed = 0
 
     async def client() -> None:
-        nonlocal cursor, answered, no_answer, rejected, deadline_expired, failed
+        nonlocal cursor, answered, no_answer, rejected, quota_denied
+        nonlocal deadline_expired, failed
         while True:
             if cursor >= len(stream):
                 return
@@ -134,6 +143,9 @@ async def run_load(
             cursor += 1
             try:
                 result = await answerer.answer(question, deadline_s=deadline_s)
+            except QuotaExceeded:
+                quota_denied += 1
+                continue
             except OverloadedError:
                 rejected += 1
                 continue
@@ -166,7 +178,9 @@ async def run_load(
         "batches": snapshot["batches"],
         "evaluated": snapshot["evaluated"],
         "max_batch_seen": snapshot["max_batch_seen"],
-        "error_classes": _error_classes(rejected, deadline_expired, failed, snapshot),
+        "error_classes": _error_classes(
+            rejected, deadline_expired, failed, snapshot, quota_denied
+        ),
     }
 
 
@@ -279,15 +293,19 @@ async def run_open_load(
     rng = random.Random(seed)
     latencies_ms: list[float] = []
     rejected = 0
+    quota_denied = 0
     answered = 0
     deadline_expired = 0
     failed = 0
 
     async def one(question: str) -> None:
-        nonlocal rejected, answered, deadline_expired, failed
+        nonlocal rejected, quota_denied, answered, deadline_expired, failed
         start = time.perf_counter()
         try:
             result = await answerer.answer(question, deadline_s=deadline_s)
+        except QuotaExceeded:
+            quota_denied += 1
+            return
         except OverloadedError:
             rejected += 1
             return
@@ -313,7 +331,9 @@ async def run_open_load(
     completed = len(latencies_ms)
     snapshot = answerer.snapshot()
     return {
-        "error_classes": _error_classes(rejected, deadline_expired, failed, snapshot),
+        "error_classes": _error_classes(
+            rejected, deadline_expired, failed, snapshot, quota_denied
+        ),
         "requests": len(stream),
         "completed": completed,
         "answered": answered,
@@ -385,4 +405,268 @@ def run_open_load_cell(
     result["executor"] = config.executor or "thread"
     result["workers"] = config.workers
     result["batch_window_ms"] = batch_window_ms
+    return result
+
+
+# -- Open-loop ramp (rate sweep + per-tenant tagging) -----------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RampSpec:
+    """An open-loop rate ramp: one answerer, several offered-rate steps.
+
+    ``rates_qps`` is the ramp profile (e.g. 1x -> 10x of a base rate); each
+    step fires ``requests_per_step`` Poisson arrivals using the shared
+    stream model with a per-step derived seed — or, when
+    ``step_duration_s`` is set, ``rate * duration`` arrivals so every step
+    covers the same wall-clock span regardless of rate (queues at
+    overloaded steps get the time they need to actually build).  ``tenants`` optionally tags
+    each request with a client name drawn by traffic share —
+    ``(("hog", 0.9), ("payg", 0.1))`` sends ~90% of arrivals as ``hog`` —
+    which is what the fairness bench keys off.  The answerer persists
+    across steps, so an adaptive controller's state (window, batch,
+    admission target) carries through the ramp exactly as it would on a
+    live server.
+    """
+
+    rates_qps: tuple[float, ...] = (50.0, 100.0, 200.0, 400.0, 500.0)
+    requests_per_step: int = 128
+    step_duration_s: float | None = None
+    duplicate_rate: float = 0.5
+    hot_set: int = 8
+    seed: int = 7
+    tenants: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.rates_qps:
+            raise ValueError("rates_qps must name at least one step")
+        if any(rate <= 0 for rate in self.rates_qps):
+            raise ValueError(f"every ramp rate must be > 0, got {self.rates_qps}")
+        if self.requests_per_step < 1:
+            raise ValueError(
+                f"requests_per_step must be >= 1, got {self.requests_per_step}"
+            )
+        if self.step_duration_s is not None and self.step_duration_s <= 0:
+            raise ValueError(
+                f"step_duration_s must be > 0, got {self.step_duration_s}"
+            )
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate must be in [0, 1], got {self.duplicate_rate}")
+        if self.hot_set < 1:
+            raise ValueError(f"hot_set must be >= 1, got {self.hot_set}")
+        for name, share in self.tenants:
+            if not name:
+                raise ValueError("tenant names must be non-empty")
+            if share <= 0:
+                raise ValueError(f"tenant share must be > 0, got {name}={share}")
+
+
+def _pick_tenant(
+    rng: random.Random, tenants: tuple[tuple[str, float], ...]
+) -> str | None:
+    """Draw one tenant name by share (None when the ramp is untagged)."""
+    if not tenants:
+        return None
+    roll = rng.random() * sum(share for _, share in tenants)
+    cumulative = 0.0
+    for name, share in tenants:
+        cumulative += share
+        if roll < cumulative:
+            return name
+    return tenants[-1][0]
+
+
+def _blank_tenant_row() -> dict:
+    return {
+        "requests": 0,
+        "completed": 0,
+        "rejected": 0,
+        "quota": 0,
+        "deadline": 0,
+        "failed": 0,
+        "incorrect": 0,
+    }
+
+
+async def run_ramp_load(
+    answerer: AsyncAnswerer,
+    questions: list[str],
+    spec: RampSpec,
+    *,
+    expected: dict | None = None,
+    deadline_s: float | None = None,
+) -> dict:
+    """Drive the ramp against one started answerer, step by step.
+
+    Per step: the offered rate, client-observed outcome counts, latency
+    percentiles over completions, and the answerer's live knob values at
+    step end (the adaptive A/B reads the window trajectory off these).
+    ``expected`` maps ``normalized_key(question)`` to the reference answer
+    value tuple; completions that disagree are counted ``incorrect`` — the
+    zero-incorrect guard that keeps the controller honest (an adaptive run
+    that wins the latency race by corrupting answers loses the cell).
+    Aggregates per-tenant outcome counts across all steps.
+    """
+    steps: list[dict] = []
+    tenants: dict[str, dict] = {}
+    total_incorrect = 0
+
+    for step_index, rate_qps in enumerate(spec.rates_qps):
+        step_seed = spec.seed + 1000 * step_index
+        if spec.step_duration_s is not None:
+            step_requests = max(1, round(rate_qps * spec.step_duration_s))
+        else:
+            step_requests = spec.requests_per_step
+        stream = build_request_stream(
+            questions,
+            LoadSpec(
+                requests=step_requests,
+                concurrency=1,  # arrival discipline replaces closed-loop clients
+                duplicate_rate=spec.duplicate_rate,
+                hot_set=spec.hot_set,
+                seed=step_seed,
+            ),
+        )
+        rng = random.Random(step_seed + 1)
+        latencies_ms: list[float] = []
+        counts = {
+            "completed": 0,
+            "answered": 0,
+            "rejected": 0,
+            "quota": 0,
+            "deadline": 0,
+            "failed": 0,
+            "incorrect": 0,
+        }
+
+        def row(tenant: str | None) -> dict:
+            key = tenant or "anonymous"
+            if key not in tenants:
+                tenants[key] = _blank_tenant_row()
+            return tenants[key]
+
+        async def one(question: str, tenant: str | None) -> None:
+            tenant_row = row(tenant)
+            tenant_row["requests"] += 1
+            start = time.perf_counter()
+            try:
+                result = await answerer.answer(
+                    question, deadline_s=deadline_s, tenant=tenant
+                )
+            except QuotaExceeded:
+                counts["quota"] += 1
+                tenant_row["quota"] += 1
+                return
+            except OverloadedError:
+                counts["rejected"] += 1
+                tenant_row["rejected"] += 1
+                return
+            except DeadlineExceeded:
+                counts["deadline"] += 1
+                tenant_row["deadline"] += 1
+                return
+            except Exception:
+                counts["failed"] += 1
+                tenant_row["failed"] += 1
+                return
+            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            counts["completed"] += 1
+            tenant_row["completed"] += 1
+            if result.answered:
+                counts["answered"] += 1
+            if expected is not None:
+                reference = expected.get(normalized_key(question))
+                if reference is not None and tuple(result.values) != tuple(reference):
+                    counts["incorrect"] += 1
+                    tenant_row["incorrect"] += 1
+
+        tasks = []
+        for question in stream:
+            tenant = _pick_tenant(rng, spec.tenants)
+            tasks.append(asyncio.ensure_future(one(question, tenant)))
+            await asyncio.sleep(rng.expovariate(rate_qps))
+        await asyncio.gather(*tasks)
+
+        total_incorrect += counts["incorrect"]
+        steps.append(
+            {
+                "offered_qps": round(rate_qps, 1),
+                "requests": len(stream),
+                **counts,
+                **latency_percentiles(latencies_ms),
+                # the live knobs as the controller left them at step end
+                "batch_window_ms": round(answerer.batch_window_ms, 3),
+                "max_batch": answerer.max_batch,
+                "max_pending": answerer.max_pending,
+            }
+        )
+
+    return {
+        "steps": steps,
+        "tenants": tenants,
+        "incorrect": total_incorrect,
+    }
+
+
+def run_ramp_cell(
+    target,
+    questions: list[str],
+    spec: RampSpec,
+    *,
+    adaptive: bool = False,
+    slo_ms: float = 0.0,
+    quota: str | None = None,
+    coalesce: bool = True,
+    max_batch: int = 16,
+    workers: int | None = None,
+    executor: str | None = None,
+    max_pending: int = 256,
+    batch_window_ms: float = 0.0,
+    expected: dict | None = None,
+) -> dict:
+    """Synchronous one-call ramp cell (fresh answerer + loop, whole ramp).
+
+    The adaptive-vs-static A/B in ``benchmarks/bench_qps.py`` calls this
+    twice with identical traffic: once with ``adaptive=False`` (the static
+    ``batch_window_ms`` holds for the whole ramp) and once with
+    ``adaptive=True`` + an SLO (the controller re-tunes the same starting
+    knobs step by step).  ``quota`` enables per-tenant admission for the
+    fairness cell.
+    """
+    from repro.serve.async_answerer import ServeConfig
+
+    config = ServeConfig(
+        max_batch=max_batch,
+        max_pending=max_pending,
+        workers=resolve_workers(workers, fallback=2),
+        coalesce=coalesce,
+        executor=executor,
+        batch_window_ms=batch_window_ms,
+        slo_ms=slo_ms,
+        adaptive=adaptive,
+        quota=quota,
+    )
+
+    async def _run() -> dict:
+        async with AsyncAnswerer(target, config) as answerer:
+            result = await run_ramp_load(answerer, questions, spec, expected=expected)
+            snapshot = answerer.snapshot()
+            result["error_classes"] = _error_classes(
+                snapshot["rejected"],
+                snapshot["deadline_expired"],
+                0,
+                snapshot,
+                snapshot["quota_rejected"],
+            )
+            result["controller"] = answerer.controller_snapshot()
+            return result
+
+    result = asyncio.run(_run())
+    result["adaptive"] = adaptive
+    result["slo_ms"] = slo_ms
+    result["quota"] = quota
+    result["coalesce"] = coalesce
+    result["executor"] = config.executor or "thread"
+    result["workers"] = config.workers
+    result["start_batch_window_ms"] = batch_window_ms
     return result

@@ -59,6 +59,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import shutil
 import socket
 import tempfile
 import threading
@@ -141,6 +142,9 @@ async def _replay_ops(
     return len(lines)
 
 
+METRICS_DUMP_INTERVAL_S = 0.1
+
+
 def _child_main(
     system: "KBQA",
     config: ServeConfig | None,
@@ -154,6 +158,7 @@ def _child_main(
     errors,
     oplog_path: str,
     poll_interval_s: float,
+    metrics_dir: str | None = None,
 ) -> None:
     """Entry point of one forked server process."""
     import asyncio
@@ -186,7 +191,15 @@ def _child_main(
             _apply_replicated(system, entry["op"], entry["s"], entry["p"], entry["o"])
         applied = target
         own: set[int] = set()
-        server = KBQAServer(system, config, host, port, reuse_port=True)
+        server = KBQAServer(
+            system,
+            config,
+            host,
+            port,
+            reuse_port=True,
+            metrics_dir=metrics_dir,
+            replica_index=index,
+        )
 
         def on_fact(op: str, subject: str, predicate: str, obj: str) -> None:
             own.add(
@@ -201,6 +214,7 @@ def _child_main(
         server.fact_listener = on_fact
         await server.start()
         ready.release()
+        last_dump = 0.0
         try:
             while not stop_event.is_set():
                 # the chaos harness kills replicas here — outside the op
@@ -211,8 +225,15 @@ def _child_main(
                     applied = await _replay_ops(
                         server, oplog_path, op_lock, op_count, applied, own
                     )
+                now = time.monotonic()
+                if now - last_dump >= METRICS_DUMP_INTERVAL_S:
+                    # publish cumulative metrics so whichever sibling serves
+                    # a /metrics scrape can merge this replica's counters
+                    server.dump_metrics()
+                    last_dump = now
                 await asyncio.sleep(poll_interval_s)
         finally:
+            server.dump_metrics()  # final state survives for late scrapes
             await server.stop()
 
     try:
@@ -271,6 +292,7 @@ class MultiProcessServer:
         self._children: list = []
         self._placeholder: socket.socket | None = None
         self._oplog_path: str | None = None
+        self._metrics_dir: str | None = None
         self._stop_event = None
         self._errors = None
         self._op_count = None
@@ -299,6 +321,7 @@ class MultiProcessServer:
 
         fd, self._oplog_path = tempfile.mkstemp(prefix="kbqa-oplog-", suffix=".jsonl")
         os.close(fd)
+        self._metrics_dir = tempfile.mkdtemp(prefix="kbqa-metrics-")
         self._op_count = self._ctx.Value("Q", 0)
         self._op_lock = self._ctx.Lock()
         self._stop_event = self._ctx.Event()
@@ -355,6 +378,7 @@ class MultiProcessServer:
                 self._errors,
                 self._oplog_path,
                 self._poll_interval_s,
+                self._metrics_dir,
             ),
             # not daemonic: a replica configured with a process
             # executor must be allowed to start its own worker pool
@@ -445,6 +469,9 @@ class MultiProcessServer:
             except OSError:
                 pass
             self._oplog_path = None
+        if self._metrics_dir is not None:
+            shutil.rmtree(self._metrics_dir, ignore_errors=True)
+            self._metrics_dir = None
         # segments a killed child never unlinked (its pid is dead now, so
         # they are provably orphans); live publishes are never touched
         sweep_orphans()

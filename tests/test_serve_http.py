@@ -274,7 +274,7 @@ class TestConcurrency:
         server = KBQAServer(serve_system, ServeConfig(max_pending=7))
 
         async def main():
-            async def rejecting(_question):
+            async def rejecting(_question, **_kwargs):
                 raise OverloadedError("serving queue full (7 pending evaluations)")
 
             server.answerer.answer = rejecting
@@ -414,3 +414,160 @@ class TestShutdownAndSmoke:
         )
         assert summary["clean_shutdown"] is True
         assert summary["http_200"] == summary["requests"] == 12
+
+
+class TestMetricsEndpoint:
+    """The /metrics Prometheus exposition and the tenant header plumbing."""
+
+    def test_metrics_parses_and_reflects_traffic(self, server, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        _post(server.url + "/answer", {"question": question})
+        with urllib.request.urlopen(server.url + "/metrics", timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        from repro.serve.metrics import parse_prometheus_text
+
+        series = parse_prometheus_text(text)  # raises on malformed output
+        assert "kbqa_stage_latency_ms_bucket" in series
+        assert "kbqa_serve_events_total" in series
+        assert "kbqa_batch_window_ms" in series
+        stage_counts = {
+            labels["stage"]: value
+            for labels, value in series["kbqa_stage_latency_ms_count"]
+        }
+        assert stage_counts["total"] >= 1  # the request above was measured
+        events = {
+            labels["event"]: value
+            for labels, value in series["kbqa_serve_events_total"]
+        }
+        assert events["requests"] >= 1
+
+    def test_metrics_rejects_post(self, server):
+        status, _payload = _post(server.url + "/metrics", {})
+        assert status == 405
+
+    def test_tenant_header_feeds_per_tenant_counters(self, server, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        data = json.dumps({"question": question}).encode("utf-8")
+        request = urllib.request.Request(
+            server.url + "/answer",
+            data=data,
+            headers={
+                "Content-Type": "application/json",
+                "X-KBQA-Client": "tenant-a",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+        status, stats = _get(server.url + "/stats")
+        assert status == 200
+        tenant = stats["metrics"]["tenants"]["tenant-a"]
+        assert tenant["requests"] >= 1
+        assert tenant["completed"] + tenant.get("coalesced", 0) >= 1
+
+    def test_quota_exceeded_maps_to_429(self, serve_system):
+        """Route-layer contract: a throttled tenant sees exactly the
+        documented 429 — and /healthz, answered before the answerer, can
+        never be throttled."""
+        import asyncio
+
+        from repro.serve.control import QuotaExceeded
+
+        server = KBQAServer(serve_system, ServeConfig(quota="5:5"))
+
+        async def main():
+            async def throttling(_question, **_kwargs):
+                raise QuotaExceeded("client hog is over its request quota")
+
+            server.answerer.answer = throttling
+            answer = await server._route(
+                HTTPRequest(
+                    method="POST",
+                    path="/answer",
+                    body=json.dumps({"question": "anything?"}).encode(),
+                )
+            )
+            health = await server._route(HTTPRequest(method="GET", path="/healthz"))
+            return answer, health
+
+        (status, payload), (health_status, _h) = asyncio.run(main())
+        assert status == 429
+        assert payload["error"] == "quota exceeded"
+        assert "hog" in payload["detail"]
+        assert health_status == 200
+
+    def test_stats_carries_controller_when_adaptive(self, serve_system):
+        config = ServeConfig(workers=2, adaptive=True, slo_ms=200.0)
+        with BackgroundServer(serve_system, config) as background:
+            status, stats = _get(background.url + "/stats")
+            assert status == 200
+            controller = stats["controller"]
+            assert controller["slo_p99_ms"] == 200.0
+            assert "adjustments" in controller
+            serve = stats["serve"]
+            assert serve["adaptive"] is True
+            assert "batch_window_ms" in serve
+
+
+@needs_multiproc
+class TestMultiProcessMetrics:
+    def test_scrape_merges_all_replicas(self, serve_system, suite):
+        """Any replica serving /metrics must fold in its siblings' dumped
+        state: kbqa_replicas_reporting reaches the replica count and the
+        merged request counter covers traffic served by *both* processes."""
+        from repro.serve.metrics import parse_prometheus_text
+
+        question = _answerable_question(suite, serve_system)
+        posts = 8
+        with MultiProcessServer(serve_system, procs=2) as front:
+            for _ in range(posts):
+                status, _payload = _post(front.url + "/answer", {"question": question})
+                assert status == 200
+            deadline = time.time() + 15.0
+            reporting = requests_seen = 0
+            while time.time() < deadline:
+                with urllib.request.urlopen(front.url + "/metrics", timeout=30) as resp:
+                    series = parse_prometheus_text(resp.read().decode("utf-8"))
+                reporting = series["kbqa_replicas_reporting"][0][1]
+                events = {
+                    labels["event"]: value
+                    for labels, value in series.get("kbqa_serve_events_total", [])
+                }
+                requests_seen = events.get("requests", 0)
+                if reporting == 2 and requests_seen >= posts:
+                    break
+                time.sleep(0.05)
+        assert reporting == 2
+        assert requests_seen >= posts
+
+    def test_stats_reports_replica_merge(self, serve_system, suite):
+        question = _answerable_question(suite, serve_system)
+        with MultiProcessServer(serve_system, procs=2) as front:
+            _post(front.url + "/answer", {"question": question})
+            deadline = time.time() + 15.0
+            reporting = 0
+            while time.time() < deadline:
+                status, stats = _get(front.url + "/stats")
+                assert status == 200
+                reporting = stats["replicas"]["reporting"]
+                if reporting == 2:
+                    break
+                time.sleep(0.05)
+        assert reporting == 2
+
+
+class TestAdaptiveSmoke:
+    def test_run_smoke_adaptive_asserts_controller_and_metrics(
+        self, serve_system, suite
+    ):
+        """The CI --adaptive smoke body: /metrics must parse and the
+        controller must have moved at least one knob under the self-load."""
+        questions = [q.question for q in suite.benchmark("qald3").bfqs()][:6]
+        config = ServeConfig(workers=2, adaptive=True, slo_ms=100.0)
+        summary = run_smoke(
+            serve_system, questions, threads=4, requests_per_thread=3, config=config
+        )
+        assert summary["clean_shutdown"] is True
+        assert summary["metrics_series"] > 0
+        assert summary["controller_adjustments"] >= 1
