@@ -1,0 +1,135 @@
+"""Scenario benchmark: mega-world compile + the four serving-realism axes.
+
+Stream-compiles an N-triple mega world (:func:`repro.corpus.mega.compile_mega`
+— bounded-memory chunked minting through the batched ingest seam) and drives
+the scenario harness (:func:`repro.eval.scenarios.run_scenarios`) over it:
+
+* ``skew``       — Zipf hot-set traffic at an offered Poisson rate,
+* ``churn``      — sustained ``/facts``-style writes during serving,
+* ``temporal``   — fact supersession (the fresh answer must win),
+* ``paraphrase`` — unicode perturbation + held-out-surface abstention.
+
+Each axis reports recall plus p50/p99; the compile itself contributes
+triples/sec and the peak-RSS accounting from ``manifest.json``.  The payload
+lands as the ``scenarios`` section of ``BENCH_perf.json``::
+
+    PYTHONPATH=src python -m benchmarks.bench_scenarios --triples 200000 \
+        --merge BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.corpus.mega import MegaSpec, compile_mega
+from repro.eval.scenarios import ALL_AXES, ScenarioSpec, run_scenarios
+
+
+def measure_scenarios(
+    triples: int,
+    *,
+    seed: int = 7,
+    requests: int = 400,
+    rate_qps: float = 200.0,
+    axes: tuple[str, ...] = ALL_AXES,
+    out_dir: str | None = None,
+) -> dict:
+    """One compile + one scenario sweep; returns the ``scenarios`` payload."""
+    with tempfile.TemporaryDirectory(prefix="kbqa-mega-") as scratch:
+        target = out_dir or scratch
+        start = time.perf_counter()
+        build = compile_mega(MegaSpec(triples=triples, seed=seed), target)
+        compile_s = time.perf_counter() - start
+        build.kb.store.close()
+
+        report = run_scenarios(
+            target,
+            ScenarioSpec(
+                axes=axes, requests=requests, rate_qps=rate_qps, seed=seed
+            ),
+        )
+    manifest = build.manifest
+    return {
+        "compile": {
+            "triples": manifest["triples"],
+            "chunks": manifest["chunks"],
+            "compile_s": round(compile_s, 3),
+            "triples_per_sec": int(manifest["triples"] / compile_s)
+            if compile_s > 0
+            else None,
+            "peak_resident_entities": manifest["peak_resident_entities"],
+            "total_entities": manifest["total_entities"],
+            "ru_maxrss_kb": manifest.get("ru_maxrss_kb"),
+        },
+        "axes": report["axes"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="KBQA scenario benchmark")
+    parser.add_argument(
+        "--triples", type=int, default=200_000,
+        help="mega-world triple target (default: 200,000)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--requests", type=int, default=400,
+        help="open-loop arrivals for the skew/churn axes",
+    )
+    parser.add_argument(
+        "--rate-qps", type=float, default=200.0,
+        help="offered Poisson rate for the skew/churn axes",
+    )
+    parser.add_argument(
+        "--axes", default=",".join(ALL_AXES),
+        help=f"comma-separated axes (default: {','.join(ALL_AXES)})",
+    )
+    parser.add_argument(
+        "--merge", metavar="PATH", default=None,
+        help="merge the scenarios section into an existing BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    axes = tuple(a.strip() for a in args.axes.split(",") if a.strip())
+    payload = measure_scenarios(
+        args.triples,
+        seed=args.seed,
+        requests=args.requests,
+        rate_qps=args.rate_qps,
+        axes=axes,
+    )
+    compile_row = payload["compile"]
+    print(
+        f"compile: {compile_row['triples']:,} triples in "
+        f"{compile_row['compile_s']}s ({compile_row['triples_per_sec']:,}/s), "
+        f"peak resident {compile_row['peak_resident_entities']:,} of "
+        f"{compile_row['total_entities']:,} entities, "
+        f"rss {compile_row['ru_maxrss_kb']} KiB"
+    )
+    for axis, row in payload["axes"].items():
+        keys = ("recall", "checked", "incorrect", "p50_ms", "p99_ms")
+        rendered = " ".join(f"{k}={row[k]}" for k in keys if k in row)
+        print(f"{axis}: {rendered}")
+    if args.merge:
+        path = Path(args.merge)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"bench_scenarios: cannot merge into {path}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        doc["scenarios"] = payload
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"merged scenarios section into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

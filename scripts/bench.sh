@@ -29,11 +29,20 @@ QPS_REQUESTS="${BENCH_QPS_REQUESTS:-512}"
 # (`qps.batch_window` in BENCH_perf.json); cpus is recorded top-level.
 WINDOWS_MS="${BENCH_WINDOWS_MS:-0 2 5}"
 
+# Mega-world triple target for the scenario sweep (`scenarios` in
+# BENCH_perf.json: streamed compile accounting + recall/p50/p99 for the
+# skew / churn / temporal / paraphrase axes).  0 skips the sweep.
+SCENARIO_N="${BENCH_SCENARIO_N:-200000}"
+
 # shellcheck disable=SC2086  # SHARDS / PROC_WORKERS / QPS_* / WINDOWS_MS are word-split lists
 python -m benchmarks.perf_harness --scale "$SCALE" --shards $SHARDS \
     --proc-workers $PROC_WORKERS \
     --qps-requests "$QPS_REQUESTS" --qps-concurrency $QPS_CONCURRENCY \
     --qps-dup-rates $QPS_DUP_RATES --windows-ms $WINDOWS_MS \
     --output BENCH_perf.json
+if [[ "$SCENARIO_N" -gt 0 ]]; then
+    python -m benchmarks.bench_scenarios --triples "$SCENARIO_N" \
+        --merge BENCH_perf.json
+fi
 python -m pytest tests/test_perf_speedups.py -m perf -q
 python -m pytest benchmarks/bench_offline_timecost.py benchmarks/bench_table14_timecost.py -q "$@"

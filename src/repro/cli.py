@@ -28,6 +28,7 @@ from dataclasses import replace
 from repro.core.system import KBQA, KBQAConfig
 from repro.exec.backend import EXEC_KINDS, resolve_exec_kind, resolve_workers
 from repro.eval.runner import evaluate_qald
+from repro.eval.scenarios import ALL_AXES
 from repro.kb.backend import BACKEND_KINDS
 from repro.kb.expansion import ExpandedStore
 from repro.suite import build_suite
@@ -202,6 +203,69 @@ def _build_parser() -> argparse.ArgumentParser:
              "a 429; /healthz is never throttled)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    mega = sub.add_parser(
+        "mega-compile",
+        help="stream-compile an N-triple mega world (kb.db + gold.jsonl + "
+             "manifest.json) in bounded memory",
+    )
+    mega.add_argument("--out", required=True, metavar="DIR", help="output directory")
+    mega.add_argument(
+        "--triples", type=int, default=1_000_000,
+        help="minimum triple count to compile (default: 1,000,000)",
+    )
+    mega.add_argument("--seed", type=int, default=7)
+    mega.add_argument(
+        "--chunk-people", type=int, default=4000,
+        help="people minted per streaming chunk (bounds resident memory)",
+    )
+    mega.add_argument(
+        "--chunk-cities", type=int, default=1000,
+        help="cities minted per streaming chunk",
+    )
+    mega.add_argument(
+        "--mega-backend", default="disk", choices=["disk", "memory"],
+        help="triple store backend (memory is the equivalence-test path; "
+             "it writes no kb.db)",
+    )
+    mega.add_argument(
+        "--max-rss-mb", type=float, default=0.0,
+        help="fail (exit 1) if process peak RSS exceeds this many MiB "
+             "(0 disables; the bounded-memory assertion for CI)",
+    )
+    mega.set_defaults(handler=_cmd_mega_compile)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run the serving-realism scenario axes (skew / churn / "
+             "temporal / paraphrase) against a finished mega build",
+    )
+    scenario.add_argument(
+        "--mega", required=True, metavar="DIR",
+        help="a directory produced by kbqa mega-compile",
+    )
+    scenario.add_argument(
+        "--axes", default=",".join(ALL_AXES),
+        help=f"comma-separated axes to run (default: {','.join(ALL_AXES)})",
+    )
+    scenario.add_argument(
+        "--requests", type=int, default=400,
+        help="open-loop arrivals for the skew/churn axes",
+    )
+    scenario.add_argument(
+        "--rate-qps", type=float, default=200.0,
+        help="offered Poisson arrival rate for the skew/churn axes",
+    )
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument(
+        "--assert-recall", action="store_true",
+        help="exit 1 unless recall is 1.0 on every non-paraphrase axis "
+             "(the CI gate: gold questions must come back exactly right)",
+    )
+    scenario.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    scenario.set_defaults(handler=_cmd_scenario)
 
     shm_gc = sub.add_parser(
         "shm-gc",
@@ -446,6 +510,80 @@ def _cmd_serve(args) -> int:
                 time.sleep(3600)
         except KeyboardInterrupt:
             print("\nshutting down")
+    return 0
+
+
+def _cmd_mega_compile(args) -> int:
+    """Stream-compile a mega world; optionally assert the memory bound."""
+    from repro.corpus.mega import MegaSpec, compile_mega
+
+    spec = MegaSpec(
+        triples=args.triples,
+        seed=args.seed,
+        chunk_people=args.chunk_people,
+        chunk_cities=args.chunk_cities,
+    )
+    build = compile_mega(spec, args.out, backend=args.mega_backend)
+    close = getattr(build.kb.store, "close", None)
+    if close is not None:
+        close()
+    for key in (
+        "triples", "chunks", "total_entities", "peak_resident_entities",
+        "gold_rows", "ru_maxrss_kb", "kb_path",
+    ):
+        print(f"{key}={build.manifest[key]}")
+    rss_kb = build.manifest.get("ru_maxrss_kb")
+    if args.max_rss_mb > 0 and rss_kb is not None:
+        limit_kb = args.max_rss_mb * 1024
+        if rss_kb > limit_kb:
+            print(
+                f"kbqa mega-compile: error: peak RSS {rss_kb} KiB exceeds "
+                f"--max-rss-mb {args.max_rss_mb} ({limit_kb:.0f} KiB)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"rss_bound_ok={rss_kb} KiB <= {limit_kb:.0f} KiB")
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    """Run the scenario axes; ``--assert-recall`` is the CI correctness gate."""
+    import json
+
+    from repro.eval.scenarios import ScenarioSpec, run_scenarios
+
+    axes = tuple(a.strip() for a in args.axes.split(",") if a.strip())
+    spec = ScenarioSpec(
+        axes=axes,
+        requests=args.requests,
+        rate_qps=args.rate_qps,
+        seed=args.seed,
+    )
+    report = run_scenarios(args.mega, spec)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for axis, row in report["axes"].items():
+            keys = ("recall", "checked", "incorrect", "p50_ms", "p99_ms")
+            rendered = " ".join(f"{k}={row[k]}" for k in keys if k in row)
+            print(f"{axis}: {rendered}")
+    if args.assert_recall:
+        failures = [
+            axis
+            for axis, row in report["axes"].items()
+            if axis != "paraphrase" and row.get("recall") != 1.0
+        ]
+        # paraphrase still must never answer *wrongly* on benign rewrites
+        para = report["axes"].get("paraphrase")
+        if para is not None and para.get("incorrect", 0) > 0:
+            failures.append("paraphrase")
+        if failures:
+            print(
+                f"kbqa scenario: error: recall below 1.0 on: {', '.join(failures)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("recall gate: OK")
     return 0
 
 

@@ -634,3 +634,155 @@ def _assign_capitals(world: World, stream: SeedStream, countries, cities) -> Non
         own = cities_by_country.get(country)
         capital = rng.choice(own) if own else rng.choice(cities)
         world.entity(country).set_fact("capital", capital)
+
+
+# ---------------------------------------------------------------------------
+# Chunked minting (the streaming mega-compile seam)
+# ---------------------------------------------------------------------------
+#
+# `build_world` materializes every entity in one registry — fine at 10^3
+# entities, impossible at 10^6+.  The mega compiler instead mints entities in
+# fixed-size chunks: each chunk is derived from (seed, chunk index) alone, so
+# chunk k can be regenerated without holding chunks 0..k-1, and every fact
+# points either *inside* the chunk (marriages) or at a small shared set of
+# **anchor** entities (cities, countries, value pools) taken from a normal
+# small world.  Peak resident state is one chunk plus the anchors.
+
+# First-name pool for minted people; the diacritic entries are deliberate —
+# they exercise the tokenizer's unicode fold end-to-end (a gazetteer name and
+# a typed question must tokenize identically).  Every diacritic decomposes
+# under NFD, so each name has an exact ASCII fold.
+MEGA_FIRST_NAMES: tuple[str, ...] = (
+    "ada", "amos", "bela", "carl", "dina", "elio", "faye", "gus",
+    "hana", "ivan", "juno", "kira", "liam", "mona", "nils", "otis",
+    "pia", "remy", "sana", "tomas", "ursula", "vera", "wade", "yara",
+    "josé", "rené", "zoë", "chloé", "andrés", "françois", "maría", "joão",
+    "sören", "björn", "agnès", "inés",
+)
+
+# Base tokens for minted cities (again with decomposable diacritics).
+MEGA_CITY_BASES: tuple[str, ...] = (
+    "alder", "birch", "cedar", "dunmore", "elkton", "fairview", "granby",
+    "harlow", "istra", "jasper", "keswick", "lorne", "medina", "norwood",
+    "orillia", "pernik", "quarry", "rosetta", "sutton", "tambov",
+    "são vicente", "córdoba nueva", "orléans", "valparaíso",
+)
+
+_MEGA_PERSON_TRIPLES = 8  # name + 2 category + dob/pob/residence/height/profession
+_MEGA_CITY_TRIPLES = 7  # name + 2 category + population/area/country/founded
+
+
+@dataclass(frozen=True, slots=True)
+class MintAnchors:
+    """The shared fact targets every minted chunk points at.
+
+    Extracted once from an ordinary (small) anchor world; the whole structure
+    is a few hundred node ids + names, which is what makes chunked minting
+    memory-bounded.  ``professions`` is restricted to the professions with a
+    concept refinement so minted people conceptualize exactly like built
+    ones.
+    """
+
+    cities: tuple[str, ...]
+    countries: tuple[str, ...]
+    professions: tuple[tuple[str, str], ...]  # (profession name, pool node)
+    names: dict[str, str]  # anchor node -> display name (gold answers)
+
+    @classmethod
+    def from_world(cls, world: World) -> "MintAnchors":
+        cities = tuple(world.by_type.get("city", ()))
+        countries = tuple(world.by_type.get("country", ()))
+        professions = tuple(
+            (e.name, e.node)
+            for e in world.of_type("profession")
+            if e.name in PROFESSION_CONCEPTS
+        )
+        if not (cities and countries and professions):
+            raise ValueError("anchor world lacks cities/countries/professions")
+        names = {node: world.name_of(node) for node in cities + countries}
+        names.update({node: name for name, node in professions})
+        return cls(cities, countries, professions, names)
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.names)
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkSpec:
+    """One chunk's coordinates: fully determined by (seed, index, sizes)."""
+
+    seed: int
+    index: int
+    n_people: int
+    n_cities: int
+    person_start: int  # global serial of this chunk's first person
+    city_start: int
+
+
+def estimate_chunk_triples(spec: ChunkSpec) -> int:
+    """Upper-bound triple count for sizing a run (marriage CVTs excluded)."""
+    return spec.n_people * _MEGA_PERSON_TRIPLES + spec.n_cities * _MEGA_CITY_TRIPLES
+
+
+def mint_chunk(spec: ChunkSpec, anchors: MintAnchors) -> list[WorldEntity]:
+    """Mint one chunk of entities with complete fact sets.
+
+    Deterministic in ``(spec.seed, spec.index)`` alone — no dependence on
+    other chunks — and serial-suffixed names ("josé p0000123") keep every
+    minted name globally unique, so NER resolution over a mega gazetteer is
+    unambiguous by construction.  Core facts are always present (not
+    probabilistic): the aligned gold QA pairs key on them, and a missing
+    fact would turn a gold question into a silent recall loss.
+    """
+    rng = (
+        SeedStream(spec.seed)
+        .substream("mega")
+        .substream(str(spec.index))
+        .rng()
+    )
+    minted: list[WorldEntity] = []
+    people: list[WorldEntity] = []
+    for i in range(spec.n_people):
+        serial = spec.person_start + i
+        first = MEGA_FIRST_NAMES[rng.randrange(len(MEGA_FIRST_NAMES))]
+        profession, profession_node = anchors.professions[
+            serial % len(anchors.professions)
+        ]
+        entity = WorldEntity(
+            node=f"m.mega_person_{serial:07d}",
+            name=f"{first} p{serial:07d}",
+            etype="person",
+            concepts=_concepts_for("person", profession),
+        )
+        entity.set_fact("dob", str(rng.randint(1900, 1995)))
+        entity.set_fact("profession", profession_node)
+        entity.set_fact("pob", anchors.cities[rng.randrange(len(anchors.cities))])
+        entity.set_fact(
+            "residence", anchors.cities[rng.randrange(len(anchors.cities))]
+        )
+        entity.set_fact("height", str(rng.randint(150, 210)))
+        people.append(entity)
+        minted.append(entity)
+    # in-chunk marriages: adjacent pairs, ~55% married like `_make_marriages`
+    for a, b in zip(people[0::2], people[1::2]):
+        if rng.random() < 0.55:
+            a.set_fact("spouse", b.node)
+            b.set_fact("spouse", a.node)
+    for i in range(spec.n_cities):
+        serial = spec.city_start + i
+        base = MEGA_CITY_BASES[rng.randrange(len(MEGA_CITY_BASES))]
+        entity = WorldEntity(
+            node=f"m.mega_city_{serial:07d}",
+            name=f"{base} c{serial:07d}",
+            etype="city",
+            concepts=_concepts_for("city"),
+        )
+        entity.set_fact("population", str(rng.randint(10, 9_999) * 1_000))
+        entity.set_fact("area", str(rng.randint(50, 2_500)))
+        entity.set_fact(
+            "located_country", anchors.countries[rng.randrange(len(anchors.countries))]
+        )
+        entity.set_fact("founded", str(rng.randint(1400, 1990)))
+        minted.append(entity)
+    return minted

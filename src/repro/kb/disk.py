@@ -63,6 +63,8 @@ from repro.kb.triple import Triple
 _SCHEMA_VERSION = 1
 _BUSY_TIMEOUT_S = 30.0
 _OBJECTS_MEMO_CAP = 65536
+_DICT_MEMO_CAP = 1 << 17
+_INGEST_BATCH = 4096
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS terms (
@@ -145,9 +147,18 @@ class SQLiteDictionary:
         )
         row = conn.execute("SELECT id FROM terms WHERE term = ?", (term,)).fetchone()
         term_id = row[0]
+        self._remember(term, term_id)
+        return term_id
+
+    def _remember(self, term: str, term_id: int) -> None:
+        # bounded write-through memo: a streaming mega-compile interns
+        # millions of one-shot terms, so the cache resets instead of growing
+        # with the dictionary
+        if len(self._term_to_id) >= _DICT_MEMO_CAP:
+            self._term_to_id.clear()
+            self._id_to_term.clear()
         self._term_to_id[term] = term_id
         self._id_to_term[term_id] = term
-        return term_id
 
     def lookup(self, term: str) -> int | None:
         """Id of ``term`` if interned, else ``None`` (memoized point query)."""
@@ -162,8 +173,7 @@ class SQLiteDictionary:
         if row is None:
             return None
         term_id = row[0]
-        self._term_to_id[term] = term_id
-        self._id_to_term[term_id] = term
+        self._remember(term, term_id)
         return term_id
 
     def decode(self, term_id: int) -> str:
@@ -178,8 +188,7 @@ class SQLiteDictionary:
             if row is None:
                 raise KeyError(term_id)
             term = row[0]
-            self._id_to_term[term_id] = term
-            self._term_to_id[term] = term_id
+            self._remember(term, term_id)
         return term
 
     def decode_many(self, term_ids) -> list[str]:
@@ -237,6 +246,7 @@ class DiskTripleStore(BackendBase):
         self._owner_pid = os.getpid()
         self._local = threading.local()
         self._connections: list[sqlite3.Connection] = []
+        self._conn_threads: list[tuple[threading.Thread, sqlite3.Connection]] = []
         self._connections_lock = threading.Lock()
         self._objects_memo: dict[tuple[int, int], frozenset[int]] = {}
         self.dictionary = SQLiteDictionary(self)
@@ -292,8 +302,38 @@ class DiskTripleStore(BackendBase):
             conn = self._open_connection()
             state.conn = conn
             with self._connections_lock:
+                self._evict_dead_locked()
                 self._connections.append(conn)
+                self._conn_threads.append((threading.current_thread(), conn))
         return conn
+
+    def _evict_dead_locked(self) -> None:
+        """Close and drop connections owned by threads that have exited.
+
+        Each (process, thread) gets a private connection; without eviction a
+        serving workload that churns executor threads (pool respawns,
+        scenario runs) accumulates one open SQLite handle per dead thread
+        until ``close()``.  Swept under ``_connections_lock`` whenever a new
+        connection registers, so the registry stays bounded by the number of
+        *live* threads.  ``_connections`` keeps its list-object identity —
+        the weakref finalizer closes over that exact object.
+        """
+        if not self._conn_threads:
+            return
+        live: list[tuple[threading.Thread, sqlite3.Connection]] = []
+        for thread, conn in self._conn_threads:
+            if thread.is_alive():
+                live.append((thread, conn))
+                continue
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - already closed elsewhere
+                pass
+            try:
+                self._connections.remove(conn)
+            except ValueError:  # pragma: no cover - close() already cleared it
+                pass
+        self._conn_threads[:] = live
 
     def _open_connection(self) -> sqlite3.Connection:
         if self._read_only:
@@ -326,7 +366,9 @@ class DiskTripleStore(BackendBase):
     def close(self) -> None:
         """Close this process's connections; delete the file if ephemeral."""
         self._finalizer.detach()
-        _close_connections(self._connections)
+        with self._connections_lock:
+            _close_connections(self._connections)
+            self._conn_threads.clear()
         self._local = threading.local()
         if self._ephemeral and not self._read_only and os.getpid() == self._owner_pid:
             _unlink_db(self._path)
@@ -354,6 +396,7 @@ class DiskTripleStore(BackendBase):
         self._owner_pid = os.getpid()
         self._local = threading.local()
         self._connections = []
+        self._conn_threads = []
         self._connections_lock = threading.Lock()
         self._objects_memo = {}
         self.dictionary = state["dictionary"]
@@ -388,6 +431,53 @@ class DiskTripleStore(BackendBase):
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns how many were new."""
         return sum(1 for t in triples if self.add_triple(t))
+
+    def ingest_triples(
+        self, triples: Iterable[Triple], *, batch_size: int = _INGEST_BATCH
+    ) -> int:
+        """Bulk-load ``triples`` in batched write transactions (streaming seam).
+
+        The mega-compile ingest path: terms are encoded in the same order a
+        sequential :meth:`add` loop would encode them (so the dense
+        dictionary ids stay identical to an in-memory store built from the
+        same sequence — the backend-equivalence contract), but rows land via
+        one ``executemany`` per ``batch_size`` chunk inside an explicit
+        ``BEGIN``/``COMMIT``: one fsync per batch instead of per triple.
+        Accepts any triple iterable and never materializes it.  Returns the
+        number of rows that were new.  With subscribed listeners it falls
+        back to per-triple adds inside one notification batch so the change
+        stream stays exact.
+        """
+        if self._read_only:
+            raise ValueError(f"{self._path}: KB opened read-only")
+        if self._listeners:
+            with self.batch():
+                return self.add_all(triples)
+        conn = self._connection()
+        encode = self.dictionary.encode
+        inserted = 0
+        iterator = iter(triples)
+        while True:
+            chunk = list(itertools.islice(iterator, batch_size))
+            if not chunk:
+                break
+            conn.execute("BEGIN")
+            try:
+                rows = [
+                    (encode(t.subject), encode(t.predicate), encode(t.object))
+                    for t in chunk
+                ]
+                before = conn.total_changes
+                conn.executemany(
+                    "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", rows
+                )
+                inserted += conn.total_changes - before
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            self._objects_memo.clear()
+        return inserted
 
     def delete(self, subject: str, predicate: str, obj: str) -> bool:
         """Remove a triple; returns False if it was not present.

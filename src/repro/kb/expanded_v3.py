@@ -84,6 +84,7 @@ import mmap
 import struct
 from bisect import bisect_left
 from pathlib import Path
+from typing import Iterator
 
 from repro.kb.dictionary import Dictionary
 from repro.kb.expanded_v2 import (
@@ -102,6 +103,84 @@ EXPANSION_V3_VERSION = 3
 _HEADER = struct.Struct("<8s14IQ")
 
 
+class V3StreamWriter:
+    """Buffered section writer: packs values incrementally, flushes in chunks.
+
+    The incremental-writer seam of the v3 format: sections stream through a
+    bounded buffer (~1 MiB) instead of materializing whole ``list`` +
+    ``struct.pack`` images, so writing an artifact needs memory proportional
+    to the *index* structures (terms, subjects, pairs), never to the triple
+    count.  Output bytes are identical to the eager writer's.
+    """
+
+    _FLUSH_AT = 1 << 20
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self._buffer = bytearray()
+
+    def _maybe_flush(self) -> None:
+        if len(self._buffer) >= self._FLUSH_AT:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._handle.write(self._buffer)
+            self._buffer.clear()
+
+    def raw(self, data: bytes) -> None:
+        self._buffer += data
+        self._maybe_flush()
+
+    def u32s(self, values) -> int:
+        """Stream an iterable of u32 values; returns how many were written."""
+        count = 0
+        pack = struct.Struct("<I").pack
+        buffer = self._buffer
+        for value in values:
+            buffer += pack(value)
+            count += 1
+            if len(buffer) >= self._FLUSH_AT:
+                self.flush()
+                buffer = self._buffer
+        self._maybe_flush()
+        return count
+
+    def u64s(self, values) -> int:
+        """Stream an iterable of u64 values; returns how many were written."""
+        count = 0
+        pack = struct.Struct("<Q").pack
+        buffer = self._buffer
+        for value in values:
+            buffer += pack(value)
+            count += 1
+            if len(buffer) >= self._FLUSH_AT:
+                self.flush()
+                buffer = self._buffer
+        self._maybe_flush()
+        return count
+
+    def blob(self, chunks) -> int:
+        """Stream byte chunks; returns the total blob length (pre-padding)."""
+        total = 0
+        for chunk in chunks:
+            total += len(chunk)
+            self.raw(chunk)
+        return total
+
+    def pad4(self, length: int) -> None:
+        self.raw(b"\x00" * _pad4(length))
+
+
+def _prefix_sums(lengths) -> "Iterator[int]":
+    """0, l0, l0+l1, ... — the offset-table shape of every v3 section."""
+    total = 0
+    yield total
+    for length in lengths:
+        total += length
+        yield total
+
+
 def save_v3(store: "ExpandedStore", path: str | Path) -> None:
     """Serialize ``store`` in the v3 binary layout (canonical, deterministic).
 
@@ -111,6 +190,14 @@ def save_v3(store: "ExpandedStore", path: str | Path) -> None:
     byte-exact; the extra index sections (term permutation, prefix-sum
     offsets, pair index) are derived from that canonical order and equally
     deterministic.
+
+    The writer is *streaming*: every section whose size is O(triples) —
+    group/object/pair arrays and their offset tables — is generated lazily
+    and flows through :class:`V3StreamWriter`'s bounded buffer in multiple
+    cheap passes over the store's indexes.  All header counts derive from
+    O(index) sweeps up front, so nothing triple-shaped is ever held as a
+    Python list (the old writer materialized ~10 such lists plus doubled
+    utf-8 blobs).
     """
     sorted_keys = sorted(store._path_keys)
     file_path_id = {key: i for i, key in enumerate(sorted_keys)}
@@ -118,107 +205,105 @@ def save_v3(store: "ExpandedStore", path: str | Path) -> None:
 
     tails = sorted(store.tail_predicates)
     tails_utf8 = [t.encode("utf-8") for t in tails]
-    tails_blob = b"".join(tails_utf8)
-    tail_offsets: list[int] = [0]
-    for chunk in tails_utf8:
-        tail_offsets.append(tail_offsets[-1] + len(chunk))
+    tails_blob_len = sum(len(c) for c in tails_utf8)
 
-    terms_utf8 = [term.encode("utf-8") for term in store.dictionary.terms()]
-    terms_blob = b"".join(terms_utf8)
-    term_offsets: list[int] = [0]
-    for chunk in terms_utf8:
-        term_offsets.append(term_offsets[-1] + len(chunk))
-    term_sort = sorted(range(len(terms_utf8)), key=terms_utf8.__getitem__)
+    # terms: keep lengths (O(n_terms) ints), not encoded blob copies
+    terms = list(store.dictionary.terms())
+    term_lengths = [len(term.encode("utf-8")) for term in terms]
+    terms_blob_len = sum(term_lengths)
 
     seeds = sorted(store.seed_ids)
+    n_path_ids = sum(len(key) for key in sorted_keys)
 
-    path_offsets: list[int] = [0]
-    path_ids: list[int] = []
-    for key in sorted_keys:
-        path_ids.extend(key)
-        path_offsets.append(len(path_ids))
+    by_subject = store._by_subject
+    subject_order = sorted(by_subject)
+    n_groups = sum(len(by_subject[s]) for s in subject_order)
+    n_triples = sum(
+        len(objs) for s in subject_order for objs in by_subject[s].values()
+    )
 
-    subject_ids: list[int] = []
-    group_offsets: list[int] = [0]
-    group_path_ids: list[int] = []
-    object_offsets: list[int] = [0]
-    object_ids: list[int] = []
-    for s_id in sorted(store._by_subject):
-        groups = sorted(
-            (remap[p_id], sorted(objs)) for p_id, objs in store._by_subject[s_id].items()
-        )
-        subject_ids.append(s_id)
-        for file_pid, objs in groups:
-            group_path_ids.append(file_pid)
-            object_ids.extend(objs)
-            object_offsets.append(len(object_ids))
-        group_offsets.append(len(group_path_ids))
-
-    pair_subjects: list[int] = []
-    pair_objects: list[int] = []
-    pair_offsets: list[int] = [0]
-    pair_path_ids: list[int] = []
-    for s_id, o_id in sorted(store._by_pair):
-        pair_subjects.append(s_id)
-        pair_objects.append(o_id)
-        pair_path_ids.extend(sorted(remap[p] for p in store._by_pair[(s_id, o_id)]))
-        pair_offsets.append(len(pair_path_ids))
-    if len(pair_path_ids) != len(object_ids):  # pragma: no cover - invariant
+    by_pair = store._by_pair
+    n_pair_paths = sum(len(paths) for paths in by_pair.values())
+    if n_pair_paths != n_triples:  # pragma: no cover - invariant
         raise ValueError(
             "pair index inconsistent with triples "
-            f"({len(pair_path_ids)} pair paths, {len(object_ids)} triples)"
+            f"({n_pair_paths} pair paths, {n_triples} triples)"
         )
 
-    reach_nodes: list[int] = []
-    reach_offsets: list[int] = [0]
-    reach_seeds: list[int] = []
-    for node_id, node_seeds in sorted(store.reach_items()):
-        reach_nodes.append(node_id)
-        reach_seeds.extend(sorted(node_seeds))
-        reach_offsets.append(len(reach_seeds))
+    reach_sorted = sorted(store.reach_items())
+    n_reach_pairs = sum(len(node_seeds) for _node, node_seeds in reach_sorted)
 
     header = _HEADER.pack(
         EXPANSION_V3_MAGIC,
         EXPANSION_V3_VERSION,
         store.max_length,
         len(tails),
-        len(term_offsets) - 1,
+        len(terms),
         len(seeds),
         len(sorted_keys),
-        len(path_ids),
-        len(subject_ids),
-        len(group_path_ids),
-        len(object_ids),
-        len(reach_nodes),
-        len(reach_seeds),
-        len(tails_blob),
-        len(pair_subjects),
-        len(terms_blob),
+        n_path_ids,
+        len(subject_order),
+        n_groups,
+        n_triples,
+        len(reach_sorted),
+        n_reach_pairs,
+        tails_blob_len,
+        len(by_pair),
+        terms_blob_len,
     )
+
+    # per-subject groups in canonical order: remapped pids are distinct
+    # within a subject (file_path_id is injective), so sorting by pid alone
+    # reproduces the canonical (pid, objects) order
+    def subject_groups(s_id):
+        return sorted((remap[p], objs) for p, objs in by_subject[s_id].items())
+
+    pair_keys = sorted(by_pair)
+
     with open(path, "wb") as handle:
-        handle.write(header)
-        handle.write(_u32_array(tail_offsets))
-        handle.write(tails_blob)
-        handle.write(b"\x00" * _pad4(len(tails_blob)))
-        handle.write(_u64_array(term_offsets))
-        handle.write(terms_blob)
-        handle.write(b"\x00" * _pad4(len(terms_blob)))
-        handle.write(_u32_array(term_sort))
-        handle.write(_u32_array(seeds))
-        handle.write(_u32_array(path_offsets))
-        handle.write(_u32_array(path_ids))
-        handle.write(_u32_array(subject_ids))
-        handle.write(_u64_array(group_offsets))
-        handle.write(_u32_array(group_path_ids))
-        handle.write(_u64_array(object_offsets))
-        handle.write(_u32_array(object_ids))
-        handle.write(_u32_array(pair_subjects))
-        handle.write(_u32_array(pair_objects))
-        handle.write(_u64_array(pair_offsets))
-        handle.write(_u32_array(pair_path_ids))
-        handle.write(_u32_array(reach_nodes))
-        handle.write(_u64_array(reach_offsets))
-        handle.write(_u32_array(reach_seeds))
+        out = V3StreamWriter(handle)
+        out.raw(header)
+        out.u32s(_prefix_sums(len(c) for c in tails_utf8))
+        out.blob(tails_utf8)
+        out.pad4(tails_blob_len)
+        out.u64s(_prefix_sums(term_lengths))
+        out.blob(term.encode("utf-8") for term in terms)
+        out.pad4(terms_blob_len)
+        # termsort: the lexicographic permutation is inherently a full sort
+        # over the term table — O(n_terms), the largest transient this
+        # writer keeps
+        out.u32s(sorted(range(len(terms)), key=lambda i: terms[i].encode("utf-8")))
+        out.u32s(seeds)
+        out.u32s(_prefix_sums(len(key) for key in sorted_keys))
+        out.u32s(pid for key in sorted_keys for pid in key)
+        out.u32s(subject_order)
+        out.u64s(_prefix_sums(len(by_subject[s]) for s in subject_order))
+        out.u32s(pid for s in subject_order for pid, _objs in subject_groups(s))
+        out.u64s(
+            _prefix_sums(
+                len(objs) for s in subject_order for _pid, objs in subject_groups(s)
+            )
+        )
+        out.u32s(
+            o_id
+            for s in subject_order
+            for _pid, objs in subject_groups(s)
+            for o_id in sorted(objs)
+        )
+        out.u32s(s_id for s_id, _o_id in pair_keys)
+        out.u32s(o_id for _s_id, o_id in pair_keys)
+        out.u64s(_prefix_sums(len(by_pair[key]) for key in pair_keys))
+        out.u32s(
+            pid for key in pair_keys for pid in sorted(remap[p] for p in by_pair[key])
+        )
+        out.u32s(node_id for node_id, _seeds in reach_sorted)
+        out.u64s(_prefix_sums(len(node_seeds) for _node, node_seeds in reach_sorted))
+        out.u32s(
+            seed
+            for _node, node_seeds in reach_sorted
+            for seed in sorted(node_seeds)
+        )
+        out.flush()
 
 
 class _V3Sections:

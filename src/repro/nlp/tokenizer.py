@@ -4,16 +4,59 @@ All layers of the pipeline (templates, pattern statistics, NER spans) agree
 on this tokenization, so a token index computed anywhere is valid everywhere.
 Questions are lowercased: the paper's templates are case-insensitive surface
 forms.
+
+Non-ASCII input is *folded*, not dropped: NFKC normalization rewrites
+compatibility forms (fullwidth letters, ligatures), typographic punctuation
+maps onto its ASCII equivalent (curly quotes -> ``'``, en/em-dash -> ``-``),
+and combining diacritics are stripped ("São Paulo" -> "sao paulo",
+"Zoë" -> "zoe").  Folding keeps the token class itself ASCII while making a
+question and a gazetteer name that differ only typographically tokenize
+identically; scripts with no ASCII fold (CJK, Cyrillic) still produce no
+tokens, which downstream surfaces as an abstention rather than a wrong
+answer.
 """
 
 from __future__ import annotations
 
 import re
+import unicodedata
 
 # Words and numbers (hyphens allowed inside); possessives split into their
 # own token ("obama's" -> "obama", "'s"); sentence punctuation dropped except
 # the question mark, which is part of template identity.
 _TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9\-]*|'s|\$[a-z_]+|[?$]")
+
+# Typographic punctuation NFKC leaves alone, mapped to the ASCII form the
+# token class understands.  (Fullwidth ？ etc. are already handled by NFKC.)
+_PUNCT_FOLD = str.maketrans(
+    {
+        "’": "'",  # right single curly quote (apostrophe)
+        "‘": "'",  # left single curly quote
+        "‚": "'",  # single low quote
+        "ʼ": "'",  # modifier letter apostrophe
+        "“": '"',  # left double curly quote
+        "”": '"',  # right double curly quote
+        "„": '"',  # double low quote
+        "‐": "-",  # hyphen
+        "‑": "-",  # non-breaking hyphen
+        "‒": "-",  # figure dash
+        "–": "-",  # en dash
+        "—": "-",  # em dash
+        "−": "-",  # minus sign
+        "…": " ",  # ellipsis
+    }
+)
+
+_ASCII = re.compile(r"[\x00-\x7f]*\Z")
+
+
+def _fold(text: str) -> str:
+    """Fold ``text`` toward ASCII: punctuation map, NFKC, strip diacritics."""
+    if _ASCII.match(text):
+        return text
+    text = unicodedata.normalize("NFKC", text.translate(_PUNCT_FOLD))
+    decomposed = unicodedata.normalize("NFD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
 
 
 def tokenize(text: str) -> list[str]:
@@ -22,7 +65,7 @@ def tokenize(text: str) -> list[str]:
     >>> tokenize("When was Barack Obama's wife born?")
     ['when', 'was', 'barack', 'obama', "'s", 'wife', 'born', '?']
     """
-    return _TOKEN_RE.findall(text.lower().replace("’", "'"))
+    return _TOKEN_RE.findall(_fold(text).lower())
 
 
 def detokenize(tokens: list[str]) -> str:

@@ -110,6 +110,32 @@ def build_request_stream(questions: list[str], spec: LoadSpec) -> list[str]:
     return stream
 
 
+def build_zipf_stream(
+    questions: list[str],
+    requests: int,
+    *,
+    exponent: float = 1.1,
+    seed: int = 7,
+) -> list[str]:
+    """A Zipf-skewed request stream: question at rank r drawn ~ 1/r^exponent.
+
+    The scenario harness's hot-set axis: unlike the two-tier
+    ``duplicate_rate`` model, the whole pool stays reachable but the head
+    dominates — rank 1 of a 1.1-exponent draw over 10k questions carries
+    ~7% of traffic on its own.  Deterministic for a given (pool, requests,
+    exponent, seed).
+    """
+    if not questions:
+        raise ValueError("question pool is empty")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be > 0, got {exponent}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**exponent) for rank in range(1, len(questions) + 1)]
+    return rng.choices(questions, weights=weights, k=requests)
+
+
 async def run_load(
     answerer: AsyncAnswerer,
     stream: list[str],
@@ -280,6 +306,7 @@ async def run_open_load(
     *,
     seed: int = 7,
     deadline_s: float | None = None,
+    expected: dict | None = None,
 ) -> dict:
     """Fire the stream at a Poisson ``rate_qps`` against a started answerer.
 
@@ -289,6 +316,9 @@ async def run_open_load(
     arrival/completion rates, and per-class error counts — under overload
     the honest signal is p99 latency growth plus 503s (and, with
     ``deadline_s`` set, deadline expiries), not a throughput number.
+    ``expected`` maps ``normalized_key(question)`` to the reference answer
+    value tuple, exactly as in :func:`run_ramp_load`: completions that
+    disagree count ``incorrect`` (the scenario harness's recall input).
     """
     rng = random.Random(seed)
     latencies_ms: list[float] = []
@@ -297,9 +327,12 @@ async def run_open_load(
     answered = 0
     deadline_expired = 0
     failed = 0
+    incorrect = 0
+    checked = 0
 
     async def one(question: str) -> None:
         nonlocal rejected, quota_denied, answered, deadline_expired, failed
+        nonlocal incorrect, checked
         start = time.perf_counter()
         try:
             result = await answerer.answer(question, deadline_s=deadline_s)
@@ -318,6 +351,12 @@ async def run_open_load(
         latencies_ms.append((time.perf_counter() - start) * 1000.0)
         if result.answered:
             answered += 1
+        if expected is not None:
+            reference = expected.get(normalized_key(question))
+            if reference is not None:
+                checked += 1
+                if tuple(result.values) != tuple(reference):
+                    incorrect += 1
 
     start = time.perf_counter()
     tasks = []
@@ -338,6 +377,8 @@ async def run_open_load(
         "completed": completed,
         "answered": answered,
         "rejected": rejected,
+        "checked": checked,
+        "incorrect": incorrect,
         "offered_qps": round(rate_qps, 1),
         "achieved_arrival_qps": (
             round(len(stream) / arrival_wall_s, 1) if arrival_wall_s > 0 else None

@@ -281,12 +281,32 @@ def merge_states(states: list[dict]) -> dict:
     """Sum any number of :meth:`ServeMetrics.state` dicts into one.
 
     Shape-tolerant: stages/tenants/counters missing from one replica's dump
-    (e.g. a replica that saw no traffic yet) contribute nothing.
+    (e.g. a replica that saw no traffic yet) contribute nothing, and so does
+    an *empty* histogram state (``{}`` or ``counts: []`` with zero samples).
+    A histogram whose bucket layout disagrees with this process's
+    :data:`BUCKET_BOUNDS_MS` (replica built against a different layout) or
+    that carries samples without buckets raises a ``ValueError`` naming the
+    stage — merging it positionally would silently mis-bin every sample.
     """
     merged: dict = {"stages": {}, "tenants": {}, "counters": {}, "tainted": 0}
     for state in states:
         for name, hist_state in state.get("stages", {}).items():
-            hist = Histogram.from_state(hist_state)
+            if not isinstance(hist_state, dict):
+                raise ValueError(
+                    f"stage {name!r}: histogram state must be a dict, "
+                    f"got {type(hist_state).__name__}"
+                )
+            if not hist_state.get("counts"):
+                if int(hist_state.get("count", 0)):
+                    raise ValueError(
+                        f"stage {name!r}: histogram state carries "
+                        f"{hist_state['count']} samples but no buckets"
+                    )
+                continue  # empty dump: contributes nothing
+            try:
+                hist = Histogram.from_state(hist_state)
+            except ValueError as error:
+                raise ValueError(f"stage {name!r}: {error}") from None
             if name in merged["stages"]:
                 existing = Histogram.from_state(merged["stages"][name])
                 existing.merge(hist)

@@ -191,6 +191,97 @@ class TestPersistence:
         store.close()
 
 
+class TestConnectionChurn:
+    def test_thread_churn_leaves_bounded_connection_count(self):
+        """Per-thread connections for dead threads are evicted, not hoarded.
+
+        Serving workloads churn executor threads; without the dead-thread
+        sweep every short-lived reader leaks one open SQLite handle into
+        ``_connections`` until ``close()``."""
+        import threading
+
+        store = DiskTripleStore()
+        store.add("a", "p", "b")
+        for _ in range(25):
+            worker = threading.Thread(target=lambda: store.objects("a", "p"))
+            worker.start()
+            worker.join()
+        # trigger one more registration (and thus a sweep) from a new thread
+        final = threading.Thread(target=lambda: store.objects("a", "p"))
+        final.start()
+        final.join()
+        with store._connections_lock:
+            store._evict_dead_locked()
+            registered = len(store._connections)
+        # bounded: at most the main thread's connection survives the sweep
+        assert registered <= 1
+        # the store still works from the surviving thread
+        assert store.objects("a", "p") == {"b"}
+        store.close()
+
+    def test_concurrent_threads_keep_their_connections(self):
+        """The sweep only touches *dead* threads — live readers are safe."""
+        import threading
+
+        store = DiskTripleStore()
+        store.add("a", "p", "b")
+        barrier = threading.Barrier(5)
+        results = []
+
+        def reader():
+            store.objects("a", "p")  # register this thread's connection
+            barrier.wait()  # hold all threads alive simultaneously
+            results.append(store.objects("a", "p"))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join()
+        assert results == [{"b"}] * 4
+        store.close()
+
+
+class TestIngestTriples:
+    def test_ingest_matches_sequential_adds(self):
+        """The batched ingest seam assigns ids exactly like per-triple adds."""
+        from repro.kb.triple import Triple
+
+        adds, _ = _random_ops(21, n_adds=400, n_deletes=0)
+        triples = [Triple(s, p, o) for s, p, o in adds]
+        sequential, batched = DiskTripleStore(), DiskTripleStore()
+        expected_new = sequential.add_all(triples)
+        assert batched.ingest_triples(iter(triples), batch_size=64) == expected_new
+        assert list(batched.triples_ids()) == list(sequential.triples_ids())
+        assert list(batched.dictionary.terms()) == list(sequential.dictionary.terms())
+        sequential.close()
+        batched.close()
+
+    def test_ingest_with_listeners_keeps_change_stream(self):
+        from repro.kb.triple import Triple
+
+        store = DiskTripleStore()
+        seen: list[KBChange] = []
+        store.subscribe(seen.append)
+        triples = [Triple("a", "p", f"o{i}") for i in range(5)] + [Triple("a", "p", "o0")]
+        assert store.ingest_triples(triples) == 5
+        assert len(seen) == 5 and all(c.action == ADD for c in seen)
+        store.close()
+
+    def test_ingest_rejected_read_only(self, tmp_path):
+        from repro.kb.triple import Triple
+
+        path = str(tmp_path / "kb.db")
+        writer = DiskTripleStore(path)
+        writer.add("a", "p", "b")
+        replica = pickle.loads(pickle.dumps(writer))
+        with pytest.raises(ValueError, match="read-only"):
+            replica.ingest_triples([Triple("x", "y", "z")])
+        replica.close()
+        writer.close()
+
+
 class TestPickleAsPathReference:
     def test_thaws_read_only_against_the_same_file(self, tmp_path):
         path = str(tmp_path / "kb.db")

@@ -1,0 +1,159 @@
+"""Mega-corpus compiler + scenario harness contracts.
+
+* **Streaming equivalence** — the chunked, bounded-memory compile against the
+  disk backend must produce byte-for-byte the same knowledge (triples, term
+  ids, gold rows) as the identical sequence against the in-memory store:
+  streaming is an execution strategy, never a semantic one.
+* **Scenario recall** — the four axes run against a small build and the gold
+  contract holds: recall 1.0 on skew/churn/temporal, zero wrong answers and
+  full abstention on the paraphrase axis, and the manifest's bounded-memory
+  accounting (peak resident = anchor + one chunk, not the whole world).
+* **Temporal supersession through serve** — a ``/facts`` delete+add pair on a
+  live ``kbqa serve`` HTTP front must make the *fresh* fact win on the very
+  next ``/answer`` (the write-quiescence seam, end to end).
+"""
+
+import json
+import random
+import urllib.request
+
+import pytest
+
+from repro.core.system import KBQA
+from repro.corpus.mega import MegaSpec, compile_mega
+from repro.eval.scenarios import ScenarioSpec, run_scenarios
+from repro.serve import BackgroundServer, ServeConfig
+from repro.suite import build_suite
+
+SMALL = dict(chunk_people=300, chunk_cities=80, gold_per_chunk=12)
+
+
+def _small_spec(seed: int, triples: int = 6000) -> MegaSpec:
+    return MegaSpec(triples=triples, seed=seed, **SMALL)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("seed", random.Random(0x5EED).sample(range(1000), 2))
+    def test_disk_and_memory_builds_agree(self, tmp_path, seed):
+        spec = _small_spec(seed)
+        disk = compile_mega(spec, tmp_path / "disk", backend="disk")
+        memory = compile_mega(spec, tmp_path / "memory", backend="memory")
+        try:
+            # same insertion sequence -> same dense term ids -> identical
+            # id-level triple streams, not merely equal decoded sets
+            assert sorted(disk.kb.store.triples_ids()) == sorted(
+                memory.kb.store.triples_ids()
+            )
+            assert list(disk.kb.store.dictionary.terms()) == list(
+                memory.kb.store.dictionary.terms()
+            )
+            disk_gold = (tmp_path / "disk" / "gold.jsonl").read_bytes()
+            memory_gold = (tmp_path / "memory" / "gold.jsonl").read_bytes()
+            assert disk_gold == memory_gold
+            for key, value in disk.manifest.items():
+                if key in ("backend", "kb_path", "ru_maxrss_kb"):
+                    continue
+                assert memory.manifest[key] == value, key
+        finally:
+            disk.kb.store.close()
+
+    def test_resident_bound_is_chunk_shaped(self, tmp_path):
+        build = compile_mega(
+            _small_spec(seed=7, triples=9000), tmp_path / "m", backend="memory"
+        )
+        manifest = build.manifest
+        chunk_entities = SMALL["chunk_people"] + SMALL["chunk_cities"]
+        assert manifest["chunks"] > 1  # actually streamed, not one blob
+        assert (
+            manifest["peak_resident_entities"]
+            == manifest["anchor_entities"] + chunk_entities
+        )
+        assert manifest["peak_resident_entities"] < manifest["total_entities"]
+
+
+class TestScenarioRecall:
+    @pytest.fixture(scope="class")
+    def mega_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("mega")
+        build = compile_mega(_small_spec(seed=7, triples=9000), out)
+        build.kb.store.close()
+        return out
+
+    def test_all_axes_hold_the_gold_contract(self, mega_dir):
+        report = run_scenarios(
+            mega_dir,
+            ScenarioSpec(
+                requests=120,
+                rate_qps=400.0,
+                churn_writes=8,
+                temporal_edits=4,
+                paraphrase_queries=12,
+            ),
+        )
+        axes = report["axes"]
+        for axis in ("skew", "churn", "temporal"):
+            assert axes[axis]["recall"] == 1.0, (axis, axes[axis])
+            assert axes[axis]["checked"] > 0
+            assert axes[axis]["p99_ms"] is not None
+        assert axes["temporal"]["stale_after_edit"] == 0
+        assert axes["churn"]["writes_applied"] == 8
+        para = axes["paraphrase"]
+        assert para["incorrect"] == 0  # benign rewrites answer correctly
+        assert para["heldout_wrong"] == 0  # held-out surfaces never guess
+        assert para["abstention_rate"] == 1.0
+
+    def test_memory_backend_build_is_rejected(self, tmp_path):
+        build = compile_mega(_small_spec(seed=7), tmp_path / "m", backend="memory")
+        with pytest.raises(ValueError, match="kb_path"):
+            run_scenarios(tmp_path / "m", ScenarioSpec(axes=("skew",)))
+        assert build.manifest["kb_path"] is None
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestTemporalSupersessionThroughServe:
+    def test_fresh_fact_wins_after_facts_supersession(self):
+        suite = build_suite("small", seed=7)
+        system = KBQA.train(suite.freebase, suite.corpus, suite.conceptualizer)
+        # pick a person with exactly one residence and a different target city
+        world = suite.world
+        person = next(
+            e
+            for e in world.of_type("person")
+            if len(e.get_fact("residence")) == 1
+        )
+        old_city = world.entity(person.get_fact("residence")[0])
+        new_city = next(
+            c for c in world.of_type("city") if c.node != old_city.node
+        )
+        question = f"where does {person.name} live?"
+        with BackgroundServer(system, ServeConfig(workers=2, max_batch=8)) as bg:
+            _status, before = _post(bg.url + "/answer", {"question": question})
+            assert before["answered"] is True
+            assert before["values"] == [old_city.name]
+
+            for op, obj in (("delete", old_city.node), ("add", new_city.node)):
+                status, body = _post(
+                    bg.url + "/facts",
+                    {
+                        "op": op,
+                        "subject": person.node,
+                        "predicate": "residence",
+                        "object": obj,
+                    },
+                )
+                assert status == 200
+                assert body["changed"] is True
+
+            _status, after = _post(bg.url + "/answer", {"question": question})
+            assert after["answered"] is True
+            assert after["values"] == [new_city.name]  # the fresh fact wins

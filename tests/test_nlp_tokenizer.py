@@ -48,6 +48,56 @@ class TestTokenize:
         assert tokenize(detokenize(tokens)) == tokens
 
 
+class TestUnicodeFolding:
+    """The paraphrase-axis bug class: typographic unicode must fold onto the
+    ASCII tokens the templates were learned from, not silently drop chars."""
+
+    def test_diacritics_fold(self):
+        assert tokenize("São Paulo") == ["sao", "paulo"]
+        assert tokenize("Zoë") == ["zoe"]
+        assert tokenize("rené p000123") == ["rene", "p000123"]
+
+    def test_diacritic_name_matches_ascii_question(self):
+        # a gazetteer name with diacritics and an ASCII-typed question must
+        # produce identical token streams (and vice versa)
+        assert tokenize("where was José born?") == tokenize("where was Jose born?")
+
+    def test_curly_quotes(self):
+        assert tokenize("“Obama’s” wife") == ["obama", "'s", "wife"]
+        assert tokenize("obama‘s") == ["obama", "'s"]
+
+    def test_dashes_fold_to_hyphen(self):
+        assert tokenize("well–known") == ["well-known"]  # en dash
+        assert tokenize("well—known") == ["well-known"]  # em dash
+        assert tokenize("well‑known") == ["well-known"]  # non-breaking hyphen
+
+    def test_fullwidth_question_mark(self):
+        assert tokenize("when was obama born？") == [
+            "when", "was", "obama", "born", "?",
+        ]
+
+    def test_fullwidth_letters_nfkc(self):
+        assert tokenize("ｏｂａｍａ") == ["obama"]
+
+    def test_nbsp_separates_tokens(self):
+        assert tokenize("barack obama") == ["barack", "obama"]
+
+    def test_ellipsis_dropped(self):
+        assert tokenize("born… where?") == ["born", "where", "?"]
+
+    def test_unfoldable_scripts_produce_no_tokens(self):
+        # no ASCII fold exists: abstain (no tokens) rather than mis-tokenize
+        assert tokenize("Москва") == []
+        assert tokenize("東京") == []
+
+    def test_ascii_behaviour_byte_identical(self):
+        # the doctest contract: pure-ASCII questions tokenize exactly as
+        # before the folding change
+        assert tokenize("When was Barack Obama's wife born?") == [
+            "when", "was", "barack", "obama", "'s", "wife", "born", "?",
+        ]
+
+
 class TestDetokenize:
     def test_rejoins_possessive(self):
         assert detokenize(["obama", "'s", "wife"]) == "obama's wife"

@@ -160,6 +160,39 @@ class TestServeMetrics:
         )
         assert merged["tenants"] == single["tenants"]
 
+    def test_merge_states_tolerates_empty_histogram_states(self):
+        """A replica that dumped before seeing traffic (``{}`` stage states,
+        or no stages at all) must merge as a no-op, not crash."""
+        live = ServeMetrics()
+        for _ in range(10):
+            live.observe_total(5.0, now=1.0)
+        reference = merge_states([live.state()])
+        merged = merge_states(
+            [
+                {"stages": {"total": {}}},  # empty dump, no counts key content
+                {"stages": {"total": {"counts": [], "sum_ms": 0.0, "count": 0}}},
+                {},  # no stages at all
+                live.state(),
+            ]
+        )
+        assert merged["stages"]["total"] == reference["stages"]["total"]
+
+    def test_merge_states_rejects_layout_mismatch(self):
+        """A bucket layout that disagrees with this process's bounds must
+        raise (naming the stage), never positionally mis-bin the samples."""
+        live = ServeMetrics()
+        live.observe_total(5.0, now=1.0)
+        alien = {"stages": {"evaluate": {"counts": [3, 4], "sum_ms": 9.0, "count": 7}}}
+        with pytest.raises(ValueError, match="evaluate"):
+            merge_states([live.state(), alien])
+        # samples without buckets are corrupt, not empty: refuse to drop them
+        corrupt = {"stages": {"total": {"counts": [], "count": 12}}}
+        with pytest.raises(ValueError, match="total"):
+            merge_states([corrupt])
+        # non-dict histogram state is rejected with the stage named
+        with pytest.raises(ValueError, match="queue_wait"):
+            merge_states([{"stages": {"queue_wait": [1, 2, 3]}}])
+
     def test_rate_qps_from_window_span(self):
         metrics = ServeMetrics(window_s=0.5, windows=8)
         for i in range(100):
