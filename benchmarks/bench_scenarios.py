@@ -7,7 +7,9 @@ the scenario harness (:func:`repro.eval.scenarios.run_scenarios`) over it:
 * ``skew``       — Zipf hot-set traffic at an offered Poisson rate,
 * ``churn``      — sustained ``/facts``-style writes during serving,
 * ``temporal``   — fact supersession (the fresh answer must win),
-* ``paraphrase`` — unicode perturbation + held-out-surface abstention.
+* ``paraphrase`` — unicode perturbation + held-out-surface abstention,
+  plus the semantic-fallback recovery cell (held-out recall with the
+  embedding lane on), published as ``scenarios.paraphrase.fallback``.
 
 Each axis reports recall plus p50/p99; the compile itself contributes
 triples/sec and the peak-RSS accounting from ``manifest.json``.  The payload
@@ -38,6 +40,7 @@ def measure_scenarios(
     rate_qps: float = 200.0,
     axes: tuple[str, ...] = ALL_AXES,
     out_dir: str | None = None,
+    fallback: bool = True,
 ) -> dict:
     """One compile + one scenario sweep; returns the ``scenarios`` payload."""
     with tempfile.TemporaryDirectory(prefix="kbqa-mega-") as scratch:
@@ -50,7 +53,11 @@ def measure_scenarios(
         report = run_scenarios(
             target,
             ScenarioSpec(
-                axes=axes, requests=requests, rate_qps=rate_qps, seed=seed
+                axes=axes,
+                requests=requests,
+                rate_qps=rate_qps,
+                seed=seed,
+                fallback=fallback and "paraphrase" in axes,
             ),
         )
     manifest = build.manifest
@@ -93,6 +100,10 @@ def main(argv: list[str] | None = None) -> int:
         "--merge", metavar="PATH", default=None,
         help="merge the scenarios section into an existing BENCH_perf.json",
     )
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="skip the paraphrase axis's semantic-fallback recovery cell",
+    )
     args = parser.parse_args(argv)
 
     axes = tuple(a.strip() for a in args.axes.split(",") if a.strip())
@@ -102,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         requests=args.requests,
         rate_qps=args.rate_qps,
         axes=axes,
+        fallback=not args.no_fallback,
     )
     compile_row = payload["compile"]
     print(
@@ -115,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
         keys = ("recall", "checked", "incorrect", "p50_ms", "p99_ms")
         rendered = " ".join(f"{k}={row[k]}" for k in keys if k in row)
         print(f"{axis}: {rendered}")
+        cell = row.get("fallback")
+        if cell is not None:
+            keys = ("recall", "recovered", "wrong", "abstained", "benign_incorrect")
+            rendered = " ".join(f"{k}={cell[k]}" for k in keys if k in cell)
+            print(f"paraphrase.fallback: {rendered}")
     if args.merge:
         path = Path(args.merge)
         try:

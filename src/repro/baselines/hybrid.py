@@ -33,5 +33,11 @@ class HybridSystem:
         fallback_result = self.fallback.answer(question)
         if fallback_result.answered:
             return fallback_result
-        # Prefer whichever side at least found a predicate for #pro counting.
-        return result if result.found_predicate else fallback_result
+        # Neither side answered.  The fallback's result only wins when it
+        # alone found a predicate (#pro accounting, Table 11); on a tie —
+        # both found one or neither did — keep the primary's result, whose
+        # diagnostics (entity, template, candidates) describe the system
+        # under test, not the baseline.
+        if result.found_predicate or not fallback_result.found_predicate:
+            return result
+        return fallback_result

@@ -25,6 +25,7 @@ import sys
 
 from dataclasses import replace
 
+from repro.core.fallback import DEFAULT_THRESHOLD
 from repro.core.system import KBQA, KBQAConfig
 from repro.exec.backend import EXEC_KINDS, resolve_exec_kind, resolve_workers
 from repro.eval.runner import evaluate_qald
@@ -81,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1,
         help="answer the batch N times (cache warm-up demonstration)",
     )
+    _fallback_args(answer)
     answer.set_defaults(handler=_cmd_answer)
 
     train = sub.add_parser("train", help="train and save a template model")
@@ -202,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "header (e.g. '50:100;gold=4;free=1'; over-quota requests get "
              "a 429; /healthz is never throttled)",
     )
+    _fallback_args(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     mega = sub.add_parser(
@@ -265,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
     )
+    _fallback_args(scenario)
     scenario.set_defaults(handler=_cmd_scenario)
 
     shm_gc = sub.add_parser(
@@ -315,6 +319,22 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _fallback_args(sub: argparse.ArgumentParser) -> None:
+    """The semantic-fallback-lane flags (answer / serve / scenario)."""
+    sub.add_argument(
+        "--fallback", action="store_true",
+        help="enable the semantic fallback lane: when the template match "
+             "abstains, score the question embedding against the learned "
+             "predicate paths behind a confidence gate (answers recovered "
+             "this way are tagged fallback=true)",
+    )
+    sub.add_argument(
+        "--fallback-threshold", type=float, default=None, metavar="COS",
+        help="minimum cosine for a fallback answer (default: "
+             f"{DEFAULT_THRESHOLD}; raise for fewer, safer recoveries)",
+    )
+
+
 def _suite_kwargs(args) -> dict:
     return dict(
         scale=args.scale,
@@ -341,6 +361,15 @@ def _train_system(args, config: KBQAConfig | None = None) -> tuple[KBQA, object]
             workers=getattr(args, "workers", None) or config.learner.workers,
         ),
     )
+    if getattr(args, "fallback", False):
+        threshold = getattr(args, "fallback_threshold", None)
+        config = replace(
+            config,
+            fallback=True,
+            fallback_threshold=(
+                threshold if threshold is not None else config.fallback_threshold
+            ),
+        )
     system = KBQA.train(kb, suite.corpus, suite.conceptualizer, config, expanded=expanded)
     return system, suite
 
@@ -386,7 +415,8 @@ def _cmd_answer(args) -> int:
     for result in results:
         print(f"Q: {result.question}")
         if result.answered:
-            print(f"A: {result.value}  (all: {', '.join(result.values)})")
+            tag = "  [fallback]" if result.fallback else ""
+            print(f"A: {result.value}  (all: {', '.join(result.values)}){tag}")
         else:
             print("A: (no answer)")
     n_answered = sum(1 for r in results if r.answered)
@@ -558,6 +588,8 @@ def _cmd_scenario(args) -> int:
         requests=args.requests,
         rate_qps=args.rate_qps,
         seed=args.seed,
+        fallback=args.fallback,
+        fallback_threshold=args.fallback_threshold,
     )
     report = run_scenarios(args.mega, spec)
     if args.json:
@@ -567,6 +599,11 @@ def _cmd_scenario(args) -> int:
             keys = ("recall", "checked", "incorrect", "p50_ms", "p99_ms")
             rendered = " ".join(f"{k}={row[k]}" for k in keys if k in row)
             print(f"{axis}: {rendered}")
+            cell = row.get("fallback")
+            if cell is not None:
+                keys = ("recall", "recovered", "wrong", "abstained", "benign_incorrect")
+                rendered = " ".join(f"{k}={cell[k]}" for k in keys if k in cell)
+                print(f"paraphrase.fallback: {rendered}")
     if args.assert_recall:
         failures = [
             axis
@@ -577,6 +614,21 @@ def _cmd_scenario(args) -> int:
         para = report["axes"].get("paraphrase")
         if para is not None and para.get("incorrect", 0) > 0:
             failures.append("paraphrase")
+        # recovery-cell gate (fallback lane on): the lane must recover at
+        # least one held-out rewording, never disturb a benign answer, and
+        # keep the wrong-recovery rate bounded — a lane that guesses freely
+        # would trade the paper's abstention contract for recall
+        cell = para.get("fallback") if para is not None else None
+        if cell is not None:
+            wrong_rate = (
+                cell["wrong"] / cell["heldout_total"] if cell["heldout_total"] else 0.0
+            )
+            if (
+                cell["recovered"] < 1
+                or cell["benign_incorrect"] > 0
+                or wrong_rate > 0.1
+            ):
+                failures.append("paraphrase.fallback")
         if failures:
             print(
                 f"kbqa scenario: error: recall below 1.0 on: {', '.join(failures)}",

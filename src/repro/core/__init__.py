@@ -10,6 +10,7 @@ from repro.core.template import Template
 from repro.core.kbview import KBView
 from repro.core.extraction import Observation, ValueIndex, extract_observations, ExtractionConfig
 from repro.core.em import EMConfig, EMResult, run_em
+from repro.core.fallback import FallbackConfig, FallbackIndex
 from repro.core.model import TemplateModel
 from repro.core.learner import LearnerConfig, OfflineLearner, LearnResult
 from repro.core.online import AnswerResult, OnlineAnswerer
@@ -27,6 +28,8 @@ __all__ = [
     "EMConfig",
     "EMResult",
     "run_em",
+    "FallbackConfig",
+    "FallbackIndex",
     "TemplateModel",
     "LearnerConfig",
     "OfflineLearner",

@@ -26,6 +26,13 @@ Serving-layer hot paths (Table 14's 79 ms/question is a *systems* claim):
 The result distinguishes *found a predicate* (the ``#pro`` condition of
 Sec 7.3.1) from *produced values*: a question whose template is known but
 whose entity lacks the fact processes without an answer.
+
+An optional *semantic fallback lane* (``repro.core.fallback``) runs only
+when Eq 7 produces no value: the question's mention span is removed, the
+remainder is embedded, and the learned predicate paths are scored by cosine
+behind a confidence gate.  Answers recovered this way are tagged
+``fallback=True``; questions the deterministic lane answers are returned
+byte-identical whether or not the lane is enabled (equivalence-tested).
 """
 
 from __future__ import annotations
@@ -36,11 +43,13 @@ from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Sequence
 
+from repro.core.fallback import FallbackIndex
 from repro.core.kbview import KBView
 from repro.core.model import TemplateModel
 from repro.core.template import Template
 from repro.kb.paths import PredicatePath
 from repro.kb.triple import is_literal, literal_value
+from repro.nlp.embed import embed_tokens
 from repro.nlp.ner import EntityRecognizer
 from repro.nlp.tokenizer import tokenize
 from repro.taxonomy.conceptualizer import Conceptualizer
@@ -59,6 +68,7 @@ class AnswerResult:
     predicate: PredicatePath | None
     found_predicate: bool  # the #pro condition
     candidates: tuple[tuple[str, float], ...] = field(default=())
+    fallback: bool = False  # answered by the semantic fallback lane
 
     @property
     def answered(self) -> bool:
@@ -85,6 +95,7 @@ class OnlineAnswerer:
         answer_cache_size: int = 2048,
         lookup_cache_size: int = 8192,
         precompute: bool = True,
+        fallback: FallbackIndex | None = None,
     ) -> None:
         self.kbview = kbview
         self.ner = ner
@@ -92,6 +103,8 @@ class OnlineAnswerer:
         self.model = model
         self.max_concepts = max_concepts
         self.precompute = precompute
+        # Semantic fallback lane — consulted only when Eq 7 yields no value.
+        self.fallback_index = fallback
         # template text -> ranked ((path_str, path, θ), ...), parsed once
         self._ranked: dict[str, tuple[tuple[str, PredicatePath, float], ...]] = {}
         self.answer_cache_size = answer_cache_size
@@ -243,9 +256,28 @@ class OnlineAnswerer:
             results.append(hit)
         return results
 
+    @property
+    def fallback_enabled(self) -> bool:
+        return self.fallback_index is not None
+
     def _answer_tokens(self, question: str, tokens: tuple[str, ...]) -> AnswerResult:
-        """Eq 7 evaluation over one tokenized question (cache miss path)."""
+        """Cache-miss path: Eq 7 first, the fallback lane only on abstention.
+
+        The lane never touches an answered result, so deterministic answers
+        are byte-identical with the lane on or off.
+        """
         mentions = self._find_mentions(tokens)
+        result = self._answer_deterministic(question, tokens, mentions)
+        if result.value is None and self.fallback_index is not None:
+            recovered = self._fallback_answer(question, tokens, mentions)
+            if recovered is not None:
+                return recovered
+        return result
+
+    def _answer_deterministic(
+        self, question: str, tokens: tuple[str, ...], mentions
+    ) -> AnswerResult:
+        """Eq 7 evaluation over one tokenized question."""
         candidate_entities = [
             (mention, entity) for mention in mentions for entity in mention.candidates
         ]
@@ -301,16 +333,92 @@ class OnlineAnswerer:
             )
         return self._no_answer(question, found_predicate)
 
-    def clear_caches(self) -> None:
-        """Drop the answer cache and the NER/conceptualizer memos (the
-        ranked-predicate arrays stay: they mirror the immutable model)."""
+    def _fallback_answer(
+        self, question: str, tokens: tuple[str, ...], mentions
+    ) -> AnswerResult | None:
+        """Semantic fallback lane: gated cosine retrieval over learned paths.
+
+        Entity slotting reuses the deterministic lane's NER reading: for
+        each mention the span is *removed* (symmetric with how templates are
+        de-slotted at index build time) and the remainder embedded.  Per
+        mention, the highest-ranked gated path whose values exist in the KB
+        wins, entities tried in lexicographic order; across mentions the
+        best (score, entity, path) triple wins.  ``None`` means the gate
+        abstained — the caller keeps the deterministic result untouched.
+        """
+        index = self.fallback_index
+        if index is None:
+            return None
+        found: list[tuple[tuple, float, str, PredicatePath, tuple[str, ...]]] = []
+        for mention in mentions:
+            if not mention.candidates:
+                continue
+            remainder = tokens[: mention.start] + tokens[mention.end :]
+            qvec = embed_tokens(remainder, index.config.dim, index.config.seed)
+            for path_str, score in index.gated_paths(qvec):
+                path = index.path_for(path_str)
+                hit = None
+                for entity in sorted(set(mention.candidates)):
+                    values = self.kbview.values(entity, path)
+                    if values:
+                        hit = (entity, values)
+                        break
+                if hit is not None:
+                    entity, values = hit
+                    found.append(((-score, entity, path_str), score, entity, path, values))
+                    break  # first ranked path with values wins for this mention
+        if not found:
+            return None
+        found.sort(key=lambda row: row[0])
+        _, score, entity, path, values = found[0]
+        rendered = tuple(sorted(render_term(v) for v in values))
+        value_prob = 1.0 / len(values)
+        return AnswerResult(
+            question=question,
+            value=rendered[0],
+            values=rendered,
+            score=score,
+            entity=entity,
+            template=None,
+            predicate=path,
+            found_predicate=True,
+            candidates=tuple((v, score * value_prob) for v in rendered),
+            fallback=True,
+        )
+
+    def clear_caches(self, model_changed: bool = False) -> None:
+        """Drop the answer cache and the NER/conceptualizer memos.
+
+        The ranked-predicate arrays mirror the model, so by default they
+        stay; pass ``model_changed=True`` after swapping :attr:`model` (a
+        train-resume on a live answerer) so stale θ rankings are dropped
+        too — otherwise the answerer keeps serving the old distribution.
+        """
         with self._cache_lock:
             self._answer_cache.clear()
             self._cache_generation += 1
+            if model_changed:
+                # Fresh dict, not .clear(): evaluator threads read the old
+                # mapping without the lock and must see either version
+                # whole, never a half-cleared one.
+                self._ranked = {}
         for memo in (self._find_mentions, self._top_concepts):
             cache_clear = getattr(memo, "cache_clear", None)
             if cache_clear is not None:
                 cache_clear()
+
+    def replace_model(
+        self, model: TemplateModel, fallback: FallbackIndex | None = None
+    ) -> None:
+        """Swap in a retrained model (and matching fallback index) safely.
+
+        Invalidates every model-derived cache — the answer cache, the
+        NER/conceptualizer memos, and the ranked θ arrays — so the next
+        answer reflects the new model rather than stale rankings.
+        """
+        self.model = model
+        self.fallback_index = fallback
+        self.clear_caches(model_changed=True)
 
     def cache_info(self) -> dict[str, object]:
         """Serving-cache occupancy/hit counters for ops dashboards."""

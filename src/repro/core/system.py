@@ -26,6 +26,12 @@ from repro.core.decompose import (
     Decomposition,
     PatternStatistics,
 )
+from repro.core.fallback import (
+    DEFAULT_MARGIN,
+    DEFAULT_THRESHOLD,
+    FallbackConfig,
+    FallbackIndex,
+)
 from repro.core.learner import LearnerConfig, LearnResult, OfflineLearner
 from repro.core.online import AnswerResult, OnlineAnswerer
 from repro.corpus.qa import QACorpus
@@ -54,6 +60,10 @@ class KBQAConfig:
     ``answer_cache_size`` bounds the online answer cache keyed on normalized
     question text (0 disables it); ``lookup_cache_size`` bounds the
     NER/conceptualizer memoization LRUs of the serving layer.
+
+    ``fallback`` enables the semantic fallback lane (an embedding index over
+    the learned predicate paths, consulted only when Eq 7 abstains);
+    ``fallback_threshold`` / ``fallback_margin`` set its confidence gate.
     """
 
     learner: LearnerConfig = field(default_factory=LearnerConfig)
@@ -62,6 +72,9 @@ class KBQAConfig:
     pattern_max_tokens: int = 23
     answer_cache_size: int = 2048
     lookup_cache_size: int = 8192
+    fallback: bool = False
+    fallback_threshold: float = DEFAULT_THRESHOLD
+    fallback_margin: float = DEFAULT_MARGIN
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,6 +110,7 @@ class KBQA:
         pattern_statistics: PatternStatistics,
         config: KBQAConfig,
         exec_pool: ExecutorPool | None = None,
+        fallback_index: FallbackIndex | None = None,
     ) -> None:
         self.kb = kb
         self.conceptualizer = conceptualizer
@@ -116,6 +130,7 @@ class KBQA:
             max_concepts=config.max_concepts_online,
             answer_cache_size=config.answer_cache_size,
             lookup_cache_size=config.lookup_cache_size,
+            fallback=fallback_index,
         )
         self.decomposer = Decomposer(
             pattern_statistics,
@@ -177,9 +192,29 @@ class KBQA:
             max_questions=config.pattern_max_questions,
             max_tokens=config.pattern_max_tokens,
         )
-        return cls(kb, conceptualizer, learn_result, statistics, config, exec_pool=pool)
+        # Build the semantic fallback index at the quiesce point: training's
+        # expansion burst is over (workers joined above) and the model is
+        # final, so the index sees exactly the θ the answerer will serve.
+        fallback_index: FallbackIndex | None = None
+        if config.fallback:
+            fallback_index = FallbackIndex.build(
+                learn_result.model,
+                FallbackConfig(
+                    threshold=config.fallback_threshold,
+                    margin=config.fallback_margin,
+                ),
+            )
+        return cls(
+            kb, conceptualizer, learn_result, statistics, config,
+            exec_pool=pool, fallback_index=fallback_index,
+        )
 
     # -- Answering ---------------------------------------------------------------
+
+    @property
+    def fallback_enabled(self) -> bool:
+        """Whether the semantic fallback lane is wired into the answerer."""
+        return self.answerer.fallback_enabled
 
     def answer(self, question: str) -> AnswerResult:
         """Answer a binary factoid question (Sec 3.3)."""

@@ -21,7 +21,13 @@ reporting **recall** (gold answers that came back exactly right) plus
   stripped diacritics) must fold to the identical token stream and answer
   correctly; held-out rewordings the templates never saw must *abstain*
   rather than answer wrongly — the axis reports the abstention rate and
-  counts any wrong answer against recall.
+  counts any wrong answer against recall.  With ``spec.fallback`` the axis
+  adds a **recovery cell**: the same benign + held-out traffic replayed
+  through a second answerer with the semantic fallback lane enabled — the
+  held-out questions the deterministic lane abstains on should now come
+  back *correct* (``recovered``), wrong recoveries are counted, and the
+  benign set must stay exactly right (the lane never touches an answered
+  question).
 
 The model binding deliberately mirrors production: the system is trained on
 the ordinary small suite (surfaces/templates), then pointed at the mega KB
@@ -40,6 +46,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.fallback import FallbackConfig, FallbackIndex
 from repro.core.kbview import KBView
 from repro.core.online import OnlineAnswerer
 from repro.core.system import KBQA
@@ -73,8 +80,16 @@ class ScenarioSpec:
     paraphrase_queries: int = 48
     workers: int = 2
     max_batch: int = 8
+    fallback: bool = False  # add the paraphrase axis's recovery cell
+    fallback_threshold: float | None = None  # None = the lane's default
 
     def __post_init__(self) -> None:
+        if self.fallback_threshold is not None and not (
+            0.0 < self.fallback_threshold <= 1.0
+        ):
+            raise ValueError(
+                f"fallback_threshold must be in (0, 1], got {self.fallback_threshold}"
+            )
         for axis in self.axes:
             if axis not in ALL_AXES:
                 raise ValueError(f"unknown axis {axis!r}; pick from {ALL_AXES}")
@@ -95,6 +110,10 @@ class ScenarioBinding:
     gold: dict[str, list[QAPair]]  # kind -> rows
     expected: dict  # normalized question key -> answer value tuple
     manifest: dict
+    # a second answerer sharing the store/NER/model with the semantic
+    # fallback lane enabled (None unless spec.fallback) — the paraphrase
+    # axis replays its traffic through this one for the recovery cell
+    fallback_target: OnlineAnswerer | None = None
 
     def close(self) -> None:
         self.store.close()
@@ -145,21 +164,44 @@ def bind_scenarios(
                 network.add(pair.meta["node"], concept, weight)
 
     store = DiskTripleStore(kb_path)
+    kbview = KBView(store, expanded=None)
+    ner = EntityRecognizer(gazetteer)
     target = OnlineAnswerer(
-        KBView(store, expanded=None),
-        EntityRecognizer(gazetteer),
+        kbview,
+        ner,
         system.conceptualizer,
         system.model,
         answer_cache_size=0,
         lookup_cache_size=0,
     )
+    fallback_target: OnlineAnswerer | None = None
+    if spec.fallback:
+        fb_config = (
+            FallbackConfig(threshold=spec.fallback_threshold)
+            if spec.fallback_threshold is not None
+            else FallbackConfig()
+        )
+        fallback_target = OnlineAnswerer(
+            kbview,
+            ner,
+            system.conceptualizer,
+            system.model,
+            answer_cache_size=0,
+            lookup_cache_size=0,
+            fallback=FallbackIndex.build(system.model, fb_config),
+        )
     expected = {
         normalized_key(pair.question): tuple(pair.meta["values"])
         for rows in gold.values()
         for pair in rows
     }
     return ScenarioBinding(
-        target=target, store=store, gold=gold, expected=expected, manifest=manifest
+        target=target,
+        store=store,
+        gold=gold,
+        expected=expected,
+        manifest=manifest,
+        fallback_target=fallback_target,
     )
 
 
@@ -381,7 +423,7 @@ async def _axis_paraphrase(binding: ScenarioBinding, spec: ScenarioSpec) -> dict
                 heldout_abstained += 1
             elif tuple(sorted(result.values)) != reference:
                 heldout_wrong += 1
-    return {
+    row = {
         "checked": benign_checked,
         "incorrect": benign_incorrect,
         "recall": _recall(benign_checked, benign_incorrect),
@@ -392,6 +434,64 @@ async def _axis_paraphrase(binding: ScenarioBinding, spec: ScenarioSpec) -> dict
             round(heldout_abstained / heldout_total, 4) if heldout_total else None
         ),
         **{k: latency_percentiles(latencies_ms)[k] for k in ("p50_ms", "p99_ms")},
+    }
+    if binding.fallback_target is not None:
+        row["fallback"] = await _paraphrase_recovery(binding, spec, rows)
+    return row
+
+
+async def _paraphrase_recovery(
+    binding: ScenarioBinding, spec: ScenarioSpec, rows: list[QAPair]
+) -> dict:
+    """The recovery cell: the same paraphrase traffic, fallback lane on.
+
+    Held-out rewordings the deterministic lane abstains on should now come
+    back correct (``recovered``, each tagged ``fallback=True``); incorrect
+    recoveries count as ``wrong``; the benign set must stay exactly right —
+    an answered question never consults the lane, so ``benign_incorrect``
+    above zero means the equivalence contract broke.
+    """
+    target = binding.fallback_target
+    assert target is not None
+    benign_checked = benign_incorrect = 0
+    heldout_total = recovered = wrong = abstained = 0
+    async with AsyncAnswerer(target, _serve_config(spec)) as answerer:
+        for i, pair in enumerate(rows):
+            reference = tuple(pair.meta["values"])
+            benign = _BENIGN_REWRITES[i % len(_BENIGN_REWRITES)](pair.question)
+            if i % 2:
+                benign = _diacritic_strip(benign)
+            result = await answerer.answer(benign)
+            benign_checked += 1
+            values = tuple(sorted(result.values)) if result.answered else ()
+            if values != reference:
+                benign_incorrect += 1
+
+            heldout = _HELDOUT_REWRITES[i % len(_HELDOUT_REWRITES)](pair.question)
+            result = await answerer.answer(heldout)
+            heldout_total += 1
+            if not result.answered:
+                abstained += 1
+            elif tuple(sorted(result.values)) == reference:
+                recovered += 1
+            else:
+                wrong += 1
+        stats = answerer.snapshot()
+    index = target.fallback_index
+    assert index is not None
+    return {
+        "threshold": index.config.threshold,
+        "margin": index.config.margin,
+        "paths": len(index),
+        "heldout_total": heldout_total,
+        "recovered": recovered,
+        "wrong": wrong,
+        "abstained": abstained,
+        "recall": round(recovered / heldout_total, 4) if heldout_total else None,
+        "benign_checked": benign_checked,
+        "benign_incorrect": benign_incorrect,
+        "fallback_served": stats["fallback_served"],
+        "fallback_abstained": stats["fallback_abstained"],
     }
 
 

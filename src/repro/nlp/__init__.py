@@ -6,6 +6,7 @@ exercise the same interfaces.
 """
 
 from repro.nlp.tokenizer import tokenize, detokenize
+from repro.nlp.embed import embed_tokens, dot
 from repro.nlp.ner import EntityRecognizer, Mention
 from repro.nlp.question_class import AnswerType, classify_question
 from repro.nlp.synonyms import SynonymLexicon
@@ -13,6 +14,8 @@ from repro.nlp.synonyms import SynonymLexicon
 __all__ = [
     "tokenize",
     "detokenize",
+    "embed_tokens",
+    "dot",
     "EntityRecognizer",
     "Mention",
     "AnswerType",

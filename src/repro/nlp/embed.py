@@ -1,0 +1,102 @@
+"""Deterministic hashed bag embeddings (the semantic fallback lane's vectors).
+
+The fallback lane (``repro.core.fallback``) needs sentence vectors that are
+
+* dependency-free — no model weights, no numpy requirement,
+* deterministic across *processes* — serving snapshots pickle an index built
+  in the trainer and score queries inside pool workers, so the same text must
+  hash to the same vector everywhere (Python's builtin ``hash`` is salted per
+  process and is therefore banned here; features hash through BLAKE2b),
+* cheap — one pass over the tokens, a few hundred feature updates.
+
+The construction is classic feature hashing (Weinberger et al.): each
+feature string maps to a (bucket, sign) pair drawn from a keyed BLAKE2b
+digest, weights accumulate into a fixed-width ``array('f')``, and the result
+is L2-normalized so dot products are cosines.  Features are token unigrams,
+token bigrams (word order), and boundary-padded character trigrams per token
+(sub-word robustness: "founded"/"founder" share most trigrams).  The sign
+trick keeps hash collisions unbiased in expectation.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from hashlib import blake2b
+from typing import Iterable, Sequence
+
+DEFAULT_DIM = 256
+
+# Relative weights of the three feature families.  Unigrams dominate
+# (paraphrases mostly preserve content words), bigrams add word order, char
+# trigrams add sub-word overlap for inflection/typo robustness.
+_UNIGRAM_WEIGHT = 1.0
+_BIGRAM_WEIGHT = 0.6
+_TRIGRAM_WEIGHT = 0.3
+
+# Tokens that carry no semantic signal for predicate matching; dropping them
+# keeps "regarding X, any thoughts?"-style wrappers from diluting the cosine.
+STOPWORDS = frozenset(
+    "a an the of in on at to for by is are was were be been do does did "
+    "'s ? $ and or".split()
+)
+
+
+def _bucket(feature: str, dim: int, seed: int) -> tuple[int, float]:
+    """Map ``feature`` to a (bucket index, ±1 sign) pair, keyed by ``seed``."""
+    digest = blake2b(
+        feature.encode("utf-8"), digest_size=8, key=str(seed).encode("ascii")
+    ).digest()
+    value = int.from_bytes(digest, "big")
+    return (value >> 1) % dim, 1.0 if value & 1 else -1.0
+
+
+def _features(tokens: Sequence[str]) -> Iterable[tuple[str, float]]:
+    """Yield (feature string, weight) pairs for one token sequence."""
+    content = [t for t in tokens if t not in STOPWORDS]
+    if not content:
+        content = list(tokens)
+    for token in content:
+        yield "u:" + token, _UNIGRAM_WEIGHT
+        padded = "^" + token + "$"
+        if len(padded) >= 3:
+            for i in range(len(padded) - 2):
+                yield "c:" + padded[i : i + 3], _TRIGRAM_WEIGHT
+    for left, right in zip(content, content[1:]):
+        yield "b:" + left + " " + right, _BIGRAM_WEIGHT
+
+
+def embed_tokens(
+    tokens: Sequence[str], dim: int = DEFAULT_DIM, seed: int = 0
+) -> array:
+    """Embed a token sequence into a unit-normalized ``array('f')``.
+
+    The zero sequence (no tokens at all) embeds to the zero vector, whose
+    cosine against anything is 0.0 — it can never clear the fallback gate.
+    """
+    vec = array("f", bytes(4 * dim))
+    for feature, weight in _features(tokens):
+        index, sign = _bucket(feature, dim, seed)
+        vec[index] += sign * weight
+    return normalize(vec)
+
+
+def accumulate(target: array, source: array, weight: float) -> None:
+    """``target += weight * source`` in place (same-length float arrays)."""
+    for i, value in enumerate(source):
+        target[i] += weight * value
+
+
+def normalize(vec: array) -> array:
+    """L2-normalize ``vec`` in place (zero vectors pass through unchanged)."""
+    norm = math.sqrt(math.fsum(v * v for v in vec))
+    if norm > 0.0:
+        inv = 1.0 / norm
+        for i, value in enumerate(vec):
+            vec[i] = value * inv
+    return vec
+
+
+def dot(a: array, b: array) -> float:
+    """Plain dot product; cosine when both sides are unit-normalized."""
+    return math.fsum(x * y for x, y in zip(a, b))

@@ -94,6 +94,7 @@ def result_payload(result: AnswerResult, *, degraded: bool = False) -> dict:
         "predicate": str(result.predicate) if result.predicate is not None else None,
         "found_predicate": result.found_predicate,
         "degraded": degraded,
+        "fallback": result.fallback,
     }
 
 

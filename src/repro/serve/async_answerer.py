@@ -231,6 +231,8 @@ class ServeStats:
     respawns: int = 0  # executors replaced after worker death
     degraded: int = 0  # answer-cache hits served in degraded mode (by the app)
     quota_rejected: int = 0  # per-tenant quota rejections (429s)
+    fallback_served: int = 0  # answers recovered by the semantic fallback lane
+    fallback_abstained: int = 0  # unanswered despite the lane being enabled
 
 
 class AsyncAnswerer:
@@ -253,6 +255,10 @@ class AsyncAnswerer:
         self.config = config or ServeConfig()
         self.stats = ServeStats()
         self.metrics = ServeMetrics()
+        # Fallback-lane accounting is result-driven (the `fallback` tag on
+        # AnswerResult), so it works unchanged when evaluation happens in a
+        # process worker whose target-side counters never come back.
+        self._fallback_enabled = bool(getattr(target, "fallback_enabled", False))
         # Live knobs, seeded from the (frozen) config: the SLO controller
         # mutates these, never the config, so the configured values remain
         # the restart baseline and the controller caps.
@@ -737,6 +743,10 @@ class AsyncAnswerer:
                     del self._inflight[key]
                 if not future.done():
                     future.set_result(result)
+                if getattr(result, "fallback", False):
+                    self.stats.fallback_served += 1
+                elif self._fallback_enabled and not result.answered:
+                    self.stats.fallback_abstained += 1
                 self.metrics.observe_total(
                     (done - t_enq) * 1000.0, tainted=tainted, now=done
                 )

@@ -192,3 +192,75 @@ class TestHybrid:
         combined, _ = evaluate_qald(hybrid, bench, suite.freebase)
         assert combined.right >= alone.right
         assert combined.recall >= alone.recall
+
+
+class TestHybridTieBreak:
+    """The four answered/found_predicate quadrants when the primary abstains.
+
+    Regression for the #pro accounting bug: with both sides abstaining and
+    neither finding a predicate, the hybrid must return the *primary's*
+    result (its diagnostics describe the system under test), not the
+    fallback's empty one.
+    """
+
+    class _Scripted:
+        def __init__(self, result):
+            self._result = result
+
+        def answer(self, question):
+            from dataclasses import replace
+
+            return replace(self._result, question=question)
+
+    @staticmethod
+    def _result(tag, answered, found_predicate):
+        from repro.core.online import AnswerResult
+
+        return AnswerResult(
+            question="q",
+            value=tag if answered else None,
+            values=(tag,) if answered else (),
+            score=1.0 if answered else 0.0,
+            entity=tag,
+            template=None,
+            predicate=None,
+            found_predicate=found_predicate,
+        )
+
+    def _hybrid(self, primary, fallback):
+        return HybridSystem(self._Scripted(primary), self._Scripted(fallback))
+
+    def test_primary_answered_wins(self):
+        primary = self._result("p", answered=True, found_predicate=True)
+        fallback = self._result("f", answered=True, found_predicate=True)
+        assert self._hybrid(primary, fallback).answer("q?").value == "p"
+
+    def test_fallback_answer_used_when_primary_abstains(self):
+        primary = self._result("p", answered=False, found_predicate=True)
+        fallback = self._result("f", answered=True, found_predicate=True)
+        assert self._hybrid(primary, fallback).answer("q?").value == "f"
+
+    def test_both_abstain_only_primary_found_predicate(self):
+        primary = self._result("p", answered=False, found_predicate=True)
+        fallback = self._result("f", answered=False, found_predicate=False)
+        result = self._hybrid(primary, fallback).answer("q?")
+        assert result.entity == "p" and result.found_predicate
+
+    def test_both_abstain_only_fallback_found_predicate(self):
+        primary = self._result("p", answered=False, found_predicate=False)
+        fallback = self._result("f", answered=False, found_predicate=True)
+        result = self._hybrid(primary, fallback).answer("q?")
+        assert result.entity == "f" and result.found_predicate
+
+    def test_both_abstain_both_found_predicate_prefers_primary(self):
+        primary = self._result("p", answered=False, found_predicate=True)
+        fallback = self._result("f", answered=False, found_predicate=True)
+        assert self._hybrid(primary, fallback).answer("q?").entity == "p"
+
+    def test_both_abstain_neither_found_predicate_prefers_primary(self):
+        """The fixed quadrant: the primary's diagnostics must survive."""
+        primary = self._result("p", answered=False, found_predicate=False)
+        fallback = self._result("f", answered=False, found_predicate=False)
+        result = self._hybrid(primary, fallback).answer("q?")
+        assert result.entity == "p"
+        assert not result.found_predicate

@@ -211,3 +211,71 @@ class TestAnswerCacheGeneration:
         second = answerer.answer(question)
         assert second == first
         assert answerer.cache_info()["answer_cache_entries"] == 1
+
+
+class TestModelSwap:
+    """clear_caches(model_changed=True) / replace_model: a swapped model
+    must not keep serving the old θ rankings (train-resume on a live
+    answerer)."""
+
+    @staticmethod
+    def _fresh(kbqa_fb):
+        from repro.core.online import OnlineAnswerer
+
+        return OnlineAnswerer(
+            kbqa_fb.learn_result.kbview,
+            kbqa_fb.learn_result.ner,
+            kbqa_fb.conceptualizer,
+            kbqa_fb.model,
+            max_concepts=kbqa_fb.config.max_concepts_online,
+        )
+
+    @staticmethod
+    def _retrained_toward(kbqa_fb, path):
+        """A 'retrained' model: every template now argmaxes ``path``."""
+        from repro.core.model import TemplateModel
+
+        retrained = TemplateModel()
+        for template in kbqa_fb.model.templates():
+            retrained.set_distribution(template, {str(path): 1.0}, 1.0)
+        return retrained
+
+    def test_retrain_then_answer_serves_new_rankings(self, suite, kbqa_fb):
+        city = pick_entity(suite.world, "city", "population", "area")
+        pop_q = f"what is the population of {city.name}?"
+        area_q = f"what is the area of {city.name}?"
+
+        answerer = self._fresh(kbqa_fb)
+        r_pop = answerer.answer(pop_q)
+        r_area = answerer.answer(area_q)
+        assert r_pop.answered and r_area.answered
+        assert r_pop.values != r_area.values
+
+        retrained = self._retrained_toward(kbqa_fb, r_area.predicate)
+        answerer.model = retrained
+
+        # A KB-mutation clear is NOT enough: the ranked θ arrays mirror the
+        # model and legitimately survive it — so the stale rankings serve.
+        answerer.clear_caches()
+        assert answerer.answer(pop_q).values == r_pop.values
+
+        # The model-swap clear drops them; the new model's rankings serve.
+        answerer.clear_caches(model_changed=True)
+        swapped = answerer.answer(pop_q)
+        assert swapped.answered
+        assert str(swapped.predicate) == str(r_area.predicate)
+        assert swapped.values == r_area.values
+
+    def test_replace_model_is_the_one_call_spelling(self, suite, kbqa_fb):
+        city = pick_entity(suite.world, "city", "population", "area")
+        pop_q = f"what is the population of {city.name}?"
+        area_q = f"what is the area of {city.name}?"
+
+        answerer = self._fresh(kbqa_fb)
+        r_pop = answerer.answer(pop_q)
+        r_area = answerer.answer(area_q)
+        assert r_pop.answered and r_area.answered
+
+        answerer.replace_model(self._retrained_toward(kbqa_fb, r_area.predicate))
+        assert answerer.answer(pop_q).values == r_area.values
+        assert not answerer.fallback_enabled  # no index passed: lane off

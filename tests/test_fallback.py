@@ -1,0 +1,246 @@
+"""Tests for the semantic fallback lane (embed + FallbackIndex + wiring).
+
+The lane's contract, in test form:
+
+* exact-template answers are byte-identical with the lane on or off (the
+  lane runs only behind abstention),
+* held-out paraphrases of learned questions are recovered and tagged
+  ``fallback=True``,
+* the confidence gate turns low-confidence matches back into abstentions
+  (and a question with no KB mention can never reach the lane),
+* the index survives snapshot pickling into process workers,
+* degraded mode (``cached_answer``) never invokes the lane,
+* the pruned cosine scan equals the naive full scan,
+* the serving layer counts ``fallback_served``/``fallback_abstained``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.core.fallback import FallbackConfig, FallbackIndex
+from repro.core.online import OnlineAnswerer
+from repro.exec.snapshot import AnswerBatchTask, evaluate_frozen_batch, freeze_target
+from repro.nlp.embed import dot, embed_tokens
+from repro.nlp.tokenizer import tokenize
+from repro.serve.async_answerer import AsyncAnswerer, ServeConfig
+
+
+def _clone_answerer(kbqa, *, fallback=None, answer_cache_size=256) -> OnlineAnswerer:
+    """A fresh answerer over a trained system's components."""
+    base = kbqa.answerer
+    return OnlineAnswerer(
+        base.kbview,
+        base.ner,
+        base.conceptualizer,
+        base.model,
+        max_concepts=base.max_concepts,
+        answer_cache_size=answer_cache_size,
+        lookup_cache_size=0,
+        fallback=fallback,
+    )
+
+
+@pytest.fixture(scope="module")
+def fb_index(kbqa_fb) -> FallbackIndex:
+    return FallbackIndex.build(kbqa_fb.model)
+
+
+@pytest.fixture(scope="module")
+def fb_answerer(kbqa_fb, fb_index) -> OnlineAnswerer:
+    return _clone_answerer(kbqa_fb, fallback=fb_index)
+
+
+@pytest.fixture(scope="module")
+def training_questions(suite, kbqa_fb) -> list[str]:
+    picked = [q for q in suite.corpus.questions() if kbqa_fb.answer(q).answered]
+    assert len(picked) >= 4
+    return picked[:12]
+
+
+HELDOUT_REWRITES = (
+    lambda q: "regarding " + q.rstrip("?").strip() + ", any thoughts?",
+    lambda q: q.rstrip("?") + " or not?",
+    lambda q: "quick trivia: " + q,
+)
+
+
+class TestEmbed:
+    def test_deterministic_and_normalized(self):
+        tokens = tuple(tokenize("when was barack obama born?"))
+        a = embed_tokens(tokens)
+        b = embed_tokens(tokens)
+        assert a == b
+        assert dot(a, a) == pytest.approx(1.0, abs=1e-5)
+
+    def test_seed_changes_vectors(self):
+        tokens = ("population", "of", "berlin")
+        assert embed_tokens(tokens, seed=0) != embed_tokens(tokens, seed=1)
+
+    def test_similar_texts_closer_than_unrelated(self):
+        base = embed_tokens(tuple(tokenize("where was $person born?")))
+        near = embed_tokens(tuple(tokenize("tell me where $person was born")))
+        far = embed_tokens(tuple(tokenize("stock price of the company today")))
+        assert dot(base, near) > dot(base, far)
+
+    def test_empty_tokens_embed_to_zero(self):
+        vec = embed_tokens(())
+        assert dot(vec, vec) == 0.0
+
+
+class TestFallbackIndex:
+    def test_build_covers_model_paths(self, kbqa_fb, fb_index):
+        assert len(fb_index) == len(kbqa_fb.model.distinct_paths())
+        assert fb_index.path_strs == sorted(fb_index.path_strs)
+
+    def test_build_deterministic(self, kbqa_fb, fb_index):
+        again = FallbackIndex.build(kbqa_fb.model)
+        assert again.path_strs == fb_index.path_strs
+        assert again.matrix == fb_index.matrix
+
+    def test_pruned_scan_equals_naive(self, fb_index, training_questions):
+        for question in training_questions:
+            qvec = embed_tokens(tuple(tokenize(question)))
+            for k in (1, 3, 10, len(fb_index)):
+                pruned = fb_index.top_paths(qvec, k, prune=True)
+                naive = fb_index.top_paths(qvec, k, prune=False)
+                assert pruned == naive
+
+    def test_top_paths_ranked_descending(self, fb_index):
+        qvec = embed_tokens(("where", "born"))
+        ranked = fb_index.top_paths(qvec, 5)
+        scores = [score for _path, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_gate_abstains_below_threshold(self, kbqa_fb):
+        strict = FallbackIndex.build(
+            kbqa_fb.model, FallbackConfig(threshold=0.999999)
+        )
+        qvec = embed_tokens(("where", "was", "someone", "born"))
+        assert strict.gated_paths(qvec) == []
+
+    def test_pickle_roundtrip(self, fb_index):
+        thawed = pickle.loads(pickle.dumps(fb_index))
+        assert thawed.path_strs == fb_index.path_strs
+        assert thawed.matrix == fb_index.matrix
+        qvec = embed_tokens(("where", "born"))
+        assert thawed.top_paths(qvec) == fb_index.top_paths(qvec)
+
+
+class TestFallbackLane:
+    def test_exact_templates_byte_identical(self, kbqa_fb, fb_index, training_questions):
+        """The acceptance criterion: answered results identical lane on/off."""
+        plain = _clone_answerer(kbqa_fb, fallback=None)
+        laned = _clone_answerer(kbqa_fb, fallback=fb_index)
+        for a, b in zip(
+            plain.answer_many(training_questions),
+            laned.answer_many(training_questions),
+        ):
+            assert a == b  # frozen dataclass: full field-wise equality
+            assert not b.fallback
+
+    def test_heldout_paraphrase_recovered(self, kbqa_fb, fb_answerer, training_questions):
+        recovered = 0
+        for i, question in enumerate(training_questions):
+            reference = kbqa_fb.answer(question)
+            heldout = HELDOUT_REWRITES[i % len(HELDOUT_REWRITES)](question)
+            assert not _clone_answerer(kbqa_fb).answer(heldout).answered, (
+                "held-out rewrite unexpectedly matches a learned template"
+            )
+            result = fb_answerer.answer(heldout)
+            if result.answered:
+                assert result.fallback
+                assert result.found_predicate
+                assert result.value == reference.value
+                recovered += 1
+        assert recovered > 0, "fallback lane recovered nothing"
+
+    def test_no_mention_never_reaches_lane(self, fb_answerer):
+        for chitchat in ("hello there, how are you?", "nice weather or not?"):
+            result = fb_answerer.answer(chitchat)
+            assert not result.answered
+            assert not result.fallback
+
+    def test_gate_threshold_respected_end_to_end(self, kbqa_fb, training_questions):
+        strict_index = FallbackIndex.build(
+            kbqa_fb.model, FallbackConfig(threshold=0.999999)
+        )
+        strict = _clone_answerer(kbqa_fb, fallback=strict_index)
+        heldout = HELDOUT_REWRITES[0](training_questions[0])
+        result = strict.answer(heldout)
+        assert not result.answered
+        assert not result.fallback
+
+    def test_survives_snapshot_into_worker_path(self, fb_answerer, training_questions):
+        """freeze_target -> evaluate_frozen_batch is exactly what a process
+        worker runs; the thawed answerer must still recover paraphrases."""
+        heldout = HELDOUT_REWRITES[0](training_questions[0])
+        expected = fb_answerer.answer(heldout)
+        blob = freeze_target(fb_answerer)
+        task = AnswerBatchTask(epoch=99, questions=(heldout,), blob=blob)
+        [result] = evaluate_frozen_batch(task)
+        assert result == expected
+        if expected.answered:
+            assert result.fallback
+
+    def test_thawed_answerer_keeps_index(self, fb_answerer):
+        thawed = pickle.loads(pickle.dumps(fb_answerer))
+        assert thawed.fallback_enabled
+        assert thawed.fallback_index.path_strs == fb_answerer.fallback_index.path_strs
+
+    def test_degraded_mode_never_invokes_lane(self, kbqa_fb, fb_index, training_questions):
+        """cached_answer is a pure cache probe: an uncached held-out
+        question returns None even though the lane could answer it."""
+        answerer = _clone_answerer(kbqa_fb, fallback=fb_index, answer_cache_size=64)
+        heldout = HELDOUT_REWRITES[0](training_questions[0])
+        assert answerer.cached_answer(heldout) is None  # no evaluation
+        live = answerer.answer(heldout)
+        cached = answerer.cached_answer(heldout)
+        if live.answered:
+            # once served, the cached copy carries the fallback tag through
+            assert cached is not None and cached.fallback
+
+    def test_clear_caches_keeps_index(self, kbqa_fb, fb_index):
+        answerer = _clone_answerer(kbqa_fb, fallback=fb_index)
+        answerer.clear_caches()
+        assert answerer.fallback_enabled
+        answerer.clear_caches(model_changed=True)
+        assert answerer.fallback_enabled  # only replace_model swaps it
+
+
+class TestServingCounters:
+    def test_fallback_served_and_abstained_counted(
+        self, kbqa_fb, fb_answerer, training_questions
+    ):
+        heldout = HELDOUT_REWRITES[0](training_questions[0])
+        recovered = fb_answerer.answer(heldout)
+        assert recovered.answered and recovered.fallback
+
+        async def drive() -> dict:
+            config = ServeConfig(executor="serial", workers=1)
+            async with AsyncAnswerer(fb_answerer, config) as answerer:
+                await answerer.answer(heldout)
+                await answerer.answer("hello there, how are you?")
+                await answerer.answer(training_questions[0])
+                return answerer.snapshot()
+
+        stats = asyncio.run(drive())
+        assert stats["fallback_served"] == 1
+        assert stats["fallback_abstained"] == 1
+
+    def test_lane_off_counters_stay_zero(self, kbqa_fb, training_questions):
+        plain = _clone_answerer(kbqa_fb)
+
+        async def drive() -> dict:
+            config = ServeConfig(executor="serial", workers=1)
+            async with AsyncAnswerer(plain, config) as answerer:
+                await answerer.answer(training_questions[0])
+                await answerer.answer("hello there, how are you?")
+                return answerer.snapshot()
+
+        stats = asyncio.run(drive())
+        assert stats["fallback_served"] == 0
+        assert stats["fallback_abstained"] == 0
